@@ -1,0 +1,89 @@
+#ifndef PSPC_BENCH_BENCH_COMMON_H_
+#define PSPC_BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/common/timer.h"
+#include "src/core/builder_facade.h"
+#include "src/graph/datasets.h"
+#include "src/graph/graph.h"
+#include "src/label/query_engine.h"
+
+/// Shared plumbing for the paper-reproduction benchmarks.
+///
+/// Each bench binary regenerates one table or figure of the paper
+/// (see DESIGN.md §3 for the experiment index). Graphs and indexes are
+/// cached process-wide so a binary that reports several metrics of the
+/// same configuration builds it once. `PSPC_BENCH_SCALE_DIVISOR`
+/// shrinks every dataset for smoke runs.
+namespace pspc::bench {
+
+/// Graph for `code`, built once per process at the configured scale.
+inline const Graph& GetGraph(const std::string& code) {
+  static auto* cache = new std::map<std::string, Graph>();
+  auto it = cache->find(code);
+  if (it == cache->end()) {
+    const DatasetSpec& spec = DatasetByCode(code);
+    it = cache->emplace(code, spec.build(BenchScaleDivisor())).first;
+  }
+  return it->second;
+}
+
+/// Cache key for a built index: dataset code + options fingerprint.
+inline std::string OptionsKey(const std::string& code,
+                              const BuildOptions& o) {
+  return code + "/" + ToString(o.algorithm) + "/" + ToString(o.ordering) +
+         "/" + ToString(o.paradigm) + "/" + ToString(o.schedule) + "/t" +
+         std::to_string(o.num_threads) + "/l" +
+         std::to_string(o.num_landmarks) +
+         (o.use_landmark_filter ? "/LL" : "/NLL") + "/d" +
+         std::to_string(o.hybrid_delta);
+}
+
+/// Builds (or fetches) the index for `code` under `options`.
+inline const BuildResult& GetIndex(const std::string& code,
+                                   const BuildOptions& options) {
+  static auto* cache = new std::map<std::string, BuildResult>();
+  const std::string key = OptionsKey(code, options);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, BuildIndex(GetGraph(code), options)).first;
+  }
+  return it->second;
+}
+
+/// Default configurations matching the paper's three compared systems.
+inline BuildOptions HpSpcOptions() {
+  BuildOptions o;
+  o.algorithm = Algorithm::kHpSpc;
+  o.ordering = OrderingScheme::kDegree;
+  return o;
+}
+
+inline BuildOptions PspcOptions1Thread() {
+  BuildOptions o;
+  o.algorithm = Algorithm::kPspc;
+  o.ordering = OrderingScheme::kDegree;
+  o.num_threads = 1;
+  return o;
+}
+
+inline BuildOptions PspcOptionsAllThreads() {
+  BuildOptions o = PspcOptions1Thread();
+  o.num_threads = 0;  // all cores: the paper's PSPC+
+  return o;
+}
+
+/// Query workload size; the paper uses 1e5, scaled down with the
+/// dataset divisor so smoke runs stay fast.
+inline size_t QueryWorkloadSize() {
+  const size_t base = 100000;
+  return base / BenchScaleDivisor();
+}
+
+}  // namespace pspc::bench
+
+#endif  // PSPC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,84 @@
+// Reproduces Fig. 10 (Exp 5): ablation of the three acceleration
+// techniques under full parallelism.
+//   (a) landmark labeling (LL) vs none (NLL)      — LL slightly faster;
+//   (b) static vs dynamic (cost-aware) schedule   — dynamic faster;
+//   (c) degree vs significant-path vs hybrid order — hybrid fastest.
+// (c) includes the ordering time itself, which is what sinks the
+// significant-path scheme in a parallel setting (its ordering pass is
+// inherently sequential).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/common/timer.h"
+
+namespace {
+
+void BuildVariant(benchmark::State& state, const std::string& code,
+                  const pspc::BuildOptions& options) {
+  const pspc::Graph& g = pspc::bench::GetGraph(code);
+  // Untimed warmup to page-fault the allocator arena. Uses the cheap
+  // degree order: the warmup only needs to touch memory, and rerunning
+  // the significant-path ordering would double that variant's cost.
+  pspc::BuildOptions warmup = options;
+  warmup.ordering = pspc::OrderingScheme::kDegree;
+  pspc::BuildIndex(g, warmup);
+  for (auto _ : state) {
+    pspc::WallTimer timer;
+    const pspc::BuildResult result = pspc::BuildIndex(g, options);
+    state.SetIterationTime(timer.ElapsedSeconds());
+    state.counters["order_s"] = result.stats.ordering_seconds;
+    state.counters["construct_s"] = result.stats.construction_seconds;
+    state.counters["entries"] = static_cast<double>(result.stats.total_entries);
+  }
+}
+
+void Register(const std::string& name, const std::string& code,
+              const pspc::BuildOptions& options) {
+  benchmark::RegisterBenchmark(
+      name.c_str(), [code, options](benchmark::State& s) {
+        BuildVariant(s, code, options);
+      })
+      ->Iterations(1)
+      ->UseManualTime()
+      ->Unit(benchmark::kSecond);
+}
+
+int RegisterAll() {
+  for (const auto& spec : pspc::AllDatasets()) {
+    if (!spec.in_sweep_set) continue;
+    const std::string& code = spec.code;
+
+    // (a) Landmark labeling on/off.
+    pspc::BuildOptions ll = pspc::bench::PspcOptionsAllThreads();
+    pspc::BuildOptions nll = ll;
+    nll.use_landmark_filter = false;
+    Register("fig10a/landmark/" + code + "/LL", code, ll);
+    Register("fig10a/landmark/" + code + "/NLL", code, nll);
+
+    // (b) Schedule plan.
+    pspc::BuildOptions sched = pspc::bench::PspcOptionsAllThreads();
+    sched.schedule = pspc::ScheduleKind::kStatic;
+    Register("fig10b/schedule/" + code + "/static", code, sched);
+    sched.schedule = pspc::ScheduleKind::kDynamic;
+    Register("fig10b/schedule/" + code + "/dynamic", code, sched);
+    sched.schedule = pspc::ScheduleKind::kCostAware;
+    Register("fig10b/schedule/" + code + "/cost_aware", code, sched);
+
+    // (c) Node order (ordering time included, as in the paper).
+    pspc::BuildOptions order = pspc::bench::PspcOptionsAllThreads();
+    order.ordering = pspc::OrderingScheme::kDegree;
+    Register("fig10c/order/" + code + "/degree", code, order);
+    order.ordering = pspc::OrderingScheme::kSignificantPath;
+    Register("fig10c/order/" + code + "/sig_path", code, order);
+    order.ordering = pspc::OrderingScheme::kHybrid;
+    Register("fig10c/order/" + code + "/hybrid", code, order);
+  }
+  return 0;
+}
+
+static const int kRegistered = RegisterAll();
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Reproduces Fig. 11 (Exp 6): effect of the hybrid-order threshold
+// delta on index size, index time and query time. Expected shape: all
+// three metrics dip and then climb as delta grows (small delta ==
+// degree order everywhere, huge delta == elimination order everywhere;
+// the paper settles on delta = 5).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/common/timer.h"
+#include "src/label/query_engine.h"
+
+namespace {
+
+constexpr pspc::VertexId kDeltas[] = {0, 1, 2, 5, 10, 20, 50};
+
+void DeltaEffect(benchmark::State& state, const std::string& code,
+                 pspc::VertexId delta) {
+  const pspc::Graph& g = pspc::bench::GetGraph(code);
+  pspc::BuildOptions options = pspc::bench::PspcOptionsAllThreads();
+  options.ordering = pspc::OrderingScheme::kHybrid;
+  options.hybrid_delta = delta;
+  pspc::BuildIndex(g, options);  // untimed warmup: page-faults the arena
+  for (auto _ : state) {
+    pspc::WallTimer timer;
+    const pspc::BuildResult result = pspc::BuildIndex(g, options);
+    const double build_seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(build_seconds);
+
+    const pspc::QueryBatch batch = pspc::MakeRandomQueries(
+        g.NumVertices(), pspc::bench::QueryWorkloadSize() / 10, 0xF11);
+    pspc::WallTimer query_timer;
+    benchmark::DoNotOptimize(pspc::RunQueries(result.index, batch));
+    state.counters["query_us"] =
+        query_timer.ElapsedMicros() / static_cast<double>(batch.size());
+    state.counters["index_MB"] =
+        static_cast<double>(result.index.SizeBytes()) / (1024.0 * 1024.0);
+    state.counters["index_s"] = build_seconds;
+    state.counters["delta"] = delta;
+  }
+}
+
+int RegisterAll() {
+  for (const auto& spec : pspc::AllDatasets()) {
+    if (!spec.in_sweep_set && spec.code != "RD") continue;
+    for (pspc::VertexId delta : kDeltas) {
+      benchmark::RegisterBenchmark(
+          ("fig11/delta_effect/" + spec.code + "/delta:" +
+           std::to_string(delta))
+              .c_str(),
+          [code = spec.code, delta](benchmark::State& s) {
+            DeltaEffect(s, code, delta);
+          })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond);
+    }
+  }
+  return 0;
+}
+
+static const int kRegistered = RegisterAll();
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Reproduces Fig. 12 (Exp 7): effect of the number of landmarks on
+// indexing time. Expected shape: a U-curve — a few landmarks prune a
+// large share of candidates cheaply, but each additional landmark adds
+// a per-candidate probe cost, so past the sweet spot the filter costs
+// more than it saves (the paper's "extra cost if landmark-based
+// filtering returns a false result").
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/common/timer.h"
+
+namespace {
+
+constexpr uint32_t kLandmarkCounts[] = {0, 8, 16, 32, 64, 100, 150, 250};
+
+void LandmarkCount(benchmark::State& state, const std::string& code,
+                   uint32_t landmarks) {
+  const pspc::Graph& g = pspc::bench::GetGraph(code);
+  pspc::BuildOptions options = pspc::bench::PspcOptionsAllThreads();
+  options.num_landmarks = landmarks;
+  options.use_landmark_filter = landmarks > 0;
+  pspc::BuildIndex(g, options);  // untimed warmup: page-faults the arena
+  for (auto _ : state) {
+    pspc::WallTimer timer;
+    const pspc::BuildResult result = pspc::BuildIndex(g, options);
+    state.SetIterationTime(timer.ElapsedSeconds());
+    state.counters["landmarks"] = landmarks;
+    state.counters["landmark_s"] = result.stats.landmark_seconds;
+    state.counters["construct_s"] = result.stats.construction_seconds;
+    state.counters["pruned_by_lm"] =
+        static_cast<double>(result.stats.pruned_by_landmark);
+  }
+}
+
+int RegisterAll() {
+  for (const auto& spec : pspc::AllDatasets()) {
+    if (!spec.in_sweep_set) continue;
+    for (uint32_t landmarks : kLandmarkCounts) {
+      benchmark::RegisterBenchmark(
+          ("fig12/landmark_count/" + spec.code + "/k:" +
+           std::to_string(landmarks))
+              .c_str(),
+          [code = spec.code, landmarks](benchmark::State& s) {
+            LandmarkCount(s, code, landmarks);
+          })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond);
+    }
+  }
+  return 0;
+}
+
+static const int kRegistered = RegisterAll();
+
+}  // namespace

@@ -1,0 +1,44 @@
+// Reproduces Fig. 13 (Exp 8): breakdown of PSPC+ indexing time into
+// node ordering (Order), landmark labeling (LL) and label construction
+// (LC). Expected shape: LC dominates on every dataset, with Order and
+// LL each an order of magnitude (or more) cheaper.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/common/timer.h"
+
+namespace {
+
+void TimeBreakdown(benchmark::State& state, const std::string& code) {
+  const pspc::Graph& g = pspc::bench::GetGraph(code);
+  const pspc::BuildOptions options = pspc::bench::PspcOptionsAllThreads();
+  pspc::BuildIndex(g, options);  // untimed warmup: page-faults the arena
+  for (auto _ : state) {
+    pspc::WallTimer timer;
+    const pspc::BuildResult result = pspc::BuildIndex(g, options);
+    state.SetIterationTime(timer.ElapsedSeconds());
+    state.counters["order_s"] = result.stats.ordering_seconds;
+    state.counters["LL_s"] = result.stats.landmark_seconds;
+    state.counters["LC_s"] = result.stats.construction_seconds;
+    const double total = result.stats.TotalSeconds();
+    state.counters["LC_share"] =
+        total > 0 ? result.stats.construction_seconds / total : 0.0;
+  }
+}
+
+int RegisterAll() {
+  for (const auto& spec : pspc::AllDatasets()) {
+    benchmark::RegisterBenchmark(
+        ("fig13/time_breakdown/" + spec.code).c_str(),
+        [code = spec.code](benchmark::State& s) { TimeBreakdown(s, code); })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond);
+  }
+  return 0;
+}
+
+static const int kRegistered = RegisterAll();
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Reproduces Fig. 5 (Exp 1): indexing time of HP-SPC, PSPC (1 thread)
+// and PSPC+ (all threads) on every dataset. The paper's expected shape:
+// PSPC edges out HP-SPC on most datasets single-threaded (~18% faster
+// on average) and PSPC+ scales near-linearly, >= 12x at 20 threads.
+// Ordering time is included in the measured time, as in the paper.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/common/timer.h"
+
+namespace {
+
+void IndexingTime(benchmark::State& state, const std::string& code,
+                  const pspc::BuildOptions& options) {
+  const pspc::Graph& g = pspc::bench::GetGraph(code);
+  pspc::BuildIndex(g, options);  // untimed warmup: page-faults the arena
+  for (auto _ : state) {
+    pspc::WallTimer timer;
+    const pspc::BuildResult result = pspc::BuildIndex(g, options);
+    state.SetIterationTime(timer.ElapsedSeconds());
+    state.counters["entries"] = static_cast<double>(result.stats.total_entries);
+    state.counters["iterations"] =
+        static_cast<double>(result.stats.num_iterations);
+  }
+}
+
+int RegisterAll() {
+  using pspc::bench::HpSpcOptions;
+  using pspc::bench::PspcOptions1Thread;
+  using pspc::bench::PspcOptionsAllThreads;
+  struct Algo {
+    const char* name;
+    pspc::BuildOptions options;
+  };
+  const Algo algos[] = {
+      {"HP-SPC", HpSpcOptions()},
+      {"PSPC", PspcOptions1Thread()},
+      {"PSPC+", PspcOptionsAllThreads()},
+  };
+  for (const auto& spec : pspc::AllDatasets()) {
+    for (const Algo& algo : algos) {
+      benchmark::RegisterBenchmark(
+          ("fig5/indexing_time/" + spec.code + "/" + algo.name).c_str(),
+          [code = spec.code, options = algo.options](benchmark::State& s) {
+            IndexingTime(s, code, options);
+          })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond);
+    }
+  }
+  return 0;
+}
+
+static const int kRegistered = RegisterAll();
+
+}  // namespace

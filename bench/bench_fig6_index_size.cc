@@ -1,0 +1,67 @@
+// Reproduces Fig. 6 (Exp 2): index size (MB) of HP-SPC, PSPC and PSPC+.
+// Expected shape: all three produce comparable sizes, and PSPC ==
+// PSPC+ *exactly* (the construction is thread-count independent); the
+// "identical" counter asserts that equality at run time.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+void IndexSize(benchmark::State& state, const std::string& code,
+               const pspc::BuildOptions& options) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pspc::bench::GetIndex(code, options));
+  }
+  const pspc::BuildResult& result = pspc::bench::GetIndex(code, options);
+  state.counters["size_MB"] =
+      static_cast<double>(result.index.SizeBytes()) / (1024.0 * 1024.0);
+  state.counters["entries"] = static_cast<double>(result.index.TotalEntries());
+  state.counters["avg_label"] = result.index.AverageLabelSize();
+}
+
+void PspcSizesIdentical(benchmark::State& state, const std::string& code) {
+  for (auto _ : state) {
+    const auto& single =
+        pspc::bench::GetIndex(code, pspc::bench::PspcOptions1Thread());
+    const auto& multi =
+        pspc::bench::GetIndex(code, pspc::bench::PspcOptionsAllThreads());
+    state.counters["identical"] = (single.index == multi.index) ? 1.0 : 0.0;
+  }
+}
+
+int RegisterAll() {
+  struct Algo {
+    const char* name;
+    pspc::BuildOptions options;
+  };
+  const Algo algos[] = {
+      {"HP-SPC", pspc::bench::HpSpcOptions()},
+      {"PSPC", pspc::bench::PspcOptions1Thread()},
+      {"PSPC+", pspc::bench::PspcOptionsAllThreads()},
+  };
+  for (const auto& spec : pspc::AllDatasets()) {
+    for (const Algo& algo : algos) {
+      benchmark::RegisterBenchmark(
+          ("fig6/index_size/" + spec.code + "/" + algo.name).c_str(),
+          [code = spec.code, options = algo.options](benchmark::State& s) {
+            IndexSize(s, code, options);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RegisterBenchmark(
+        ("fig6/pspc_thread_independence/" + spec.code).c_str(),
+        [code = spec.code](benchmark::State& s) {
+          PspcSizesIdentical(s, code);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}
+
+static const int kRegistered = RegisterAll();
+
+}  // namespace

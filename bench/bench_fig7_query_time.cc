@@ -1,0 +1,68 @@
+// Reproduces Fig. 7 (Exp 3): average SPC query time over a random
+// workload (the paper uses 1e5 queries). Expected shape: HP-SPC and
+// PSPC answer in the same time (same index, same query path, ~1e2 us
+// in the paper); PSPC+ divides the *batch* across threads for a
+// near-linear throughput speedup.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/common/timer.h"
+#include "src/label/query_engine.h"
+
+namespace {
+
+void QueryTime(benchmark::State& state, const std::string& code,
+               const pspc::BuildOptions& build, int query_threads) {
+  const pspc::Graph& g = pspc::bench::GetGraph(code);
+  const pspc::SpcIndex& index = pspc::bench::GetIndex(code, build).index;
+  const pspc::QueryBatch batch = pspc::MakeRandomQueries(
+      g.NumVertices(), pspc::bench::QueryWorkloadSize(), /*seed=*/0xF16'7);
+  double total_us = 0.0;
+  size_t queries = 0;
+  for (auto _ : state) {
+    pspc::WallTimer timer;
+    if (query_threads == 1) {
+      benchmark::DoNotOptimize(pspc::RunQueries(index, batch));
+    } else {
+      benchmark::DoNotOptimize(
+          pspc::RunQueriesParallel(index, batch, query_threads));
+    }
+    total_us += timer.ElapsedMicros();
+    queries += batch.size();
+    state.SetIterationTime(timer.ElapsedSeconds());
+  }
+  state.counters["avg_query_us"] = total_us / static_cast<double>(queries);
+  state.counters["queries"] = static_cast<double>(batch.size());
+}
+
+int RegisterAll() {
+  struct Algo {
+    const char* name;
+    pspc::BuildOptions build;
+    int query_threads;
+  };
+  const Algo algos[] = {
+      {"HP-SPC", pspc::bench::HpSpcOptions(), 1},
+      {"PSPC", pspc::bench::PspcOptions1Thread(), 1},
+      {"PSPC+", pspc::bench::PspcOptionsAllThreads(), 0},
+  };
+  for (const auto& spec : pspc::AllDatasets()) {
+    for (const Algo& algo : algos) {
+      benchmark::RegisterBenchmark(
+          ("fig7/query_time/" + spec.code + "/" + algo.name).c_str(),
+          [code = spec.code, build = algo.build,
+           threads = algo.query_threads](benchmark::State& s) {
+            QueryTime(s, code, build, threads);
+          })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  return 0;
+}
+
+static const int kRegistered = RegisterAll();
+
+}  // namespace

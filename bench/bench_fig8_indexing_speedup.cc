@@ -1,0 +1,81 @@
+// Reproduces Fig. 8 (Exp 4): indexing-time speedup of PSPC+ as the
+// thread count grows, on the paper's four sweep datasets (FB, GO, GW,
+// WI). Expected shape: near-linear scaling (the paper reports 16.7x /
+// 11.8x / 11.9x / 15.4x at 20 threads); the attainable ceiling here is
+// the container's core count.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/parallel.h"
+#include "src/common/timer.h"
+
+namespace {
+
+// One-thread baselines, built lazily so the speedup counter can be
+// derived inside each benchmark.
+double BaselineSeconds(const std::string& code) {
+  static auto* cache = new std::map<std::string, double>();
+  auto it = cache->find(code);
+  if (it == cache->end()) {
+    // Untimed warmup build first: the process's first large build pays
+    // allocator page-fault costs that would inflate every speedup.
+    pspc::BuildIndex(pspc::bench::GetGraph(code),
+                     pspc::bench::PspcOptions1Thread());
+    pspc::WallTimer timer;
+    pspc::BuildIndex(pspc::bench::GetGraph(code),
+                     pspc::bench::PspcOptions1Thread());
+    it = cache->emplace(code, timer.ElapsedSeconds()).first;
+  }
+  return it->second;
+}
+
+void IndexingSpeedup(benchmark::State& state, const std::string& code,
+                     int threads) {
+  const pspc::Graph& g = pspc::bench::GetGraph(code);
+  pspc::BuildOptions options = pspc::bench::PspcOptions1Thread();
+  options.num_threads = threads;
+  pspc::BuildIndex(g, options);  // untimed warmup
+  for (auto _ : state) {
+    pspc::WallTimer timer;
+    benchmark::DoNotOptimize(pspc::BuildIndex(g, options));
+    const double seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+    state.counters["speedup"] = BaselineSeconds(code) / seconds;
+    state.counters["threads"] = threads;
+  }
+}
+
+std::vector<int> ThreadSweep() {
+  std::vector<int> sweep{1, 2, 4};
+  const int max_threads = pspc::MaxThreads();
+  for (int t = 8; t < max_threads; t *= 2) sweep.push_back(t);
+  if (sweep.back() != max_threads) sweep.push_back(max_threads);
+  return sweep;
+}
+
+int RegisterAll() {
+  for (const auto& spec : pspc::AllDatasets()) {
+    if (!spec.in_sweep_set) continue;
+    for (int threads : ThreadSweep()) {
+      benchmark::RegisterBenchmark(
+          ("fig8/indexing_speedup/" + spec.code + "/threads:" +
+           std::to_string(threads))
+              .c_str(),
+          [code = spec.code, threads](benchmark::State& s) {
+            IndexingSpeedup(s, code, threads);
+          })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond);
+    }
+  }
+  return 0;
+}
+
+static const int kRegistered = RegisterAll();
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Reproduces Fig. 9 (Exp 4): query-throughput speedup as the thread
+// count grows, on the four sweep datasets. Queries are independent, so
+// a dynamic division of the batch scales near-linearly (the paper's
+// observation that "a divide and conquer strategy on the query
+// workload could achieve a linear speedup").
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/parallel.h"
+#include "src/common/timer.h"
+#include "src/label/query_engine.h"
+
+namespace {
+
+const pspc::QueryBatch& GetBatch(const std::string& code) {
+  static auto* cache = new std::map<std::string, pspc::QueryBatch>();
+  auto it = cache->find(code);
+  if (it == cache->end()) {
+    const pspc::Graph& g = pspc::bench::GetGraph(code);
+    it = cache->emplace(code,
+                        pspc::MakeRandomQueries(
+                            g.NumVertices(),
+                            pspc::bench::QueryWorkloadSize(), /*seed=*/0xF19))
+             .first;
+  }
+  return it->second;
+}
+
+double BaselineSeconds(const std::string& code) {
+  static auto* cache = new std::map<std::string, double>();
+  auto it = cache->find(code);
+  if (it == cache->end()) {
+    const pspc::SpcIndex& index =
+        pspc::bench::GetIndex(code, pspc::bench::PspcOptionsAllThreads())
+            .index;
+    benchmark::DoNotOptimize(pspc::RunQueries(index, GetBatch(code)));
+    pspc::WallTimer timer;
+    benchmark::DoNotOptimize(pspc::RunQueries(index, GetBatch(code)));
+    it = cache->emplace(code, timer.ElapsedSeconds()).first;
+  }
+  return it->second;
+}
+
+void QuerySpeedup(benchmark::State& state, const std::string& code,
+                  int threads) {
+  const pspc::SpcIndex& index =
+      pspc::bench::GetIndex(code, pspc::bench::PspcOptionsAllThreads()).index;
+  const pspc::QueryBatch& batch = GetBatch(code);
+  for (auto _ : state) {
+    pspc::WallTimer timer;
+    benchmark::DoNotOptimize(pspc::RunQueriesParallel(index, batch, threads));
+    const double seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+    state.counters["speedup"] = BaselineSeconds(code) / seconds;
+    state.counters["threads"] = threads;
+  }
+}
+
+std::vector<int> ThreadSweep() {
+  std::vector<int> sweep{1, 2, 4};
+  const int max_threads = pspc::MaxThreads();
+  for (int t = 8; t < max_threads; t *= 2) sweep.push_back(t);
+  if (sweep.back() != max_threads) sweep.push_back(max_threads);
+  return sweep;
+}
+
+int RegisterAll() {
+  for (const auto& spec : pspc::AllDatasets()) {
+    if (!spec.in_sweep_set) continue;
+    for (int threads : ThreadSweep()) {
+      benchmark::RegisterBenchmark(
+          ("fig9/query_speedup/" + spec.code + "/threads:" +
+           std::to_string(threads))
+              .c_str(),
+          [code = spec.code, threads](benchmark::State& s) {
+            QuerySpeedup(s, code, threads);
+          })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  return 0;
+}
+
+static const int kRegistered = RegisterAll();
+
+}  // namespace

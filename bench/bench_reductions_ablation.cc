@@ -1,0 +1,116 @@
+// Extension bench (paper §IV describes the reductions but reports no
+// dedicated experiment): index-size and query-time effect of the
+// 1-shell and neighborhood-equivalence reductions, on the datasets
+// where they bite (tree-fringed and twin-rich graphs). Expected shape:
+// both reductions shrink the index on fringy/twin-rich inputs at a
+// small query-time cost for the extra adapter hops.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "src/common/random.h"
+#include "src/common/timer.h"
+#include "src/graph/graph_builder.h"
+#include "src/label/query_engine.h"
+#include "src/reduce/reduced_index.h"
+
+namespace {
+
+/// The registry's BA/R-MAT/grid generators produce almost no degree-1
+/// fringe or twin vertices, so on them the reductions are size-neutral
+/// (see EXPERIMENTS.md). Real social graphs are pendant-heavy — YT's
+/// original has huge one-video-user fringes — so the "+f" variants
+/// graft deterministic pendant chains (1-shell food) and leaf twins
+/// (equivalence food) onto the base dataset: +50% vertices as chains
+/// of length 1-3, plus 5 duplicate leaves on each of the 32 hubs.
+const pspc::Graph& GetFringedGraph(const std::string& code) {
+  static auto* cache = new std::map<std::string, pspc::Graph>();
+  auto it = cache->find(code);
+  if (it != cache->end()) return it->second;
+
+  const pspc::Graph& base = pspc::bench::GetGraph(code);
+  const pspc::VertexId n = base.NumVertices();
+  const pspc::VertexId extra = n / 2;
+  const pspc::VertexId twins = 32 * 5;
+  pspc::GraphBuilder b(n + extra + twins);
+  for (pspc::VertexId u = 0; u < n; ++u) {
+    for (pspc::VertexId v : base.Neighbors(u)) {
+      if (u < v) b.AddEdge(u, v);
+    }
+  }
+  pspc::Rng rng(0xF41);
+  pspc::VertexId next = n;
+  while (next < n + extra) {
+    pspc::VertexId anchor = static_cast<pspc::VertexId>(rng.NextBounded(n));
+    const int chain = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < chain && next < n + extra; ++i) {
+      b.AddEdge(anchor, next);
+      anchor = next++;
+    }
+  }
+  for (pspc::VertexId hub = 0; hub < 32; ++hub) {
+    for (int i = 0; i < 5; ++i) b.AddEdge(hub, next++);
+  }
+  return cache->emplace(code, b.Build()).first->second;
+}
+
+void ReductionVariant(benchmark::State& state, const std::string& code,
+                      bool one_shell, bool equivalence) {
+  const bool fringed = code.back() == 'f';
+  const pspc::Graph& g =
+      fringed ? GetFringedGraph(code.substr(0, code.size() - 1))
+              : pspc::bench::GetGraph(code);
+  pspc::ReductionOptions options;
+  options.use_one_shell = one_shell;
+  options.use_equivalence = equivalence;
+  options.build = pspc::bench::PspcOptionsAllThreads();
+  pspc::ReducedSpcIndex::Build(g, options);  // untimed warmup
+  for (auto _ : state) {
+    pspc::WallTimer timer;
+    const auto index = pspc::ReducedSpcIndex::Build(g, options);
+    state.SetIterationTime(timer.ElapsedSeconds());
+
+    const pspc::QueryBatch batch = pspc::MakeRandomQueries(
+        g.NumVertices(), pspc::bench::QueryWorkloadSize() / 10, 0xABA);
+    pspc::WallTimer query_timer;
+    for (const auto& [s, t] : batch) {
+      benchmark::DoNotOptimize(index.Query(s, t));
+    }
+    state.counters["query_us"] =
+        query_timer.ElapsedMicros() / static_cast<double>(batch.size());
+    state.counters["index_MB"] =
+        static_cast<double>(index.IndexSizeBytes()) / (1024.0 * 1024.0);
+    state.counters["reduced_V"] =
+        static_cast<double>(index.NumReducedVertices());
+  }
+}
+
+void Register(const std::string& code, const char* tag, bool shell,
+              bool equiv) {
+  benchmark::RegisterBenchmark(
+      ("reductions/" + code + "/" + tag).c_str(),
+      [code, shell, equiv](benchmark::State& s) {
+        ReductionVariant(s, code, shell, equiv);
+      })
+      ->Iterations(1)
+      ->UseManualTime()
+      ->Unit(benchmark::kSecond);
+}
+
+int RegisterAll() {
+  // Base datasets plus their pendant/twin-grafted variants ("+f"),
+  // which model the fringe-heavy shape of the paper's real graphs.
+  for (const std::string code : {"YT", "RD", "FB", "YTf", "FBf"}) {
+    Register(code, "none", false, false);
+    Register(code, "one_shell", true, false);
+    Register(code, "equivalence", false, true);
+    Register(code, "both", true, true);
+  }
+  return 0;
+}
+
+static const int kRegistered = RegisterAll();
+
+}  // namespace

@@ -1,0 +1,37 @@
+// Reproduces Table III: statistics of the (substituted) datasets.
+// Each benchmark row reports |V|, |E| and the average degree of one
+// dataset as counters; generation time is the measured time.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/graph/datasets.h"
+
+namespace {
+
+void DatasetStats(benchmark::State& state, const std::string& code) {
+  for (auto _ : state) {
+    const pspc::Graph& g = pspc::bench::GetGraph(code);
+    benchmark::DoNotOptimize(g.NumEdges());
+  }
+  const pspc::Graph& g = pspc::bench::GetGraph(code);
+  state.counters["V"] = static_cast<double>(g.NumVertices());
+  state.counters["E"] = static_cast<double>(g.NumEdges());
+  state.counters["davg"] = g.AverageDegree();
+}
+
+}  // namespace
+
+int RegisterAll() {
+  for (const auto& spec : pspc::AllDatasets()) {
+    benchmark::RegisterBenchmark(("table3/" + spec.code).c_str(),
+                                 [code = spec.code](benchmark::State& s) {
+                                   DatasetStats(s, code);
+                                 })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}
+
+static const int kRegistered = RegisterAll();

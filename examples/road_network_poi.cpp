@@ -1,0 +1,71 @@
+// Top-k POI recommendation on a road network — the paper's application
+// (2). Among restaurants at the same driving distance, the one with
+// more shortest routes offers more detour options around congestion,
+// so ties break by the shortest-path count. The index is built with the
+// hybrid vertex order the paper recommends for road networks, plus the
+// 1-shell reduction demo for the dead-end streets.
+//
+//   ./road_network_poi
+
+#include <cstdio>
+#include <vector>
+
+#include "src/analytics/poi_ranking.h"
+#include "src/common/random.h"
+#include "src/core/builder_facade.h"
+#include "src/graph/generators.h"
+#include "src/reduce/reduced_index.h"
+
+int main() {
+  // A 60x60 city grid with some closed streets and a few diagonal
+  // avenues; dead-end side streets make the 1-shell reduction bite.
+  const pspc::Graph city = pspc::GenerateRoadGrid(60, 60, 0.88, 0.05, 77);
+  std::printf("city: %u intersections, %llu road segments\n",
+              city.NumVertices(),
+              static_cast<unsigned long long>(city.NumEdges()));
+
+  pspc::BuildOptions options;
+  options.ordering = pspc::OrderingScheme::kHybrid;  // road-network order
+  options.hybrid_delta = 5;
+  const pspc::BuildResult built = pspc::BuildIndex(city, options);
+  const pspc::SpcIndex& index = built.index;
+  std::printf("index: %zu entries, built in %.3fs\n", index.TotalEntries(),
+              built.stats.TotalSeconds());
+
+  // 30 candidate restaurants at random intersections.
+  pspc::Rng rng(4);
+  std::vector<pspc::VertexId> restaurants;
+  for (int i = 0; i < 30; ++i) {
+    restaurants.push_back(
+        static_cast<pspc::VertexId>(rng.NextBounded(city.NumVertices())));
+  }
+  const pspc::VertexId me = 60 * 30 + 30;  // downtown
+
+  const auto top = pspc::TopKPoi(index, me, restaurants, 5);
+  std::printf("\ntop-5 restaurants from intersection %u\n", me);
+  std::printf("%8s %10s %14s\n", "poi", "distance", "route count");
+  for (const pspc::RankedPoi& poi : top) {
+    std::printf("%8u %10u %14llu\n", poi.poi, poi.distance,
+                static_cast<unsigned long long>(poi.route_count));
+  }
+
+  // The same queries through the reduced index (1-shell strips the
+  // dead ends; equivalence merges interchangeable intersections).
+  pspc::ReductionOptions ropts;
+  ropts.build = options;
+  const auto reduced = pspc::ReducedSpcIndex::Build(city, ropts);
+  std::printf("\nwith the paper's SIV reductions: %u of %u vertices "
+              "labeled, index %.1f%% of the unreduced size\n",
+              reduced.NumReducedVertices(), city.NumVertices(),
+              100.0 * static_cast<double>(reduced.IndexSizeBytes()) /
+                  static_cast<double>(index.SizeBytes()));
+  for (const pspc::RankedPoi& poi : top) {
+    const pspc::SpcResult r = reduced.Query(me, poi.poi);
+    if (r.distance != poi.distance || r.count != poi.route_count) {
+      std::printf("MISMATCH at poi %u!\n", poi.poi);
+      return 1;
+    }
+  }
+  std::printf("reduced index reproduces every ranked answer exactly\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "src/analytics/betweenness.h"
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+
+namespace pspc {
+namespace {
+
+/// Pair dependency of v on (s, t); 0 when v is off every shortest path.
+double PairDependency(const SpcIndex& index, VertexId v, VertexId s,
+                      VertexId t) {
+  const SpcResult st = index.Query(s, t);
+  if (st.distance == kInfSpcDistance || st.count == 0) return 0.0;
+  const SpcResult sv = index.Query(s, v);
+  if (sv.distance == kInfSpcDistance) return 0.0;
+  const SpcResult vt = index.Query(v, t);
+  if (vt.distance == kInfSpcDistance) return 0.0;
+  if (sv.distance + vt.distance != st.distance) return 0.0;
+  return static_cast<double>(sv.count) * static_cast<double>(vt.count) /
+         static_cast<double>(st.count);
+}
+
+}  // namespace
+
+double BetweennessExact(const SpcIndex& index, VertexId v) {
+  const VertexId n = index.NumVertices();
+  PSPC_CHECK(v < n);
+  double total = 0.0;
+  for (VertexId s = 0; s < n; ++s) {
+    if (s == v) continue;
+    for (VertexId t = s + 1; t < n; ++t) {
+      if (t == v) continue;
+      total += PairDependency(index, v, s, t);
+    }
+  }
+  return total;
+}
+
+double BetweennessSampled(const SpcIndex& index, VertexId v,
+                          size_t num_samples, uint64_t seed) {
+  const VertexId n = index.NumVertices();
+  PSPC_CHECK(v < n);
+  PSPC_CHECK(n >= 3);
+  Rng rng(seed);
+  double total = 0.0;
+  size_t drawn = 0;
+  while (drawn < num_samples) {
+    const auto s = static_cast<VertexId>(rng.NextBounded(n));
+    const auto t = static_cast<VertexId>(rng.NextBounded(n));
+    if (s == t || s == v || t == v) continue;
+    total += PairDependency(index, v, s, t);
+    ++drawn;
+  }
+  // Scale the sample mean to the number of unordered valid pairs.
+  const double pairs =
+      static_cast<double>(n - 1) * static_cast<double>(n - 2) / 2.0;
+  return total / static_cast<double>(num_samples) * pairs;
+}
+
+std::vector<double> AllBetweennessExact(const SpcIndex& index) {
+  const VertexId n = index.NumVertices();
+  std::vector<double> result(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) result[v] = BetweennessExact(index, v);
+  return result;
+}
+
+}  // namespace pspc

@@ -1,0 +1,34 @@
+#ifndef PSPC_SRC_ANALYTICS_BETWEENNESS_H_
+#define PSPC_SRC_ANALYTICS_BETWEENNESS_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/label/spc_index.h"
+
+/// Betweenness centrality on top of the SPC index (paper §I,
+/// application 1): the pair dependency of `v` on `(s,t)` is
+/// `sigma(s,v) * sigma(v,t) / sigma(s,t)` when `d(s,v) + d(v,t) ==
+/// d(s,t)`, and every factor is a single index query — no graph
+/// traversal. The exact variant sums all pairs (O(n^2) queries; small
+/// graphs); the sampled variant scales the sum from a uniform pair
+/// sample, the standard estimator the paper cites [Riondato &
+/// Kornaropoulos].
+namespace pspc {
+
+/// Exact betweenness of `v`: sum of pair dependencies over all
+/// unordered pairs {s, t} with s, t != v.
+double BetweennessExact(const SpcIndex& index, VertexId v);
+
+/// Unbiased estimate from `num_samples` uniform pairs (s != t, both
+/// != v), scaled to the total number of unordered pairs.
+double BetweennessSampled(const SpcIndex& index, VertexId v,
+                          size_t num_samples, uint64_t seed);
+
+/// Exact betweenness of every vertex via all-pairs index queries —
+/// O(n^2) queries; test- and demo-scale only.
+std::vector<double> AllBetweennessExact(const SpcIndex& index);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_ANALYTICS_BETWEENNESS_H_

@@ -1,0 +1,95 @@
+#include "src/analytics/group_betweenness.h"
+
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/common/saturating.h"
+
+namespace pspc {
+namespace {
+
+/// BFS shortest-path counting from `s` skipping blocked vertices.
+/// Returns (distance, count) to `t` within the surviving subgraph.
+SpcResult BfsSpcAvoiding(const Graph& graph, VertexId s, VertexId t,
+                         const std::vector<uint8_t>& blocked) {
+  const VertexId n = graph.NumVertices();
+  std::vector<Distance> dist(n, kInfDistance);
+  std::vector<Count> count(n, 0);
+  dist[s] = 0;
+  count[s] = 1;
+  std::vector<VertexId> frontier{s}, next;
+  Distance d = 0;
+  while (!frontier.empty() && dist[t] == kInfDistance) {
+    ++d;
+    next.clear();
+    for (VertexId u : frontier) {
+      for (VertexId v : graph.Neighbors(u)) {
+        if (blocked[v] != 0) continue;
+        if (dist[v] == kInfDistance) {
+          dist[v] = d;
+          next.push_back(v);
+        }
+        if (dist[v] == d) count[v] = SatAdd(count[v], count[u]);
+      }
+    }
+    frontier.swap(next);
+  }
+  // Exiting after the level that discovered t is safe: a level is fully
+  // accumulated (all parents scanned) before the loop condition is
+  // rechecked, so count[t] is already complete.
+  if (dist[t] == kInfDistance) return {kInfSpcDistance, 0};
+  return {dist[t], count[t]};
+}
+
+}  // namespace
+
+double GroupPathFraction(const Graph& graph, const SpcIndex& index,
+                         const std::vector<VertexId>& group, VertexId s,
+                         VertexId t) {
+  const SpcResult total = index.Query(s, t);
+  if (total.distance == kInfSpcDistance || total.count == 0) return 0.0;
+  for (VertexId c : group) {
+    if (c == s || c == t) return 1.0;  // endpoint meets C
+  }
+  std::vector<uint8_t> blocked(graph.NumVertices(), 0);
+  for (VertexId c : group) blocked[c] = 1;
+  const SpcResult avoid = BfsSpcAvoiding(graph, s, t, blocked);
+  if (avoid.distance != total.distance) return 1.0;  // every path hits C
+  const double frac = 1.0 - static_cast<double>(avoid.count) /
+                                static_cast<double>(total.count);
+  return frac < 0.0 ? 0.0 : frac;
+}
+
+double GroupBetweennessExact(const Graph& graph, const SpcIndex& index,
+                             const std::vector<VertexId>& group) {
+  const VertexId n = graph.NumVertices();
+  double total = 0.0;
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = s + 1; t < n; ++t) {
+      total += GroupPathFraction(graph, index, group, s, t);
+    }
+  }
+  return total;
+}
+
+double GroupBetweennessSampled(const Graph& graph, const SpcIndex& index,
+                               const std::vector<VertexId>& group,
+                               size_t num_samples, uint64_t seed) {
+  const VertexId n = graph.NumVertices();
+  PSPC_CHECK(n >= 2);
+  Rng rng(seed);
+  double total = 0.0;
+  size_t drawn = 0;
+  while (drawn < num_samples) {
+    const auto s = static_cast<VertexId>(rng.NextBounded(n));
+    const auto t = static_cast<VertexId>(rng.NextBounded(n));
+    if (s == t) continue;
+    total += GroupPathFraction(graph, index, group, s, t);
+    ++drawn;
+  }
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  return total / static_cast<double>(num_samples) * pairs;
+}
+
+}  // namespace pspc

@@ -1,0 +1,39 @@
+#ifndef PSPC_SRC_ANALYTICS_GROUP_BETWEENNESS_H_
+#define PSPC_SRC_ANALYTICS_GROUP_BETWEENNESS_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+#include "src/label/spc_index.h"
+
+/// Group betweenness (paper §I, application 1, after Puzis et al.):
+/// B(C) = sum over pairs {s,t} of spc_C(s,t) / spc(s,t), where
+/// spc_C counts the shortest s-t paths meeting the vertex set C.
+///
+/// The index supplies d(s,t) and spc(s,t) in microseconds; the paths
+/// *avoiding* C are counted by one BFS on G with C's vertices removed
+/// (a path avoids C iff it survives in that subgraph at unchanged
+/// length), so spc_C = spc - spc_avoid. Exact per pair; the group-level
+/// estimate samples pairs exactly like the single-vertex estimator.
+namespace pspc {
+
+/// Fraction of shortest s-t paths meeting C, in [0, 1]; 0 when s and t
+/// are disconnected. Endpoints inside C count as meeting C.
+double GroupPathFraction(const Graph& graph, const SpcIndex& index,
+                         const std::vector<VertexId>& group, VertexId s,
+                         VertexId t);
+
+/// Exact B(C) over all unordered pairs (O(n^2) BFS-bounded; small
+/// graphs / tests).
+double GroupBetweennessExact(const Graph& graph, const SpcIndex& index,
+                             const std::vector<VertexId>& group);
+
+/// Estimated B(C) from `num_samples` uniform pairs.
+double GroupBetweennessSampled(const Graph& graph, const SpcIndex& index,
+                               const std::vector<VertexId>& group,
+                               size_t num_samples, uint64_t seed);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_ANALYTICS_GROUP_BETWEENNESS_H_

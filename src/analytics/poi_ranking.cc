@@ -1,0 +1,29 @@
+#include "src/analytics/poi_ranking.h"
+
+#include <algorithm>
+
+namespace pspc {
+
+std::vector<RankedPoi> TopKPoi(const SpcIndex& index, VertexId query,
+                               const std::vector<VertexId>& candidates,
+                               size_t k) {
+  std::vector<RankedPoi> ranked;
+  ranked.reserve(candidates.size());
+  for (VertexId poi : candidates) {
+    const SpcResult r = index.Query(query, poi);
+    if (r.distance == kInfSpcDistance) continue;
+    ranked.push_back({poi, r.distance, r.count});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedPoi& a, const RankedPoi& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              if (a.route_count != b.route_count) {
+                return a.route_count > b.route_count;
+              }
+              return a.poi < b.poi;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace pspc

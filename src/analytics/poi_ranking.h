@@ -1,0 +1,32 @@
+#ifndef PSPC_SRC_ANALYTICS_POI_RANKING_H_
+#define PSPC_SRC_ANALYTICS_POI_RANKING_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/label/spc_index.h"
+
+/// Top-k nearest-neighbor ranking with shortest-path-count tie-breaking
+/// (paper §I, application 2): among candidate POIs at the same distance
+/// from the query vertex, the one reachable by more shortest routes
+/// offers more alternatives around congestion and ranks higher.
+namespace pspc {
+
+struct RankedPoi {
+  VertexId poi = kInvalidVertex;
+  uint32_t distance = kInfSpcDistance;
+  Count route_count = 0;
+
+  friend bool operator==(const RankedPoi&, const RankedPoi&) = default;
+};
+
+/// Ranks `candidates` from `query`: ascending distance, then descending
+/// route count, then ascending id; returns the best `k` (fewer if not
+/// enough reachable candidates). Unreachable candidates are dropped.
+std::vector<RankedPoi> TopKPoi(const SpcIndex& index, VertexId query,
+                               const std::vector<VertexId>& candidates,
+                               size_t k);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_ANALYTICS_POI_RANKING_H_

@@ -1,0 +1,47 @@
+#include "src/baseline/bfs_spc.h"
+
+#include "src/common/logging.h"
+#include "src/common/saturating.h"
+
+namespace pspc {
+
+SingleSourceSpc BfsSpcFromSource(const Graph& graph, VertexId source) {
+  PSPC_CHECK(source < graph.NumVertices());
+  SingleSourceSpc result;
+  result.distance.assign(graph.NumVertices(), kInfDistance);
+  result.count.assign(graph.NumVertices(), 0);
+  result.distance[source] = 0;
+  result.count[source] = 1;
+
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  Distance d = 0;
+  while (!frontier.empty()) {
+    ++d;
+    next.clear();
+    for (VertexId u : frontier) {
+      for (VertexId v : graph.Neighbors(u)) {
+        if (result.distance[v] == kInfDistance) {
+          result.distance[v] = d;
+          next.push_back(v);
+        }
+        if (result.distance[v] == d) {
+          result.count[v] = SatAdd(result.count[v], result.count[u]);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return result;
+}
+
+SpcResult BfsSpcPair(const Graph& graph, VertexId s, VertexId t) {
+  PSPC_CHECK(s < graph.NumVertices() && t < graph.NumVertices());
+  const SingleSourceSpc sspc = BfsSpcFromSource(graph, s);
+  return SpcResult{sspc.distance[t] == kInfDistance
+                       ? kInfSpcDistance
+                       : static_cast<uint32_t>(sspc.distance[t]),
+                   sspc.count[t]};
+}
+
+}  // namespace pspc

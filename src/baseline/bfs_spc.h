@@ -1,0 +1,33 @@
+#ifndef PSPC_SRC_BASELINE_BFS_SPC_H_
+#define PSPC_SRC_BASELINE_BFS_SPC_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+/// Index-free shortest-path counting oracles.
+///
+/// These are the correctness ground truth for every labeling algorithm
+/// in the library: a single-source BFS that accumulates path counts
+/// level by level (the forward phase of Brandes' algorithm), plus a
+/// single-pair convenience wrapper. O(n + m) per source — fine for
+/// tests and for the online baseline column in benchmarks, hopeless as
+/// a query engine, which is the paper's motivation for indexing.
+namespace pspc {
+
+/// Distances and shortest-path counts from `source` to every vertex.
+struct SingleSourceSpc {
+  std::vector<Distance> distance;  // kInfDistance if unreachable
+  std::vector<Count> count;        // 0 if unreachable; saturating
+};
+
+/// BFS counting: count[v] = sum of count[u] over BFS parents u of v.
+SingleSourceSpc BfsSpcFromSource(const Graph& graph, VertexId source);
+
+/// Single-pair SPC by one BFS from `s`.
+SpcResult BfsSpcPair(const Graph& graph, VertexId s, VertexId t);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_BASELINE_BFS_SPC_H_

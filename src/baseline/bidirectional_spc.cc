@@ -1,0 +1,92 @@
+#include "src/baseline/bidirectional_spc.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/saturating.h"
+
+namespace pspc {
+namespace {
+
+/// One BFS side: levels expanded so far and per-vertex state.
+struct Side {
+  std::vector<Distance> dist;
+  std::vector<Count> count;
+  std::vector<VertexId> frontier;
+  Distance levels = 0;
+
+  explicit Side(VertexId n, VertexId source)
+      : dist(n, kInfDistance), count(n, 0), frontier{source} {
+    dist[source] = 0;
+    count[source] = 1;
+  }
+
+  /// Expands one level; returns false if the frontier was exhausted.
+  bool Expand(const Graph& graph) {
+    if (frontier.empty()) return false;
+    ++levels;
+    std::vector<VertexId> next;
+    for (VertexId u : frontier) {
+      for (VertexId v : graph.Neighbors(u)) {
+        if (dist[v] == kInfDistance) {
+          dist[v] = levels;
+          next.push_back(v);
+        }
+        if (dist[v] == levels) count[v] = SatAdd(count[v], count[u]);
+      }
+    }
+    frontier.swap(next);
+    return true;
+  }
+};
+
+}  // namespace
+
+SpcResult BidirectionalSpc(const Graph& graph, VertexId s, VertexId t) {
+  PSPC_CHECK(s < graph.NumVertices() && t < graph.NumVertices());
+  if (s == t) return {0, 1};
+
+  Side fwd(graph.NumVertices(), s);
+  Side bwd(graph.NumVertices(), t);
+
+  uint32_t best = kInfSpcDistance;
+  // Expand until the levels certify that no shorter meeting can appear:
+  // any undiscovered shortest path would need length > levels(fwd) +
+  // levels(bwd).
+  while (static_cast<uint32_t>(fwd.levels) + bwd.levels < best) {
+    // Expand the cheaper (smaller-frontier) side; fall back to the
+    // other if it is exhausted; stop when both are.
+    Side* side = fwd.frontier.size() <= bwd.frontier.size() ? &fwd : &bwd;
+    if (side->frontier.empty()) side = (side == &fwd) ? &bwd : &fwd;
+    if (side->frontier.empty()) break;
+    side->Expand(graph);
+    // A new meeting involves a vertex whose *second* distance was just
+    // assigned, so scanning the freshly expanded level finds them all.
+    for (VertexId v : side->frontier) {
+      const Distance df = fwd.dist[v];
+      const Distance db = bwd.dist[v];
+      if (df != kInfDistance && db != kInfDistance) {
+        best = std::min<uint32_t>(best, static_cast<uint32_t>(df) + db);
+      }
+    }
+  }
+  if (best == kInfSpcDistance) return {kInfSpcDistance, 0};
+
+  // Count over one fixed split level l: every shortest path has exactly
+  // one vertex u with dist(s,u) == l, and dist(u,t) == best - l <=
+  // levels(bwd) is fully expanded, so counts on both sides are final.
+  const auto l = static_cast<Distance>(
+      std::min<uint32_t>(fwd.levels, best));
+  PSPC_CHECK(best - l <= bwd.levels);
+  Count total = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (fwd.dist[v] == l && bwd.dist[v] != kInfDistance &&
+        static_cast<uint32_t>(fwd.dist[v]) + bwd.dist[v] == best) {
+      total = SatAdd(total, SatMul(fwd.count[v], bwd.count[v]));
+    }
+  }
+  return {best, total};
+}
+
+}  // namespace pspc

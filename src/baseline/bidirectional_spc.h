@@ -1,0 +1,22 @@
+#ifndef PSPC_SRC_BASELINE_BIDIRECTIONAL_SPC_H_
+#define PSPC_SRC_BASELINE_BIDIRECTIONAL_SPC_H_
+
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+/// Index-free online SPC baseline: meet-in-the-middle BFS with count
+/// accumulation. Expands the smaller frontier until the two search
+/// trees certify the meeting distance, then combines counts over one
+/// full meeting level — every shortest path crosses exactly one vertex
+/// per level, so a fixed split level counts each path exactly once.
+///
+/// O(sqrt-ish of the single-BFS work) on small-world graphs; the
+/// strongest non-indexed competitor a query engine must beat, and a
+/// second independent oracle for tests.
+namespace pspc {
+
+SpcResult BidirectionalSpc(const Graph& graph, VertexId s, VertexId t);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_BASELINE_BIDIRECTIONAL_SPC_H_

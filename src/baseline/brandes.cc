@@ -1,0 +1,64 @@
+#include "src/baseline/brandes.h"
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace pspc {
+
+std::vector<double> BrandesBetweenness(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<double> centrality(n, 0.0);
+
+  std::vector<VertexId> stack_order;
+  std::vector<std::vector<VertexId>> parents(n);
+  std::vector<double> sigma(n);
+  std::vector<Distance> dist(n);
+  std::vector<double> delta(n);
+
+  for (VertexId s = 0; s < n; ++s) {
+    stack_order.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      parents[v].clear();
+      sigma[v] = 0.0;
+      dist[v] = kInfDistance;
+      delta[v] = 0.0;
+    }
+    sigma[s] = 1.0;
+    dist[s] = 0;
+    std::vector<VertexId> frontier{s};
+    Distance d = 0;
+    std::vector<VertexId> next;
+    while (!frontier.empty()) {
+      for (VertexId u : frontier) stack_order.push_back(u);
+      ++d;
+      next.clear();
+      for (VertexId u : frontier) {
+        for (VertexId v : graph.Neighbors(u)) {
+          if (dist[v] == kInfDistance) {
+            dist[v] = d;
+            next.push_back(v);
+          }
+          if (dist[v] == d) {
+            sigma[v] += sigma[u];
+            parents[v].push_back(u);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+    // Dependency accumulation in reverse BFS order.
+    for (auto it = stack_order.rbegin(); it != stack_order.rend(); ++it) {
+      const VertexId w = *it;
+      for (VertexId p : parents[w]) {
+        delta[p] += sigma[p] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) centrality[w] += delta[w];
+    }
+  }
+  // Each unordered pair was counted from both endpoints.
+  for (double& c : centrality) c /= 2.0;
+  return centrality;
+}
+
+}  // namespace pspc

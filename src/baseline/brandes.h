@@ -1,0 +1,21 @@
+#ifndef PSPC_SRC_BASELINE_BRANDES_H_
+#define PSPC_SRC_BASELINE_BRANDES_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+/// Brandes' exact betweenness centrality [Brandes 2001], the classic
+/// consumer of shortest-path counts (paper §I application 1). Serves as
+/// the ground truth for the index-based betweenness estimators in
+/// src/analytics/.
+namespace pspc {
+
+/// Exact betweenness centrality of every vertex. Undirected convention:
+/// each unordered pair {s, t} contributes once (pair dependencies are
+/// accumulated over ordered sources and halved). O(n * m).
+std::vector<double> BrandesBetweenness(const Graph& graph);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_BASELINE_BRANDES_H_

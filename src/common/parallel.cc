@@ -1,0 +1,7 @@
+#include "src/common/parallel.h"
+
+namespace pspc {
+
+int MaxThreads() { return omp_get_max_threads(); }
+
+}  // namespace pspc

@@ -1,0 +1,42 @@
+#ifndef PSPC_SRC_COMMON_PARALLEL_H_
+#define PSPC_SRC_COMMON_PARALLEL_H_
+
+#include <cstddef>
+
+#include <omp.h>
+
+/// Thin OpenMP wrappers. Centralizing thread-count control here lets
+/// benchmarks sweep the thread count (paper Figs. 8/9) without touching
+/// global OpenMP state in multiple places.
+namespace pspc {
+
+/// Hardware concurrency as seen by OpenMP.
+int MaxThreads();
+
+/// Runs `body(i)` for `i` in `[0, n)` with static chunking over
+/// `num_threads` threads (`<=0` means use all available).
+template <typename Body>
+void ParallelForStatic(size_t n, int num_threads, const Body& body) {
+  if (num_threads <= 0) num_threads = MaxThreads();
+#pragma omp parallel for schedule(static) num_threads(num_threads)
+  for (size_t i = 0; i < n; ++i) {
+    body(i);
+  }
+}
+
+/// Runs `body(i)` for `i` in `[0, n)` with dynamic chunking (work is
+/// handed out in chunks of `chunk` as threads become free).
+template <typename Body>
+void ParallelForDynamic(size_t n, int num_threads, size_t chunk,
+                        const Body& body) {
+  if (num_threads <= 0) num_threads = MaxThreads();
+  if (chunk == 0) chunk = 1;
+#pragma omp parallel for schedule(dynamic, chunk) num_threads(num_threads)
+  for (size_t i = 0; i < n; ++i) {
+    body(i);
+  }
+}
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_COMMON_PARALLEL_H_

@@ -1,0 +1,32 @@
+#ifndef PSPC_SRC_COMMON_SATURATING_H_
+#define PSPC_SRC_COMMON_SATURATING_H_
+
+#include "src/common/types.h"
+
+/// Saturating arithmetic for shortest-path counts.
+///
+/// On graphs with many parallel shortest routes the path count between a
+/// single vertex pair can exceed 2^64 (it grows multiplicatively along
+/// the levels of a BFS DAG). Rather than silently wrapping, all count
+/// arithmetic in the library clamps at `kSaturatedCount`; a saturated
+/// count compares equal to any other saturated count, which keeps index
+/// equality checks meaningful in tests.
+namespace pspc {
+
+/// Returns `a + b`, clamped at `kSaturatedCount`.
+inline Count SatAdd(Count a, Count b) {
+  Count r = a + b;
+  if (r < a) return kSaturatedCount;  // unsigned overflow wrapped
+  return r;
+}
+
+/// Returns `a * b`, clamped at `kSaturatedCount`.
+inline Count SatMul(Count a, Count b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSaturatedCount / b) return kSaturatedCount;
+  return a * b;
+}
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_COMMON_SATURATING_H_

@@ -1,0 +1,4 @@
+#include "src/common/timer.h"
+
+// WallTimer and ScopedTimer are header-only; this translation unit
+// exists so the build file mirrors the module layout.

@@ -1,0 +1,48 @@
+#ifndef PSPC_SRC_COMMON_TIMER_H_
+#define PSPC_SRC_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+/// Wall-clock timing used by benchmarks and the builder's phase
+/// breakdown (paper Fig. 13 separates ordering, landmark labeling, and
+/// label construction time).
+namespace pspc {
+
+/// Monotonic wall-clock stopwatch; starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's elapsed seconds to `*sink` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += timer_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_COMMON_TIMER_H_

@@ -1,0 +1,59 @@
+#ifndef PSPC_SRC_COMMON_TYPES_H_
+#define PSPC_SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+/// Fundamental scalar types shared by every PSPC module.
+///
+/// The library targets unweighted, undirected graphs with up to a few
+/// hundred million edges on a single machine, so 32-bit vertex ids and
+/// 16-bit hop distances are sufficient and keep the label index compact
+/// (index size is one of the paper's reported metrics, Fig. 6).
+namespace pspc {
+
+/// Identifier of a vertex; dense in `[0, n)`.
+using VertexId = uint32_t;
+
+/// Rank of a vertex under a total order; rank 0 is the *highest* rank
+/// (the paper writes `w <= v` for "w ranks higher than v").
+using Rank = uint32_t;
+
+/// Hop distance. Unweighted graphs at library scale have diameters far
+/// below 2^16 - 1; `kInfDistance` marks "unreachable".
+using Distance = uint16_t;
+
+/// Number of shortest paths. Counts grow exponentially with distance on
+/// dense graphs, so arithmetic on counts saturates at `kSaturatedCount`
+/// instead of wrapping (see saturating.h).
+using Count = uint64_t;
+
+/// Number of edges; 64-bit because CSR offsets index `2m` endpoints.
+using EdgeId = uint64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr Rank kInvalidRank = std::numeric_limits<Rank>::max();
+inline constexpr Distance kInfDistance =
+    std::numeric_limits<Distance>::max();
+inline constexpr Count kSaturatedCount = std::numeric_limits<Count>::max();
+
+/// "Unreachable" marker for query results. Query distances are sums of
+/// two label distances, which can exceed the 16-bit per-label marker,
+/// so results carry a 32-bit sentinel of their own.
+inline constexpr uint32_t kInfSpcDistance =
+    std::numeric_limits<uint32_t>::max();
+
+/// Result of an SPC query: the shortest distance between the two query
+/// vertices and the number of distinct shortest paths between them.
+/// `distance == kInfSpcDistance` (and `count == 0`) means disconnected.
+struct SpcResult {
+  uint32_t distance = kInfSpcDistance;
+  Count count = 0;
+
+  friend bool operator==(const SpcResult&, const SpcResult&) = default;
+};
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_COMMON_TYPES_H_

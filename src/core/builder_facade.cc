@@ -1,0 +1,62 @@
+#include "src/core/builder_facade.h"
+
+#include "src/common/timer.h"
+#include "src/core/hp_spc_builder.h"
+#include "src/core/pspc_builder.h"
+#include "src/order/degree_order.h"
+#include "src/order/hybrid_order.h"
+#include "src/order/significant_path_order.h"
+#include "src/order/tree_decomposition.h"
+
+namespace pspc {
+
+VertexOrder ComputeOrder(const Graph& graph, OrderingScheme scheme,
+                         VertexId hybrid_delta) {
+  switch (scheme) {
+    case OrderingScheme::kDegree:
+      return DegreeOrder(graph);
+    case OrderingScheme::kSignificantPath:
+      return SignificantPathOrder(graph);
+    case OrderingScheme::kRoadNetwork:
+      return RoadNetworkOrder(graph);
+    case OrderingScheme::kHybrid:
+      return HybridOrder(graph, hybrid_delta);
+    case OrderingScheme::kIdentity:
+      return IdentityOrder(graph.NumVertices());
+  }
+  return IdentityOrder(graph.NumVertices());
+}
+
+BuildResult BuildIndexWithOrder(const Graph& graph, const VertexOrder& order,
+                                const BuildOptions& options) {
+  BuildResult result;
+  if (options.algorithm == Algorithm::kHpSpc) {
+    HpSpcBuildResult hp = BuildHpSpcIndex(graph, order);
+    result.index = std::move(hp.index);
+    result.stats = std::move(hp.stats);
+  } else {
+    PspcOptions popts;
+    popts.paradigm = options.paradigm;
+    popts.schedule = options.schedule;
+    popts.num_threads = options.num_threads;
+    popts.num_landmarks = options.num_landmarks;
+    popts.use_landmark_filter = options.use_landmark_filter;
+    PspcBuildResult ps = BuildPspcIndex(graph, order, popts);
+    result.index = std::move(ps.index);
+    result.stats = std::move(ps.stats);
+  }
+  return result;
+}
+
+BuildResult BuildIndex(const Graph& graph, const BuildOptions& options) {
+  WallTimer order_timer;
+  const VertexOrder order =
+      ComputeOrder(graph, options.ordering, options.hybrid_delta);
+  const double ordering_seconds = order_timer.ElapsedSeconds();
+
+  BuildResult result = BuildIndexWithOrder(graph, order, options);
+  result.stats.ordering_seconds = ordering_seconds;
+  return result;
+}
+
+}  // namespace pspc

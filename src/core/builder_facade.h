@@ -1,0 +1,34 @@
+#ifndef PSPC_SRC_CORE_BUILDER_FACADE_H_
+#define PSPC_SRC_CORE_BUILDER_FACADE_H_
+
+#include "src/core/build_options.h"
+#include "src/core/build_stats.h"
+#include "src/graph/graph.h"
+#include "src/label/spc_index.h"
+#include "src/order/vertex_order.h"
+
+/// One-call index construction: computes the vertex order named by the
+/// options (timing it as the paper's "Order" phase, Fig. 13), then runs
+/// HP-SPC or PSPC. This is the entry point examples and benchmarks use;
+/// tests also call the underlying builders directly.
+namespace pspc {
+
+struct BuildResult {
+  SpcIndex index;
+  BuildStats stats;
+};
+
+/// Computes the vertex order for `scheme` (delta used by kHybrid only).
+VertexOrder ComputeOrder(const Graph& graph, OrderingScheme scheme,
+                         VertexId hybrid_delta);
+
+/// Builds an SPC index for `graph` per `options`.
+BuildResult BuildIndex(const Graph& graph, const BuildOptions& options);
+
+/// Builds with a caller-supplied order (ordering_seconds reported as 0).
+BuildResult BuildIndexWithOrder(const Graph& graph, const VertexOrder& order,
+                                const BuildOptions& options);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_CORE_BUILDER_FACADE_H_

@@ -1,0 +1,122 @@
+#include "src/core/hp_spc_builder.h"
+
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/saturating.h"
+#include "src/common/timer.h"
+#include "src/label/label_entry.h"
+
+namespace pspc {
+
+HpSpcBuildResult BuildHpSpcIndex(const Graph& graph, const VertexOrder& order,
+                                 std::span<const Count> vertex_weights) {
+  const VertexId n = graph.NumVertices();
+  PSPC_CHECK(order.Size() == n);
+  PSPC_CHECK(vertex_weights.empty() || vertex_weights.size() == n);
+  // Multiplicity of a vertex when it appears as an *internal* vertex of
+  // a counted path; 1 in the unweighted case.
+  auto mu = [&vertex_weights](VertexId v) -> Count {
+    return vertex_weights.empty() ? Count{1} : vertex_weights[v];
+  };
+  HpSpcBuildResult result;
+  WallTimer timer;
+
+  // labels[v] accumulates entries in ascending hub-rank order (hubs are
+  // processed by rank), so each list stays sorted by construction.
+  std::vector<std::vector<LabelEntry>> labels(n);
+
+  // Scratch reused across hubs; reset via the visited list.
+  std::vector<Distance> tmp_dist(n, kInfDistance);  // hub's label, by rank
+  std::vector<Distance> bfs_dist(n, kInfDistance);
+  std::vector<Count> bfs_count(n, 0);
+  std::vector<VertexId> frontier, next_frontier, touched;
+
+  const std::vector<Rank>& rank_of = order.VertexToRank();
+
+  for (Rank r = 0; r < n; ++r) {
+    const VertexId h = order.VertexAt(r);
+    // Self label: one trough path of length 0.
+    labels[h].push_back({r, 0, 1});
+    ++result.stats.labels_inserted;
+
+    // Preload the hub's existing labels for 2-hop pruning queries.
+    for (const LabelEntry& e : labels[h]) tmp_dist[e.hub_rank] = e.dist;
+
+    bfs_dist[h] = 0;
+    bfs_count[h] = 1;
+    frontier.assign(1, h);
+    touched.assign(1, h);
+    Distance d = 0;
+
+    while (!frontier.empty()) {
+      ++d;
+      next_frontier.clear();
+      // Phase 1: expand, accumulating trough-walk counts at level d.
+      // When u becomes an internal vertex of the extended path its
+      // multiplicity applies; the hub endpoint h itself (d == 1) does
+      // not (endpoints are never multiplied).
+      for (VertexId u : frontier) {
+        const Count factor = (u == h) ? Count{1} : mu(u);
+        for (VertexId v : graph.Neighbors(u)) {
+          if (rank_of[v] <= r) continue;  // only strictly lower-ranked
+          if (bfs_dist[v] == kInfDistance) {
+            bfs_dist[v] = d;
+            bfs_count[v] = 0;
+            next_frontier.push_back(v);
+            touched.push_back(v);
+          }
+          if (bfs_dist[v] == d) {
+            bfs_count[v] = SatAdd(bfs_count[v], SatMul(bfs_count[u], factor));
+          }
+        }
+      }
+      // Phase 2: prune/label each level-d vertex. Pruning uses only
+      // labels of hubs ranked above r, all finalized — Lemma 1's order
+      // dependency in action.
+      size_t keep = 0;
+      for (VertexId v : next_frontier) {
+        uint32_t q = kInfDistance;
+        for (const LabelEntry& e : labels[v]) {
+          const Distance hd = tmp_dist[e.hub_rank];
+          if (hd == kInfDistance) continue;
+          q = std::min<uint32_t>(q, static_cast<uint32_t>(hd) + e.dist);
+          if (q < d) break;
+        }
+        ++result.stats.candidates_after_merge;
+        if (q < d) {
+          // Covered strictly shorter: not on any shortest path from h.
+          // v stays marked visited (bfs_dist == d) so later levels do
+          // not rediscover it, but it is dropped from the frontier.
+          ++result.stats.pruned_by_query;
+          continue;
+        }
+        if (q == d) {
+          ++result.stats.non_canonical_labels;  // higher apex exists
+        } else {
+          ++result.stats.canonical_labels;  // h is the unique apex
+        }
+        labels[v].push_back({r, d, bfs_count[v]});
+        ++result.stats.labels_inserted;
+        next_frontier[keep++] = v;
+      }
+      next_frontier.resize(keep);
+      frontier.swap(next_frontier);
+    }
+
+    // Reset scratch.
+    for (const LabelEntry& e : labels[h]) tmp_dist[e.hub_rank] = kInfDistance;
+    for (VertexId v : touched) {
+      bfs_dist[v] = kInfDistance;
+      bfs_count[v] = 0;
+    }
+    ++result.stats.num_iterations;
+  }
+
+  result.stats.construction_seconds = timer.ElapsedSeconds();
+  result.stats.total_entries = result.stats.labels_inserted;
+  result.index = SpcIndex(order, std::move(labels));
+  return result;
+}
+
+}  // namespace pspc

@@ -1,0 +1,25 @@
+#include "src/core/landmark_filter.h"
+
+#include <algorithm>
+
+#include "src/common/parallel.h"
+#include "src/graph/algorithms.h"
+
+namespace pspc {
+
+LandmarkFilter::LandmarkFilter(const Graph& graph, const VertexOrder& order,
+                               uint32_t num_landmarks, int num_threads) {
+  const VertexId n = graph.NumVertices();
+  k_ = std::min<uint32_t>(num_landmarks, n);
+  dist_.assign(static_cast<size_t>(n) * k_, kInfDistance);
+  // One BFS per landmark; landmarks are the k top-ranked vertices.
+  ParallelForDynamic(k_, num_threads, /*chunk=*/1, [&](size_t l) {
+    const VertexId landmark = order.VertexAt(static_cast<Rank>(l));
+    const std::vector<Distance> d = BfsDistances(graph, landmark);
+    for (VertexId v = 0; v < n; ++v) {
+      dist_[static_cast<size_t>(v) * k_ + l] = d[v];
+    }
+  });
+}
+
+}  // namespace pspc

@@ -1,0 +1,377 @@
+#include "src/core/pspc_builder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include <omp.h>
+
+#include "src/common/logging.h"
+#include "src/common/parallel.h"
+#include "src/common/saturating.h"
+#include "src/common/timer.h"
+#include "src/core/landmark_filter.h"
+#include "src/core/scheduler.h"
+#include "src/label/label_set.h"
+
+namespace pspc {
+namespace {
+
+/// Per-thread scratch. The candidate map is an epoch-stamped array over
+/// hub ranks (O(1) clear between vertices); tmp_dist materializes the
+/// current vertex's labels for the 2-hop pruning query.
+struct ThreadScratch {
+  std::vector<Count> cand_count;
+  std::vector<uint32_t> cand_epoch;
+  std::vector<Rank> cand_hubs;
+  std::vector<Distance> tmp_dist;
+  uint32_t epoch = 0;
+  std::vector<LabelEntry> pending;
+
+  size_t candidates = 0;
+  size_t pruned_landmark = 0;
+  size_t pruned_query = 0;
+
+  void Init(VertexId n) {
+    cand_count.assign(n, 0);
+    cand_epoch.assign(n, 0);
+    tmp_dist.assign(n, kInfDistance);
+  }
+};
+
+/// Shared state of one construction run.
+struct BuildContext {
+  const Graph& graph;
+  const VertexOrder& order;
+  const PspcOptions& options;
+  LevelLabelStore store;
+  const LandmarkFilter* landmarks = nullptr;  // null: filtering disabled
+  std::vector<ThreadScratch> scratch;
+  std::vector<std::vector<LabelEntry>> staging;
+
+  BuildContext(const Graph& g, const VertexOrder& o, const PspcOptions& opt,
+               int threads)
+      : graph(g), order(o), options(opt), store(g.NumVertices()),
+        scratch(threads), staging(g.NumVertices()) {
+    for (auto& s : scratch) s.Init(g.NumVertices());
+  }
+};
+
+/// Applies Lemma 4 (+ landmark fast path) to the merged candidates in
+/// `s.cand_hubs` and stages the survivors as `L_d(u)`. Candidate hub
+/// ranks are sorted first, so staged levels are deterministic.
+void PruneAndStage(BuildContext& ctx, ThreadScratch& s, VertexId u,
+                   Distance d) {
+  std::sort(s.cand_hubs.begin(), s.cand_hubs.end());
+  const auto my_labels = ctx.store.Entries(u);
+  for (const LabelEntry& e : my_labels) s.tmp_dist[e.hub_rank] = e.dist;
+
+  s.pending.clear();
+  for (Rank hub_rank : s.cand_hubs) {
+    ++s.candidates;
+    const VertexId w = ctx.order.VertexAt(hub_rank);
+    if (ctx.landmarks != nullptr) {
+      // Landmarks are the top-ranked vertices under the same order, so
+      // a landmark probe is decisive for landmark hubs (the common
+      // case); other candidates fall through to the label query.
+      const LandmarkFilter::Verdict verdict =
+          ctx.landmarks->Probe(u, hub_rank, d);
+      if (verdict == LandmarkFilter::Verdict::kPrune) {
+        ++s.pruned_landmark;
+        continue;
+      }
+      if (verdict == LandmarkFilter::Verdict::kKeep) {
+        s.pending.push_back({hub_rank, d, s.cand_count[hub_rank]});
+        continue;
+      }
+    }
+    // 2-hop query against committed labels (distance < d on both
+    // sides). Entries of w are committed level by level, hence sorted
+    // by distance: once e.dist >= d no witness < d can follow.
+    uint32_t q = kInfDistance;
+    for (const LabelEntry& e : ctx.store.Entries(w)) {
+      if (e.dist >= d) break;
+      const Distance ud = s.tmp_dist[e.hub_rank];
+      if (ud == kInfDistance) continue;
+      q = std::min<uint32_t>(q, static_cast<uint32_t>(ud) + e.dist);
+      if (q < d) break;
+    }
+    if (q < d) {
+      ++s.pruned_query;
+      continue;
+    }
+    s.pending.push_back({hub_rank, d, s.cand_count[hub_rank]});
+  }
+
+  for (const LabelEntry& e : my_labels) s.tmp_dist[e.hub_rank] = kInfDistance;
+  ctx.staging[u] = s.pending;  // copy into the per-vertex staging slot
+}
+
+/// PULL iteration body for one vertex: gather neighbors' level-(d-1)
+/// labels, merge counts per hub (Label Merging), then prune and stage.
+void ProcessVertexPull(BuildContext& ctx, ThreadScratch& s, VertexId u,
+                       Distance d) {
+  const Rank my_rank = ctx.order.RankOf(u);
+  const std::span<const Count> weights = ctx.options.vertex_weights;
+  ++s.epoch;
+  s.cand_hubs.clear();
+  for (VertexId v : ctx.graph.Neighbors(u)) {
+    // Extending a neighbor's path makes v an internal vertex, so its
+    // multiplicity applies — except at d == 1, where the only level-0
+    // entry is v's own hub (v stays an endpoint).
+    const Count factor =
+        (weights.empty() || d == 1) ? Count{1} : weights[v];
+    for (const LabelEntry& e : ctx.store.Level(v, d - 1)) {
+      // Level entries are sorted by hub rank; every hub from here on
+      // ranks below u (Lemma 3), so stop scanning this neighbor.
+      if (e.hub_rank >= my_rank) break;
+      const Count contribution = SatMul(e.count, factor);
+      if (s.cand_epoch[e.hub_rank] != s.epoch) {
+        s.cand_epoch[e.hub_rank] = s.epoch;
+        s.cand_count[e.hub_rank] = contribution;
+        s.cand_hubs.push_back(e.hub_rank);
+      } else {
+        s.cand_count[e.hub_rank] =
+            SatAdd(s.cand_count[e.hub_rank], contribution);
+      }
+    }
+  }
+  if (!s.cand_hubs.empty()) {
+    PruneAndStage(ctx, s, u, d);
+  }
+}
+
+/// Runs `body(u)` over `plan.sequence` honoring the plan's chunking.
+template <typename Body>
+void RunPlanned(const SchedulePlan& plan, int num_threads, const Body& body) {
+  const size_t n = plan.sequence.size();
+  if (plan.dynamic) {
+    ParallelForDynamic(n, num_threads, plan.chunk,
+                       [&](size_t i) { body(plan.sequence[i]); });
+  } else {
+    ParallelForStatic(n, num_threads,
+                      [&](size_t i) { body(plan.sequence[i]); });
+  }
+}
+
+/// One PULL iteration at distance d; returns entries committed.
+size_t PullIteration(BuildContext& ctx, Distance d, int num_threads) {
+  const VertexId n = ctx.graph.NumVertices();
+  // Active vertices: those with a neighbor that committed level d-1
+  // entries. Also collect the Def.-11 cost estimate when needed.
+  const bool need_costs = ctx.options.schedule == ScheduleKind::kCostAware;
+  std::vector<uint8_t> active_flag(n, 0);
+  std::vector<uint64_t> vertex_cost(need_costs ? n : 0, 0);
+  ParallelForStatic(n, num_threads, [&](size_t ui) {
+    const auto u = static_cast<VertexId>(ui);
+    uint64_t cost = 0;
+    for (VertexId v : ctx.graph.Neighbors(u)) {
+      const size_t len = ctx.store.Level(v, d - 1).size();
+      if (len != 0) {
+        active_flag[u] = 1;
+        if (!need_costs) break;
+        cost += len;
+      }
+    }
+    if (need_costs) vertex_cost[u] = cost;
+  });
+  std::vector<VertexId> active;
+  for (VertexId u = 0; u < n; ++u) {
+    if (active_flag[u] != 0) active.push_back(u);
+  }
+  std::vector<uint64_t> costs;
+  if (need_costs) {
+    costs.reserve(active.size());
+    for (VertexId u : active) costs.push_back(vertex_cost[u]);
+  }
+  const SchedulePlan plan = PlanIteration(ctx.options.schedule, active, costs,
+                                          ctx.order.VertexToRank());
+  RunPlanned(plan, num_threads, [&](VertexId u) {
+    ProcessVertexPull(ctx, ctx.scratch[omp_get_thread_num()], u, d);
+  });
+
+  // Commit phase: append each vertex's staged level (possibly empty so
+  // level offsets stay aligned across vertices).
+  std::atomic<size_t> committed{0};
+  ParallelForStatic(n, num_threads, [&](size_t ui) {
+    const auto u = static_cast<VertexId>(ui);
+    ctx.store.CommitLevel(u, ctx.staging[u]);
+    if (!ctx.staging[u].empty()) {
+      committed.fetch_add(ctx.staging[u].size(), std::memory_order_relaxed);
+      ctx.staging[u].clear();
+    }
+  });
+  return committed.load();
+}
+
+/// One PUSH iteration at distance d (paper Def. 9 / Fig. 3c): sources
+/// scatter their level-(d-1) entries to neighbors; a counting-sort
+/// grouping pass then merges per target. Same math as PULL — the merge
+/// is SatAdd, which is associative and commutative, so the final index
+/// is identical — but the scattered tuples must be materialized, which
+/// is the paradigm's inherent extra cost.
+size_t PushIteration(BuildContext& ctx, Distance d, int num_threads) {
+  const VertexId n = ctx.graph.NumVertices();
+  const std::vector<Rank>& rank_of = ctx.order.VertexToRank();
+
+  // Pass 1: count incoming tuples per target.
+  std::unique_ptr<std::atomic<uint64_t>[]> incoming(
+      new std::atomic<uint64_t>[n]);
+  for (VertexId u = 0; u < n; ++u) incoming[u].store(0);
+  ParallelForDynamic(n, num_threads, 64, [&](size_t vi) {
+    const auto v = static_cast<VertexId>(vi);
+    const auto level = ctx.store.Level(v, d - 1);
+    if (level.empty()) return;
+    for (VertexId u : ctx.graph.Neighbors(v)) {
+      const Rank ru = rank_of[u];
+      // Entries sorted by hub rank: count how many outrank u.
+      size_t cnt = 0;
+      for (const LabelEntry& e : level) {
+        if (e.hub_rank >= ru) break;
+        ++cnt;
+      }
+      if (cnt != 0) incoming[u].fetch_add(cnt, std::memory_order_relaxed);
+    }
+  });
+
+  // Offsets per target region.
+  std::vector<uint64_t> offset(static_cast<size_t>(n) + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    offset[u + 1] = offset[u] + incoming[u].load();
+  }
+  const uint64_t total_tuples = offset[n];
+  struct Tuple {
+    Rank hub;
+    Count count;
+  };
+  std::vector<Tuple> tuples(total_tuples);
+  std::unique_ptr<std::atomic<uint64_t>[]> cursor(
+      new std::atomic<uint64_t>[n]);
+  for (VertexId u = 0; u < n; ++u) cursor[u].store(0);
+
+  // Pass 2: scatter. Order within a target region is nondeterministic,
+  // but the per-hub merge below is order-insensitive.
+  const std::span<const Count> weights = ctx.options.vertex_weights;
+  ParallelForDynamic(n, num_threads, 64, [&](size_t vi) {
+    const auto v = static_cast<VertexId>(vi);
+    const auto level = ctx.store.Level(v, d - 1);
+    if (level.empty()) return;
+    // Same internal-vertex multiplicity rule as the PULL paradigm.
+    const Count factor =
+        (weights.empty() || d == 1) ? Count{1} : weights[v];
+    for (VertexId u : ctx.graph.Neighbors(v)) {
+      const Rank ru = rank_of[u];
+      for (const LabelEntry& e : level) {
+        if (e.hub_rank >= ru) break;
+        const uint64_t slot =
+            offset[u] + cursor[u].fetch_add(1, std::memory_order_relaxed);
+        tuples[slot] = {e.hub_rank, SatMul(e.count, factor)};
+      }
+    }
+  });
+
+  // Pass 3: per-target merge + prune + stage.
+  std::vector<VertexId> active;
+  for (VertexId u = 0; u < n; ++u) {
+    if (offset[u + 1] != offset[u]) active.push_back(u);
+  }
+  std::vector<uint64_t> costs;
+  if (ctx.options.schedule == ScheduleKind::kCostAware) {
+    costs.reserve(active.size());
+    for (VertexId u : active) costs.push_back(offset[u + 1] - offset[u]);
+  }
+  const SchedulePlan plan = PlanIteration(ctx.options.schedule, active, costs,
+                                          rank_of);
+  RunPlanned(plan, num_threads, [&](VertexId u) {
+    ThreadScratch& s = ctx.scratch[omp_get_thread_num()];
+    ++s.epoch;
+    s.cand_hubs.clear();
+    for (uint64_t i = offset[u]; i < offset[u + 1]; ++i) {
+      const Tuple& t = tuples[i];
+      if (s.cand_epoch[t.hub] != s.epoch) {
+        s.cand_epoch[t.hub] = s.epoch;
+        s.cand_count[t.hub] = t.count;
+        s.cand_hubs.push_back(t.hub);
+      } else {
+        s.cand_count[t.hub] = SatAdd(s.cand_count[t.hub], t.count);
+      }
+    }
+    if (!s.cand_hubs.empty()) PruneAndStage(ctx, s, u, d);
+  });
+
+  std::atomic<size_t> committed{0};
+  ParallelForStatic(n, num_threads, [&](size_t ui) {
+    const auto u = static_cast<VertexId>(ui);
+    ctx.store.CommitLevel(u, ctx.staging[u]);
+    if (!ctx.staging[u].empty()) {
+      committed.fetch_add(ctx.staging[u].size(), std::memory_order_relaxed);
+      ctx.staging[u].clear();
+    }
+  });
+  return committed.load();
+}
+
+}  // namespace
+
+PspcBuildResult BuildPspcIndex(const Graph& graph, const VertexOrder& order,
+                               const PspcOptions& options) {
+  const VertexId n = graph.NumVertices();
+  PSPC_CHECK(order.Size() == n);
+  PSPC_CHECK(options.vertex_weights.empty() ||
+             options.vertex_weights.size() == n);
+  PspcBuildResult result;
+
+  int num_threads = options.num_threads;
+  if (num_threads <= 0) num_threads = MaxThreads();
+
+  // Phase LL: landmark distance tables (paper §III-H, Fig. 13 "LL").
+  LandmarkFilter landmarks;
+  {
+    WallTimer timer;
+    if (options.use_landmark_filter && options.num_landmarks > 0 && n > 0) {
+      landmarks =
+          LandmarkFilter(graph, order, options.num_landmarks, num_threads);
+    }
+    result.stats.landmark_seconds = timer.ElapsedSeconds();
+  }
+
+  // Phase LC: distance-iteration label construction (Fig. 13 "LC").
+  WallTimer timer;
+  BuildContext ctx(graph, order, options, num_threads);
+  if (options.use_landmark_filter && landmarks.NumLandmarks() > 0) {
+    ctx.landmarks = &landmarks;
+  }
+
+  // Level 0: every vertex is its own hub with one empty trough path.
+  for (VertexId v = 0; v < n; ++v) {
+    const LabelEntry self{order.RankOf(v), 0, 1};
+    ctx.store.CommitLevel(v, {&self, 1});
+  }
+  result.stats.entries_per_level.push_back(n);
+  result.stats.num_iterations = 1;
+
+  for (Distance d = 1; d < kInfDistance; ++d) {
+    const size_t committed =
+        options.paradigm == Paradigm::kPull
+            ? PullIteration(ctx, d, num_threads)
+            : PushIteration(ctx, d, num_threads);
+    if (committed == 0) break;
+    result.stats.entries_per_level.push_back(committed);
+    ++result.stats.num_iterations;
+  }
+
+  for (const ThreadScratch& s : ctx.scratch) {
+    result.stats.candidates_after_merge += s.candidates;
+    result.stats.pruned_by_landmark += s.pruned_landmark;
+    result.stats.pruned_by_query += s.pruned_query;
+  }
+  result.stats.total_entries = ctx.store.TotalEntries();
+  result.stats.labels_inserted = result.stats.total_entries;
+  result.stats.construction_seconds = timer.ElapsedSeconds();
+
+  result.index = SpcIndex(order, ctx.store.TakeEntries());
+  return result;
+}
+
+}  // namespace pspc

@@ -1,0 +1,69 @@
+#ifndef PSPC_SRC_CORE_PSPC_BUILDER_H_
+#define PSPC_SRC_CORE_PSPC_BUILDER_H_
+
+#include <span>
+
+#include "src/core/build_options.h"
+#include "src/core/build_stats.h"
+#include "src/graph/graph.h"
+#include "src/label/spc_index.h"
+#include "src/order/vertex_order.h"
+
+/// PSPC — parallel shortest-path-counting index construction (the
+/// paper's contribution, §III-C..H).
+///
+/// Where HP-SPC's hub-by-hub loop forces labels of rank i to wait for
+/// ranks < i (Lemma 1's order dependency), PSPC reorganizes the same
+/// label set by *distance* (Defs. 6/7): iteration `d` constructs every
+/// label entry of distance exactly `d`, for all vertices, in parallel.
+/// Correctness rests on two observations proved in the paper and
+/// re-derived in DESIGN.md §1:
+///
+///  1. Propagation (Lemma 2): every distance-d trough shortest path
+///     `u ~> w` extends a distance-(d-1) trough shortest path of a
+///     neighbor of `u`, so the candidate hubs for `L_d(u)` are exactly
+///     the hubs in `L_{d-1}(v)` over neighbors `v`, kept only when the
+///     hub outranks `u` (Lemma 3) and counts summed across neighbors
+///     (Label Merging).
+///  2. Pruning (Lemma 4): a candidate `(w, d)` survives iff no 2-hop
+///     witness proves `dist(u,w) < d`. Any such witness decomposes at
+///     an apex with both legs shorter than `d`, so the committed labels
+///     `L_{<=d-1}` suffice — iteration `d` never reads its own output,
+///     which is what makes the loop embarrassingly parallel and the
+///     result independent of the thread count (asserted in tests, and
+///     the paper's Exp 2 observation).
+///
+/// Both propagation paradigms of §III-E are provided: PULL (each vertex
+/// gathers neighbors' last-level labels; duplicates merge in-place) and
+/// PUSH (each vertex scatters; a grouping pass merges). They produce
+/// bit-identical indexes.
+namespace pspc {
+
+struct PspcOptions {
+  Paradigm paradigm = Paradigm::kPull;
+  ScheduleKind schedule = ScheduleKind::kCostAware;
+  int num_threads = 0;  ///< <= 0: all available cores
+  uint32_t num_landmarks = 100;
+  bool use_landmark_filter = true;
+  /// Optional per-vertex multiplicities (empty = all 1): a path's count
+  /// is multiplied by the weights of its internal vertices. Used by the
+  /// neighborhood-equivalence reduction (paper §IV-B) so a single
+  /// representative counts the paths of its merged class. Must outlive
+  /// the build call.
+  std::span<const Count> vertex_weights = {};
+};
+
+struct PspcBuildResult {
+  SpcIndex index;
+  BuildStats stats;
+};
+
+/// Builds the ESPC index for `graph` under `order` in parallel. The
+/// resulting index is identical to `BuildHpSpcIndex(graph, order)` up
+/// to entry ordering (both are the unique ESPC label set of the order).
+PspcBuildResult BuildPspcIndex(const Graph& graph, const VertexOrder& order,
+                               const PspcOptions& options);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_CORE_PSPC_BUILDER_H_

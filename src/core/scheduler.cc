@@ -1,0 +1,51 @@
+#include "src/core/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace pspc {
+
+SchedulePlan PlanIteration(ScheduleKind kind, std::span<const VertexId> active,
+                           std::span<const uint64_t> costs,
+                           const std::vector<Rank>& rank_of) {
+  SchedulePlan plan;
+  plan.sequence.assign(active.begin(), active.end());
+  // Node-order sequence: the paper's schedules walk vertices by rank.
+  std::sort(plan.sequence.begin(), plan.sequence.end(),
+            [&rank_of](VertexId a, VertexId b) {
+              return rank_of[a] < rank_of[b];
+            });
+  switch (kind) {
+    case ScheduleKind::kStatic:
+      plan.dynamic = false;
+      break;
+    case ScheduleKind::kDynamic:
+      plan.dynamic = true;
+      plan.chunk = 16;
+      break;
+    case ScheduleKind::kCostAware: {
+      PSPC_CHECK(costs.size() == active.size());
+      // Sort by estimated cost, largest first (LPT); ties by rank for
+      // determinism. `costs` is aligned with `active`, so order the
+      // indices first and map through.
+      std::vector<size_t> idx(active.size());
+      std::iota(idx.begin(), idx.end(), size_t{0});
+      std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+        if (costs[a] != costs[b]) return costs[a] > costs[b];
+        return rank_of[active[a]] < rank_of[active[b]];
+      });
+      plan.sequence.resize(active.size());
+      for (size_t i = 0; i < idx.size(); ++i) {
+        plan.sequence[i] = active[idx[i]];
+      }
+      plan.dynamic = true;
+      plan.chunk = 8;
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace pspc

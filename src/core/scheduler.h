@@ -1,0 +1,43 @@
+#ifndef PSPC_SRC_CORE_SCHEDULER_H_
+#define PSPC_SRC_CORE_SCHEDULER_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/build_options.h"
+
+/// Iteration schedule planning (paper §III-F).
+///
+/// A PSPC iteration processes a set of active vertices whose per-vertex
+/// work varies wildly (a vertex's cost is roughly the number of label
+/// entries its neighbors produced last level — Def. 11). The schedule
+/// decides both the processing sequence and the chunking discipline:
+///
+///  * kStatic    — node-order sequence, equal contiguous ranges per
+///                 thread (the paper's strawman; imbalanced, Example 3).
+///  * kDynamic   — node-order sequence, dynamic chunk self-scheduling.
+///  * kCostAware — sequence sorted by estimated cost (largest first, an
+///                 LPT-style heuristic) + dynamic chunking.
+namespace pspc {
+
+struct SchedulePlan {
+  /// Vertices in processing sequence.
+  std::vector<VertexId> sequence;
+  /// False: split `sequence` into equal static ranges per thread.
+  bool dynamic = true;
+  /// Chunk size for dynamic self-scheduling.
+  size_t chunk = 16;
+};
+
+/// Plans one iteration over `active` vertices. `costs[i]` estimates the
+/// work of `active[i]` (used by kCostAware only; may be empty
+/// otherwise). `rank_of` supplies the node order for the
+/// static/dynamic sequences. Deterministic: ties break by rank.
+SchedulePlan PlanIteration(ScheduleKind kind, std::span<const VertexId> active,
+                           std::span<const uint64_t> costs,
+                           const std::vector<Rank>& rank_of);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_CORE_SCHEDULER_H_

@@ -1,0 +1,37 @@
+#include "src/digraph/dbfs_spc.h"
+
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/saturating.h"
+
+namespace pspc {
+
+SpcResult DiBfsSpcPair(const DiGraph& graph, VertexId s, VertexId t) {
+  PSPC_CHECK(s < graph.NumVertices() && t < graph.NumVertices());
+  if (s == t) return {0, 1};
+  std::vector<Distance> dist(graph.NumVertices(), kInfDistance);
+  std::vector<Count> count(graph.NumVertices(), 0);
+  dist[s] = 0;
+  count[s] = 1;
+  std::vector<VertexId> frontier{s}, next;
+  Distance d = 0;
+  while (!frontier.empty() && dist[t] == kInfDistance) {
+    ++d;
+    next.clear();
+    for (VertexId u : frontier) {
+      for (VertexId v : graph.OutNeighbors(u)) {
+        if (dist[v] == kInfDistance) {
+          dist[v] = d;
+          next.push_back(v);
+        }
+        if (dist[v] == d) count[v] = SatAdd(count[v], count[u]);
+      }
+    }
+    frontier.swap(next);
+  }
+  if (dist[t] == kInfDistance) return {kInfSpcDistance, 0};
+  return {dist[t], count[t]};
+}
+
+}  // namespace pspc

@@ -1,0 +1,16 @@
+#ifndef PSPC_SRC_DIGRAPH_DBFS_SPC_H_
+#define PSPC_SRC_DIGRAPH_DBFS_SPC_H_
+
+#include "src/common/types.h"
+#include "src/digraph/digraph.h"
+
+/// Index-free directed SPC oracle (forward BFS over out-edges with
+/// level-wise count accumulation) — ground truth for the directed
+/// builder's tests.
+namespace pspc {
+
+SpcResult DiBfsSpcPair(const DiGraph& graph, VertexId s, VertexId t);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_DIGRAPH_DBFS_SPC_H_

@@ -1,0 +1,116 @@
+#include "src/digraph/digraph.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+
+namespace pspc {
+
+DiGraph::DiGraph(std::vector<EdgeId> out_offsets,
+                 std::vector<VertexId> out_nbrs,
+                 std::vector<EdgeId> in_offsets,
+                 std::vector<VertexId> in_nbrs)
+    : out_offsets_(std::move(out_offsets)),
+      out_neighbors_(std::move(out_nbrs)),
+      in_offsets_(std::move(in_offsets)),
+      in_neighbors_(std::move(in_nbrs)) {
+  PSPC_CHECK(!out_offsets_.empty());
+  PSPC_CHECK(out_offsets_.size() == in_offsets_.size());
+  PSPC_CHECK(out_offsets_.back() == out_neighbors_.size());
+  PSPC_CHECK(in_offsets_.back() == in_neighbors_.size());
+  PSPC_CHECK(out_neighbors_.size() == in_neighbors_.size());
+}
+
+bool DiGraph::HasEdge(VertexId u, VertexId v) const {
+  const auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void DiGraphBuilder::AddEdge(VertexId u, VertexId v) {
+  PSPC_CHECK_MSG(u < n_ && v < n_,
+                 "edge (" << u << "," << v << ") outside [0," << n_ << ")");
+  if (u == v) return;
+  edges_.emplace_back(u, v);
+}
+
+DiGraph DiGraphBuilder::Build() const {
+  std::vector<std::pair<VertexId, VertexId>> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::vector<EdgeId> out_offsets(static_cast<size_t>(n_) + 1, 0);
+  std::vector<EdgeId> in_offsets(static_cast<size_t>(n_) + 1, 0);
+  for (const auto& [u, v] : sorted) {
+    ++out_offsets[u + 1];
+    ++in_offsets[v + 1];
+  }
+  for (size_t i = 1; i <= n_; ++i) {
+    out_offsets[i] += out_offsets[i - 1];
+    in_offsets[i] += in_offsets[i - 1];
+  }
+  std::vector<VertexId> out_nbrs(sorted.size());
+  std::vector<VertexId> in_nbrs(sorted.size());
+  std::vector<EdgeId> out_cursor(out_offsets.begin(), out_offsets.end() - 1);
+  std::vector<EdgeId> in_cursor(in_offsets.begin(), in_offsets.end() - 1);
+  for (const auto& [u, v] : sorted) {
+    out_nbrs[out_cursor[u]++] = v;
+    in_nbrs[in_cursor[v]++] = u;
+  }
+  for (VertexId v = 0; v < n_; ++v) {
+    std::sort(in_nbrs.begin() + static_cast<ptrdiff_t>(in_offsets[v]),
+              in_nbrs.begin() + static_cast<ptrdiff_t>(in_offsets[v + 1]));
+  }
+  // Out-lists are already sorted: edges were sorted by (source, target).
+  return DiGraph(std::move(out_offsets), std::move(out_nbrs),
+                 std::move(in_offsets), std::move(in_nbrs));
+}
+
+DiGraph MakeDiGraph(VertexId num_vertices,
+                    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  DiGraphBuilder builder(num_vertices);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+DiGraph FromUndirected(const Graph& graph) {
+  DiGraphBuilder builder(graph.NumVertices());
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (VertexId v : graph.Neighbors(u)) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+DiGraph GenerateRandomDiGraph(VertexId num_vertices, EdgeId num_edges,
+                              uint64_t seed) {
+  PSPC_CHECK(num_vertices >= 2 || num_edges == 0);
+  Rng rng(seed);
+  DiGraphBuilder builder(num_vertices);
+  const EdgeId max_possible =
+      static_cast<EdgeId>(num_vertices) * (num_vertices - 1);
+  const EdgeId target = std::min(num_edges, max_possible);
+  std::vector<std::vector<VertexId>> out(num_vertices);
+  EdgeId added = 0;
+  while (added < target) {
+    const auto u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    const auto v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (u == v) continue;
+    auto& lst = out[u];
+    if (std::find(lst.begin(), lst.end(), v) != lst.end()) continue;
+    lst.push_back(v);
+    builder.AddEdge(u, v);
+    ++added;
+  }
+  return builder.Build();
+}
+
+DiGraph GenerateDiCycle(VertexId num_vertices) {
+  PSPC_CHECK(num_vertices >= 2);
+  DiGraphBuilder builder(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    builder.AddEdge(v, (v + 1) % num_vertices);
+  }
+  return builder.Build();
+}
+
+}  // namespace pspc

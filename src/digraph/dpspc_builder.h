@@ -1,0 +1,45 @@
+#ifndef PSPC_SRC_DIGRAPH_DPSPC_BUILDER_H_
+#define PSPC_SRC_DIGRAPH_DPSPC_BUILDER_H_
+
+#include "src/core/build_stats.h"
+#include "src/digraph/digraph.h"
+#include "src/digraph/dspc_index.h"
+#include "src/order/vertex_order.h"
+
+/// Directed PSPC: distance-iteration ESPC construction for the
+/// directed setting of paper §II-A. The undirected arguments carry
+/// over with in/out labels in tandem:
+///
+///  * Propagation — a distance-d trough path `h ->..-> u` (stored in
+///    Lin(u)) extends a distance-(d-1) trough path ending at an
+///    in-neighbor of `u`; symmetrically Lout pulls from out-neighbors.
+///  * Pruning — the in-candidate `(h, d)` on `u` dies iff
+///    `dist(h, u) < d`, witnessed by an apex `z` with
+///    `(z, d1) in Lout(h)` and `(z, d2) in Lin(u)`, both legs shorter
+///    than d and hence committed; symmetrically for out-candidates.
+///
+/// The result is independent of thread count, exactly as in the
+/// undirected builder. (Landmark filtering and schedule variants are
+/// undirected-path optimizations and are not replicated here.)
+namespace pspc {
+
+struct DiPspcOptions {
+  int num_threads = 0;  ///< <= 0: all available cores
+};
+
+struct DiPspcBuildResult {
+  DiSpcIndex index;
+  BuildStats stats;
+};
+
+DiPspcBuildResult BuildDirectedPspcIndex(const DiGraph& graph,
+                                         const VertexOrder& order,
+                                         const DiPspcOptions& options);
+
+/// Degree order for directed graphs: rank by total degree (in + out),
+/// descending; ties by id.
+VertexOrder DirectedDegreeOrder(const DiGraph& graph);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_DIGRAPH_DPSPC_BUILDER_H_

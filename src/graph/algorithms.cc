@@ -1,0 +1,156 @@
+#include "src/graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+
+namespace pspc {
+
+std::vector<Distance> BfsDistances(const Graph& graph, VertexId source) {
+  PSPC_CHECK(source < graph.NumVertices());
+  std::vector<Distance> dist(graph.NumVertices(), kInfDistance);
+  std::vector<VertexId> frontier{source};
+  dist[source] = 0;
+  Distance d = 0;
+  std::vector<VertexId> next;
+  while (!frontier.empty()) {
+    ++d;
+    next.clear();
+    for (VertexId u : frontier) {
+      for (VertexId v : graph.Neighbors(u)) {
+        if (dist[v] == kInfDistance) {
+          dist[v] = d;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::vector<VertexId> ConnectedComponents(const Graph& graph,
+                                          VertexId* num_components) {
+  const VertexId n = graph.NumVertices();
+  std::vector<VertexId> component(n, kInvalidVertex);
+  VertexId next_id = 0;
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (component[s] != kInvalidVertex) continue;
+    component[s] = next_id;
+    stack.assign(1, s);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (VertexId v : graph.Neighbors(u)) {
+        if (component[v] == kInvalidVertex) {
+          component[v] = next_id;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  if (num_components != nullptr) *num_components = next_id;
+  return component;
+}
+
+std::vector<VertexId> CoreNumbers(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<VertexId> degree(n);
+  VertexId max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket sort by degree (Batagelj–Zaveršnik peeling).
+  std::vector<VertexId> bucket_start(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (size_t i = 1; i < bucket_start.size(); ++i) {
+    bucket_start[i] += bucket_start[i - 1];
+  }
+  std::vector<VertexId> order(n), position(n);
+  {
+    std::vector<VertexId> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]];
+      order[position[v]] = v;
+      ++cursor[degree[v]];
+    }
+  }
+  std::vector<VertexId> core(n);
+  std::vector<VertexId> deg = degree;
+  for (VertexId i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    core[v] = deg[v];
+    for (VertexId u : graph.Neighbors(v)) {
+      if (deg[u] > deg[v]) {
+        // Move u to the front of its bucket, then shrink its degree.
+        const VertexId du = deg[u];
+        const VertexId pu = position[u];
+        const VertexId pw = bucket_start[du];
+        const VertexId w = order[pw];
+        if (u != w) {
+          std::swap(order[pu], order[pw]);
+          position[u] = pw;
+          position[w] = pu;
+        }
+        ++bucket_start[du];
+        --deg[u];
+      }
+    }
+  }
+  return core;
+}
+
+std::vector<VertexId> KCoreVertices(const Graph& graph, VertexId k) {
+  std::vector<VertexId> core = CoreNumbers(graph);
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (core[v] >= k) result.push_back(v);
+  }
+  return result;
+}
+
+Distance Eccentricity(const Graph& graph, VertexId source) {
+  const auto dist = BfsDistances(graph, source);
+  Distance ecc = 0;
+  for (Distance d : dist) {
+    if (d != kInfDistance) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+Distance EstimateDiameter(const Graph& graph, int rounds, uint64_t seed) {
+  const VertexId n = graph.NumVertices();
+  if (n == 0) return 0;
+  Rng rng(seed);
+  Distance best = 0;
+  VertexId start = static_cast<VertexId>(rng.NextBounded(n));
+  for (int r = 0; r < rounds; ++r) {
+    const auto dist = BfsDistances(graph, start);
+    VertexId farthest = start;
+    Distance ecc = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (dist[v] != kInfDistance && dist[v] > ecc) {
+        ecc = dist[v];
+        farthest = v;
+      }
+    }
+    best = std::max(best, ecc);
+    start = farthest;
+  }
+  return best;
+}
+
+Distance ExactDiameter(const Graph& graph) {
+  Distance best = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    best = std::max(best, Eccentricity(graph, v));
+  }
+  return best;
+}
+
+}  // namespace pspc

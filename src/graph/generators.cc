@@ -1,0 +1,261 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/graph/graph_builder.h"
+
+namespace pspc {
+
+Graph GenerateErdosRenyi(VertexId num_vertices, EdgeId num_edges,
+                         uint64_t seed) {
+  PSPC_CHECK(num_vertices >= 2 || num_edges == 0);
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  // Sample with replacement and over-draw; Build() deduplicates. For the
+  // sparse regimes used here the loss to duplicates is tiny, so iterate
+  // until the deduplicated target is met.
+  EdgeId added = 0;
+  const EdgeId max_possible =
+      static_cast<EdgeId>(num_vertices) * (num_vertices - 1) / 2;
+  const EdgeId target = std::min(num_edges, max_possible);
+  std::vector<std::vector<VertexId>> adjacency(num_vertices);
+  auto has_edge = [&adjacency](VertexId u, VertexId v) {
+    const auto& a = adjacency[u];
+    return std::find(a.begin(), a.end(), v) != a.end();
+  };
+  while (added < target) {
+    const auto u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    const auto v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (u == v || has_edge(u, v)) continue;
+    adjacency[u].push_back(v);
+    adjacency[v].push_back(u);
+    builder.AddEdge(u, v);
+    ++added;
+  }
+  return builder.Build();
+}
+
+Graph GenerateBarabasiAlbert(VertexId num_vertices, VertexId edges_per_vertex,
+                             uint64_t seed) {
+  PSPC_CHECK(edges_per_vertex >= 1);
+  PSPC_CHECK(num_vertices > edges_per_vertex);
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  // `endpoints` holds every edge endpoint ever created; sampling a
+  // uniform element of it is sampling proportional to degree.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(static_cast<size_t>(num_vertices) * edges_per_vertex * 2);
+
+  // Seed clique over the first edges_per_vertex + 1 vertices.
+  const VertexId seed_size = edges_per_vertex + 1;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<VertexId> picks;
+  for (VertexId v = seed_size; v < num_vertices; ++v) {
+    picks.clear();
+    while (picks.size() < edges_per_vertex) {
+      const VertexId t = endpoints[rng.NextBounded(endpoints.size())];
+      if (t != v &&
+          std::find(picks.begin(), picks.end(), t) == picks.end()) {
+        picks.push_back(t);
+      }
+    }
+    for (VertexId t : picks) {
+      builder.AddEdge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+Graph GenerateClusteredBa(VertexId num_vertices, VertexId edges_per_vertex,
+                          double closure_prob, uint64_t seed) {
+  Graph base = GenerateBarabasiAlbert(num_vertices, edges_per_vertex, seed);
+  Rng rng(seed ^ 0xC105E'D0ull);
+  GraphBuilder builder(num_vertices);
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (VertexId v : base.Neighbors(u)) {
+      if (u < v) builder.AddEdge(u, v);
+    }
+  }
+  // Close wedges u - v - w (v the center) with probability closure_prob.
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const auto nbrs = base.Neighbors(v);
+    for (size_t i = 0; i + 1 < nbrs.size(); ++i) {
+      if (rng.NextBool(closure_prob)) {
+        builder.AddEdge(nbrs[i], nbrs[i + 1]);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph GenerateWattsStrogatz(VertexId num_vertices, VertexId k,
+                            double rewire_prob, uint64_t seed) {
+  PSPC_CHECK(num_vertices > 2 * k);
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (VertexId j = 1; j <= k; ++j) {
+      VertexId v = (u + j) % num_vertices;
+      if (rng.NextBool(rewire_prob)) {
+        // Rewire the far endpoint to a uniform non-self target.
+        VertexId w = u;
+        while (w == u) w = static_cast<VertexId>(rng.NextBounded(num_vertices));
+        v = w;
+      }
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+Graph GenerateRmat(int scale, EdgeId num_edges, double a, double b, double c,
+                   uint64_t seed) {
+  PSPC_CHECK(scale >= 1 && scale < 31);
+  PSPC_CHECK(a + b + c <= 1.0 + 1e-9);
+  Rng rng(seed);
+  const auto n = static_cast<VertexId>(VertexId{1} << scale);
+  GraphBuilder builder(n);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    VertexId u = 0, v = 0;
+    for (int level = 0; level < scale; ++level) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.AddEdge(u, v);  // self-loops dropped by the builder
+  }
+  return builder.Build();
+}
+
+Graph GenerateRoadGrid(VertexId rows, VertexId cols, double keep_prob,
+                       double diagonal_prob, uint64_t seed) {
+  PSPC_CHECK(rows >= 1 && cols >= 1);
+  Rng rng(seed);
+  const VertexId n = rows * cols;
+  GraphBuilder builder(n);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols && rng.NextBool(keep_prob)) {
+        builder.AddEdge(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows && rng.NextBool(keep_prob)) {
+        builder.AddEdge(id(r, c), id(r + 1, c));
+      }
+      if (r + 1 < rows && c + 1 < cols && rng.NextBool(diagonal_prob)) {
+        builder.AddEdge(id(r, c), id(r + 1, c + 1));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph GeneratePath(VertexId num_vertices) {
+  GraphBuilder builder(num_vertices);
+  for (VertexId v = 0; v + 1 < num_vertices; ++v) builder.AddEdge(v, v + 1);
+  return builder.Build();
+}
+
+Graph GenerateCycle(VertexId num_vertices) {
+  PSPC_CHECK(num_vertices >= 3);
+  GraphBuilder builder(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    builder.AddEdge(v, (v + 1) % num_vertices);
+  }
+  return builder.Build();
+}
+
+Graph GenerateComplete(VertexId num_vertices) {
+  GraphBuilder builder(num_vertices);
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (VertexId v = u + 1; v < num_vertices; ++v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph GenerateStar(VertexId num_leaves) {
+  GraphBuilder builder(num_leaves + 1);
+  for (VertexId leaf = 1; leaf <= num_leaves; ++leaf) builder.AddEdge(0, leaf);
+  return builder.Build();
+}
+
+Graph GenerateTree(VertexId num_vertices, VertexId branching) {
+  PSPC_CHECK(branching >= 1);
+  GraphBuilder builder(num_vertices);
+  for (VertexId v = 1; v < num_vertices; ++v) {
+    builder.AddEdge(v, (v - 1) / branching);
+  }
+  return builder.Build();
+}
+
+Graph GenerateDiamondLadder(VertexId levels, VertexId width) {
+  PSPC_CHECK(levels >= 2 && width >= 1);
+  // Layer 0 and layer levels-1 are single vertices s and t; interior
+  // layers have `width` vertices; consecutive layers fully connected.
+  const VertexId interior = levels >= 2 ? levels - 2 : 0;
+  const VertexId n = 2 + interior * width;
+  GraphBuilder builder(n);
+  auto layer_vertex = [width](VertexId layer, VertexId slot) -> VertexId {
+    return 1 + (layer - 1) * width + slot;  // interior layers start at id 1
+  };
+  if (interior == 0) {
+    builder.AddEdge(0, 1);
+    return builder.Build();
+  }
+  for (VertexId slot = 0; slot < width; ++slot) {
+    builder.AddEdge(0, layer_vertex(1, slot));
+    builder.AddEdge(n - 1, layer_vertex(interior, slot));
+  }
+  for (VertexId layer = 1; layer + 1 <= interior; ++layer) {
+    for (VertexId a = 0; a < width; ++a) {
+      for (VertexId b = 0; b < width; ++b) {
+        builder.AddEdge(layer_vertex(layer, a), layer_vertex(layer + 1, b));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph PaperFigure2Graph() {
+  // v_i in the paper is id i-1 here. Edge list reconstructed from the
+  // Table II labels (see tests/hp_spc_test.cc for the verification).
+  return MakeGraph(10, {
+                           {0, 2},  // v1 - v3
+                           {0, 3},  // v1 - v4
+                           {0, 4},  // v1 - v5
+                           {0, 9},  // v1 - v10
+                           {6, 3},  // v7 - v4
+                           {6, 4},  // v7 - v5
+                           {6, 5},  // v7 - v6
+                           {6, 7},  // v7 - v8
+                           {2, 5},  // v3 - v6
+                           {1, 3},  // v2 - v4
+                           {1, 9},  // v2 - v10
+                           {7, 8},  // v8 - v9
+                           {8, 9},  // v9 - v10
+                       });
+}
+
+}  // namespace pspc

@@ -1,0 +1,33 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pspc {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  PSPC_CHECK(!offsets_.empty());
+  PSPC_CHECK(offsets_.front() == 0);
+  PSPC_CHECK(offsets_.back() == neighbors_.size());
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+double Graph::AverageDegree() const {
+  const VertexId n = NumVertices();
+  if (n == 0) return 0.0;
+  return static_cast<double>(neighbors_.size()) / n;
+}
+
+VertexId Graph::MaxDegree() const {
+  VertexId best = 0;
+  for (VertexId v = 0; v < NumVertices(); ++v) best = std::max(best, Degree(v));
+  return best;
+}
+
+}  // namespace pspc

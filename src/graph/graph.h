@@ -1,0 +1,72 @@
+#ifndef PSPC_SRC_GRAPH_GRAPH_H_
+#define PSPC_SRC_GRAPH_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+
+/// Immutable CSR (compressed sparse row) representation of an
+/// unweighted, undirected, simple graph — the substrate every algorithm
+/// in the library runs on (paper §II: G = (V, E), undirected,
+/// unweighted).
+namespace pspc {
+
+class Graph {
+ public:
+  /// Empty graph (0 vertices).
+  Graph() : offsets_(1, 0) {}
+
+  /// Constructs from prebuilt CSR arrays. `offsets` has `n + 1` entries;
+  /// `neighbors[offsets[v] .. offsets[v+1])` are `v`'s neighbors sorted
+  /// ascending. Invariants are validated with PSPC_CHECK in debug use;
+  /// prefer GraphBuilder, which establishes them from arbitrary input.
+  Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors);
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  /// Number of vertices `n`.
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges `m` (each edge stored twice internally).
+  EdgeId NumEdges() const { return neighbors_.size() / 2; }
+
+  /// Degree of `v`.
+  VertexId Degree(VertexId v) const {
+    return static_cast<VertexId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Neighbors of `v`, sorted ascending by id.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff `(u, v)` is an edge. O(log deg(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Average degree `2m / n`; 0 for the empty graph.
+  double AverageDegree() const;
+
+  /// Largest degree in the graph; 0 for the empty graph.
+  VertexId MaxDegree() const;
+
+  /// Raw CSR arrays (for serialization and tests).
+  const std::vector<EdgeId>& Offsets() const { return offsets_; }
+  const std::vector<VertexId>& NeighborArray() const { return neighbors_; }
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  std::vector<EdgeId> offsets_;      // n + 1 entries
+  std::vector<VertexId> neighbors_;  // 2m entries
+};
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_GRAPH_GRAPH_H_

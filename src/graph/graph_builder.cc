@@ -1,0 +1,53 @@
+#include "src/graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pspc {
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  PSPC_CHECK_MSG(u < n_ && v < n_,
+                 "edge (" << u << "," << v << ") outside [0," << n_ << ")");
+  if (u == v) return;  // self-loops contribute no shortest paths
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::Build() const {
+  std::vector<std::pair<VertexId, VertexId>> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::vector<EdgeId> offsets(static_cast<size_t>(n_) + 1, 0);
+  for (const auto& [u, v] : sorted) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> neighbors(sorted.size() * 2);
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : sorted) {
+    neighbors[cursor[u]++] = v;
+    neighbors[cursor[v]++] = u;
+  }
+  // Each adjacency list is already ascending: edges were sorted by
+  // (min, max), so for a fixed vertex the opposite endpoints arrive in
+  // nondecreasing order for the min side, but the max side interleaves;
+  // sort each list to be safe and to keep the invariant explicit.
+  for (VertexId v = 0; v < n_; ++v) {
+    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[v]),
+              neighbors.begin() + static_cast<ptrdiff_t>(offsets[v + 1]));
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Graph MakeGraph(VertexId num_vertices,
+                const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  GraphBuilder builder(num_vertices);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+}  // namespace pspc

@@ -1,0 +1,46 @@
+#ifndef PSPC_SRC_GRAPH_GRAPH_BUILDER_H_
+#define PSPC_SRC_GRAPH_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+/// Mutable edge accumulator that normalizes arbitrary edge input
+/// (duplicates, self-loops, either endpoint order) into a simple
+/// undirected CSR `Graph`.
+namespace pspc {
+
+class GraphBuilder {
+ public:
+  /// `num_vertices` fixes the vertex universe `[0, n)`; edges touching
+  /// ids outside it are rejected by AddEdge (PSPC_CHECK).
+  explicit GraphBuilder(VertexId num_vertices) : n_(num_vertices) {}
+
+  /// Records the undirected edge `{u, v}`. Self-loops are dropped
+  /// silently (the SPC problem is defined on simple graphs); duplicate
+  /// edges are deduplicated at Build time.
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Number of edge records added so far (before dedup).
+  size_t NumEdgeRecords() const { return edges_.size(); }
+
+  VertexId NumVertices() const { return n_; }
+
+  /// Finalizes into a CSR graph: sorts, deduplicates, symmetrizes.
+  /// The builder may be reused afterwards (it keeps its edges).
+  Graph Build() const;
+
+ private:
+  VertexId n_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+/// Convenience: builds a graph from an explicit edge list.
+Graph MakeGraph(VertexId num_vertices,
+                const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_GRAPH_GRAPH_BUILDER_H_

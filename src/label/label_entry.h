@@ -1,0 +1,30 @@
+#ifndef PSPC_SRC_LABEL_LABEL_ENTRY_H_
+#define PSPC_SRC_LABEL_LABEL_ENTRY_H_
+
+#include "src/common/types.h"
+
+/// One hub-label entry (paper §II-A): for a vertex `v`, the entry
+/// `(w, sd(v,w), theta)` records the distance to hub `w` and the number
+/// of *trough* shortest paths from `v` to `w` (paths on which `w` is the
+/// strictly highest-ranked vertex). Hubs are stored by **rank**, not by
+/// vertex id, so rank comparisons during pruning are plain integer
+/// compares and label intersections can merge in rank order.
+namespace pspc {
+
+struct LabelEntry {
+  Rank hub_rank = kInvalidRank;
+  Distance dist = kInfDistance;
+  Count count = 0;
+
+  friend bool operator==(const LabelEntry&, const LabelEntry&) = default;
+};
+
+/// Orders entries by hub rank (unique per vertex), the layout of the
+/// finalized index.
+inline bool ByHubRank(const LabelEntry& a, const LabelEntry& b) {
+  return a.hub_rank < b.hub_rank;
+}
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_LABEL_LABEL_ENTRY_H_

@@ -1,0 +1,23 @@
+#include "src/label/label_set.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pspc {
+
+void LevelLabelStore::CommitLevel(VertexId v,
+                                  std::span<const LabelEntry> batch) {
+  PSPC_CHECK(std::is_sorted(batch.begin(), batch.end(), ByHubRank));
+  auto& vec = entries_[v];
+  vec.insert(vec.end(), batch.begin(), batch.end());
+  level_begin_[v].push_back(static_cast<uint32_t>(vec.size()));
+}
+
+size_t LevelLabelStore::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& vec : entries_) total += vec.size();
+  return total;
+}
+
+}  // namespace pspc

@@ -1,0 +1,43 @@
+#include "src/label/path_enumeration.h"
+
+#include "src/common/logging.h"
+
+namespace pspc {
+namespace {
+
+void Dfs(const Graph& graph, const SpcIndex& index, VertexId u, VertexId t,
+         uint32_t remaining, size_t limit, std::vector<VertexId>& path,
+         std::vector<std::vector<VertexId>>& out) {
+  if (out.size() >= limit) return;
+  if (u == t) {
+    out.push_back(path);
+    return;
+  }
+  // remaining >= 1 here; a neighbor continues a shortest path iff its
+  // distance to t is exactly one less.
+  for (VertexId v : graph.Neighbors(u)) {
+    if (out.size() >= limit) return;
+    if (index.Query(v, t).distance == remaining - 1) {
+      path.push_back(v);
+      Dfs(graph, index, v, t, remaining - 1, limit, path, out);
+      path.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> EnumerateShortestPaths(
+    const Graph& graph, const SpcIndex& index, VertexId s, VertexId t,
+    size_t limit) {
+  PSPC_CHECK(s < graph.NumVertices() && t < graph.NumVertices());
+  std::vector<std::vector<VertexId>> out;
+  if (limit == 0) return out;
+  const SpcResult r = index.Query(s, t);
+  if (r.distance == kInfSpcDistance) return out;
+  std::vector<VertexId> path{s};
+  Dfs(graph, index, s, t, r.distance, limit, path, out);
+  return out;
+}
+
+}  // namespace pspc

@@ -1,0 +1,31 @@
+#ifndef PSPC_SRC_LABEL_PATH_ENUMERATION_H_
+#define PSPC_SRC_LABEL_PATH_ENUMERATION_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+#include "src/label/spc_index.h"
+
+/// Materializing shortest paths from the counting index — the route-
+/// planning facet of the paper's application (2): knowing there are 14
+/// equally short routes is half the feature; handing the first k of
+/// them to the navigation layer is the other half.
+///
+/// The index answers "is neighbor v on a shortest path to t?" in one
+/// query (`dist(v,t) == remaining - 1`), so a depth-first walk guided
+/// by those queries enumerates shortest paths lazily with no
+/// precomputed parents. Paths come out in lexicographic vertex order
+/// (adjacency lists are sorted), deterministically.
+namespace pspc {
+
+/// Up to `limit` distinct shortest s->t paths, each a vertex sequence
+/// starting with `s` and ending with `t`. Empty if unreachable.
+/// `graph` must be the graph the index was built from.
+std::vector<std::vector<VertexId>> EnumerateShortestPaths(
+    const Graph& graph, const SpcIndex& index, VertexId s, VertexId t,
+    size_t limit);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_LABEL_PATH_ENUMERATION_H_

@@ -1,0 +1,41 @@
+#include "src/label/query_engine.h"
+
+#include "src/common/parallel.h"
+#include "src/common/random.h"
+
+namespace pspc {
+
+QueryBatch MakeRandomQueries(VertexId num_vertices, size_t count,
+                             uint64_t seed) {
+  Rng rng(seed);
+  QueryBatch batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    batch.emplace_back(static_cast<VertexId>(rng.NextBounded(num_vertices)),
+                       static_cast<VertexId>(rng.NextBounded(num_vertices)));
+  }
+  return batch;
+}
+
+std::vector<SpcResult> RunQueries(const SpcIndex& index,
+                                  const QueryBatch& batch) {
+  std::vector<SpcResult> results(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    results[i] = index.Query(batch[i].first, batch[i].second);
+  }
+  return results;
+}
+
+std::vector<SpcResult> RunQueriesParallel(const SpcIndex& index,
+                                          const QueryBatch& batch,
+                                          int num_threads) {
+  std::vector<SpcResult> results(batch.size());
+  ParallelForDynamic(batch.size(), num_threads, /*chunk=*/256,
+                     [&](size_t i) {
+                       results[i] =
+                           index.Query(batch[i].first, batch[i].second);
+                     });
+  return results;
+}
+
+}  // namespace pspc

@@ -1,0 +1,35 @@
+#ifndef PSPC_SRC_LABEL_QUERY_ENGINE_H_
+#define PSPC_SRC_LABEL_QUERY_ENGINE_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/label/spc_index.h"
+
+/// Batch query execution (paper §IV "Query Evaluation in Parallel"):
+/// queries are independent, so a batch is divided dynamically among
+/// threads — the source of the near-linear query speedup in Fig. 9.
+namespace pspc {
+
+/// A batch of (s, t) query pairs.
+using QueryBatch = std::vector<std::pair<VertexId, VertexId>>;
+
+/// `count` uniform random pairs over `[0, num_vertices)`; the workload
+/// the paper uses for Exp 3 (10^5 random queries per dataset).
+QueryBatch MakeRandomQueries(VertexId num_vertices, size_t count,
+                             uint64_t seed);
+
+/// Runs every query sequentially.
+std::vector<SpcResult> RunQueries(const SpcIndex& index,
+                                  const QueryBatch& batch);
+
+/// Runs the batch with `num_threads` OpenMP threads (<= 0: all cores);
+/// results are positionally identical to RunQueries.
+std::vector<SpcResult> RunQueriesParallel(const SpcIndex& index,
+                                          const QueryBatch& batch,
+                                          int num_threads);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_LABEL_QUERY_ENGINE_H_

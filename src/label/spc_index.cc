@@ -1,0 +1,136 @@
+#include "src/label/spc_index.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "src/common/logging.h"
+#include "src/common/saturating.h"
+
+namespace pspc {
+namespace {
+
+constexpr uint64_t kIndexMagic = 0x5053'5043'4944'5801ull;  // "PSPCIDX" v1
+
+}  // namespace
+
+SpcIndex::SpcIndex(VertexOrder order,
+                   std::vector<std::vector<LabelEntry>> labels)
+    : order_(std::move(order)) {
+  PSPC_CHECK(labels.size() == order_.Size());
+  offsets_.assign(labels.size() + 1, 0);
+  size_t total = 0;
+  for (size_t v = 0; v < labels.size(); ++v) {
+    total += labels[v].size();
+    offsets_[v + 1] = total;
+  }
+  entries_.reserve(total);
+  for (auto& vec : labels) {
+    std::sort(vec.begin(), vec.end(), ByHubRank);
+    entries_.insert(entries_.end(), vec.begin(), vec.end());
+  }
+}
+
+SpcResult SpcIndex::Query(VertexId s, VertexId t) const {
+  PSPC_CHECK_MSG(s < NumVertices() && t < NumVertices(),
+                 "query (" << s << "," << t << ") out of range");
+  if (s == t) return {0, 1};
+
+  const auto ls = Labels(s);
+  const auto lt = Labels(t);
+  uint32_t best = kInfSpcDistance;
+  Count count = 0;
+  size_t i = 0, j = 0;
+  while (i < ls.size() && j < lt.size()) {
+    if (ls[i].hub_rank < lt[j].hub_rank) {
+      ++i;
+    } else if (ls[i].hub_rank > lt[j].hub_rank) {
+      ++j;
+    } else {
+      const uint32_t d =
+          static_cast<uint32_t>(ls[i].dist) + static_cast<uint32_t>(lt[j].dist);
+      if (d < best) {
+        best = d;
+        count = SatMul(ls[i].count, lt[j].count);
+      } else if (d == best) {
+        count = SatAdd(count, SatMul(ls[i].count, lt[j].count));
+      }
+      ++i;
+      ++j;
+    }
+  }
+  if (best == kInfSpcDistance) return {kInfSpcDistance, 0};
+  return {best, count};
+}
+
+double SpcIndex::AverageLabelSize() const {
+  const VertexId n = NumVertices();
+  if (n == 0) return 0.0;
+  return static_cast<double>(entries_.size()) / n;
+}
+
+size_t SpcIndex::SizeBytes() const {
+  return entries_.size() * sizeof(LabelEntry) +
+         offsets_.size() * sizeof(uint64_t);
+}
+
+Status SpcIndex::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  auto put = [&out](const void* p, size_t bytes) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
+  };
+  const uint64_t n = NumVertices();
+  const uint64_t total = entries_.size();
+  put(&kIndexMagic, sizeof(kIndexMagic));
+  put(&n, sizeof(n));
+  put(&total, sizeof(total));
+  put(order_.OrderToVertex().data(), n * sizeof(VertexId));
+  put(offsets_.data(), offsets_.size() * sizeof(uint64_t));
+  for (const LabelEntry& e : entries_) {
+    put(&e.hub_rank, sizeof(e.hub_rank));
+    put(&e.dist, sizeof(e.dist));
+    put(&e.count, sizeof(e.count));
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<SpcIndex> SpcIndex::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  auto get = [&in](void* p, size_t bytes) {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
+    return static_cast<bool>(in);
+  };
+  uint64_t magic = 0, n = 0, total = 0;
+  if (!get(&magic, sizeof(magic)) || magic != kIndexMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (!get(&n, sizeof(n)) || !get(&total, sizeof(total))) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  std::vector<VertexId> order_vec(n);
+  if (!get(order_vec.data(), n * sizeof(VertexId))) {
+    return Status::Corruption("truncated order in " + path);
+  }
+  SpcIndex index;
+  index.order_ = VertexOrder(std::move(order_vec));
+  index.offsets_.resize(n + 1);
+  if (!get(index.offsets_.data(), index.offsets_.size() * sizeof(uint64_t))) {
+    return Status::Corruption("truncated offsets in " + path);
+  }
+  if (index.offsets_.front() != 0 || index.offsets_.back() != total) {
+    return Status::Corruption("inconsistent offsets in " + path);
+  }
+  index.entries_.resize(total);
+  for (LabelEntry& e : index.entries_) {
+    if (!get(&e.hub_rank, sizeof(e.hub_rank)) ||
+        !get(&e.dist, sizeof(e.dist)) || !get(&e.count, sizeof(e.count))) {
+      return Status::Corruption("truncated entries in " + path);
+    }
+  }
+  return index;
+}
+
+}  // namespace pspc

@@ -1,0 +1,19 @@
+#include "src/order/degree_order.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace pspc {
+
+VertexOrder DegreeOrder(const Graph& graph) {
+  std::vector<VertexId> order(graph.NumVertices());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&graph](VertexId a, VertexId b) {
+                     return graph.Degree(a) > graph.Degree(b);
+                   });
+  return VertexOrder(std::move(order));
+}
+
+}  // namespace pspc

@@ -1,0 +1,18 @@
+#ifndef PSPC_SRC_ORDER_DEGREE_ORDER_H_
+#define PSPC_SRC_ORDER_DEGREE_ORDER_H_
+
+#include "src/graph/graph.h"
+#include "src/order/vertex_order.h"
+
+/// Degree-based ordering (paper §III-G, "Degree-Based Scheme"): vertices
+/// with larger degree are ranked higher because many shortest paths pass
+/// through them. Ties break toward the smaller vertex id so the order is
+/// deterministic. O(n log n), embarrassingly cheap — the scheme of
+/// choice for social networks.
+namespace pspc {
+
+VertexOrder DegreeOrder(const Graph& graph);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_ORDER_DEGREE_ORDER_H_

@@ -1,0 +1,100 @@
+#include "src/order/hybrid_order.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/order/degree_order.h"
+
+namespace pspc {
+
+VertexOrder HybridOrder(const Graph& graph, VertexId delta) {
+  const VertexId n = graph.NumVertices();
+  std::vector<bool> is_core(n, false);
+  std::vector<VertexId> core;
+  for (VertexId v = 0; v < n; ++v) {
+    if (graph.Degree(v) > delta) {
+      is_core[v] = true;
+      core.push_back(v);
+    }
+  }
+  // Core-part: descending degree, deterministic tie-break by id.
+  std::stable_sort(core.begin(), core.end(), [&graph](VertexId a, VertexId b) {
+    return graph.Degree(a) > graph.Degree(b);
+  });
+
+  // Fringe-part: min-degree elimination restricted to fringe vertices.
+  // Core vertices participate as (never-eliminated) neighbors so the
+  // fill-in correctly reflects paths through the core.
+  std::vector<std::unordered_set<VertexId>> adj(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    adj[v].insert(nbrs.begin(), nbrs.end());
+  }
+  // Cap on the working degree at elimination time: min-degree
+  // elimination on non-road graphs can densify the remainder into near-
+  // cliques, turning the fill-in quadratic. Past the cap the remaining
+  // fringe is appended by working degree instead — the same escape
+  // hatch MinDegreeElimination uses for dense cores.
+  const auto degree_cap = static_cast<VertexId>(
+      std::max<double>(32.0, graph.AverageDegree() * 8.0));
+  using HeapItem = std::pair<VertexId, VertexId>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!is_core[v]) heap.emplace(static_cast<VertexId>(adj[v].size()), v);
+  }
+  std::vector<bool> eliminated(n, false);
+  std::vector<VertexId> fringe_elimination;
+  while (!heap.empty()) {
+    const auto [deg, v] = heap.top();
+    heap.pop();
+    if (eliminated[v]) continue;
+    if (deg != adj[v].size()) {
+      heap.emplace(static_cast<VertexId>(adj[v].size()), v);
+      continue;
+    }
+    if (deg > degree_cap) break;  // remainder handled below
+    eliminated[v] = true;
+    fringe_elimination.push_back(v);
+    std::vector<VertexId> nbrs(adj[v].begin(), adj[v].end());
+    for (VertexId u : nbrs) adj[u].erase(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        const VertexId a = nbrs[i], b = nbrs[j];
+        if (adj[a].insert(b).second) adj[b].insert(a);
+      }
+    }
+    for (VertexId u : nbrs) {
+      if (!is_core[u] && !eliminated[u]) {
+        heap.emplace(static_cast<VertexId>(adj[u].size()), u);
+      }
+    }
+    adj[v].clear();
+  }
+
+  // Fringe survivors of the cap: append in ascending working degree so
+  // that after the global core-first layout they rank just below the
+  // core, densest first (mirrors MinDegreeElimination).
+  std::vector<VertexId> capped;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!is_core[v] && !eliminated[v]) capped.push_back(v);
+  }
+  std::stable_sort(capped.begin(), capped.end(),
+                   [&adj](VertexId a, VertexId b) {
+                     return adj[a].size() < adj[b].size();
+                   });
+  fringe_elimination.insert(fringe_elimination.end(), capped.begin(),
+                            capped.end());
+
+  // Final rank order: core first, then fringe in reverse elimination.
+  std::vector<VertexId> order;
+  order.reserve(n);
+  order.insert(order.end(), core.begin(), core.end());
+  order.insert(order.end(), fringe_elimination.rbegin(),
+               fringe_elimination.rend());
+  return VertexOrder(std::move(order));
+}
+
+}  // namespace pspc

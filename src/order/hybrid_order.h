@@ -1,0 +1,24 @@
+#ifndef PSPC_SRC_ORDER_HYBRID_ORDER_H_
+#define PSPC_SRC_ORDER_HYBRID_ORDER_H_
+
+#include "src/graph/graph.h"
+#include "src/order/vertex_order.h"
+
+/// Hybrid vertex ordering (paper §III-G, "Hybrid Vertex Ordering"):
+/// vertices with degree above the threshold `delta` form the core-part
+/// and are ranked first by descending degree (the social-network
+/// scheme); the remaining fringe-part is ranked by the tree-
+/// decomposition road-network order computed with core vertices never
+/// eliminated. This trades the computational cheapness of the degree
+/// order against the index-size quality of the elimination order; the
+/// paper settles on delta = 5 empirically (Exp 6 sweeps it).
+namespace pspc {
+
+VertexOrder HybridOrder(const Graph& graph, VertexId delta);
+
+/// The paper's empirically chosen default threshold (Exp 6).
+inline constexpr VertexId kDefaultHybridDelta = 5;
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_ORDER_HYBRID_ORDER_H_

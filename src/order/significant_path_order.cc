@@ -1,0 +1,150 @@
+#include "src/order/significant_path_order.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace pspc {
+namespace {
+
+struct DistLabel {
+  Rank hub_rank;
+  Distance dist;
+};
+
+}  // namespace
+
+VertexOrder SignificantPathOrder(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<Rank> rank(n, kInvalidRank);
+  std::vector<VertexId> order;
+  order.reserve(n);
+
+  std::vector<std::vector<DistLabel>> labels(n);
+  // tmp[r] = distance from the current hub to the vertex of rank r's
+  // hub entry; kInfDistance when absent.
+  std::vector<Distance> tmp(n + 1, kInfDistance);
+
+  // Fallback pool: vertices by descending degree.
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), VertexId{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&graph](VertexId a, VertexId b) {
+                     return graph.Degree(a) > graph.Degree(b);
+                   });
+  size_t fallback_cursor = 0;
+  auto next_fallback = [&]() -> VertexId {
+    while (fallback_cursor < by_degree.size() &&
+           rank[by_degree[fallback_cursor]] != kInvalidRank) {
+      ++fallback_cursor;
+    }
+    PSPC_CHECK(fallback_cursor < by_degree.size());
+    return by_degree[fallback_cursor];
+  };
+
+  // Per-BFS scratch.
+  std::vector<Distance> bfs_dist(n, kInfDistance);
+  std::vector<VertexId> parent(n, kInvalidVertex);
+  std::vector<VertexId> visited;          // in visit order
+  std::vector<VertexId> frontier, next_frontier;
+  std::vector<VertexId> subtree_size(n, 0);
+  std::vector<VertexId> best_child(n, kInvalidVertex);
+
+  VertexId next_hub = kInvalidVertex;
+  for (Rank i = 0; i < n; ++i) {
+    const VertexId h =
+        (next_hub != kInvalidVertex && rank[next_hub] == kInvalidRank)
+            ? next_hub
+            : next_fallback();
+    rank[h] = i;
+    order.push_back(h);
+    next_hub = kInvalidVertex;
+
+    // Preload the hub's labels (and its own rank) for 2-hop queries.
+    for (const DistLabel& l : labels[h]) tmp[l.hub_rank] = l.dist;
+    tmp[i] = 0;
+
+    // Pruned BFS from h over not-yet-ordered vertices. Mirrors the
+    // HP-SPC counting builder: prune strictly (query < d); at equality
+    // the label is still created and expansion continues, so the tree
+    // matches the tree the SPC builder would produce.
+    visited.clear();
+    frontier.clear();
+    bfs_dist[h] = 0;
+    Distance d = 0;
+    frontier.push_back(h);
+    while (!frontier.empty()) {
+      ++d;
+      next_frontier.clear();
+      for (VertexId u : frontier) {
+        for (VertexId v : graph.Neighbors(u)) {
+          if (rank[v] != kInvalidRank) continue;  // already ordered
+          if (bfs_dist[v] != kInfDistance) continue;
+          // 2-hop query against the current index.
+          Distance q = kInfDistance;
+          for (const DistLabel& l : labels[v]) {
+            if (tmp[l.hub_rank] != kInfDistance) {
+              q = std::min<Distance>(
+                  q, static_cast<Distance>(tmp[l.hub_rank] + l.dist));
+            }
+          }
+          if (q < d) continue;  // pruned: covered by a higher hub
+          bfs_dist[v] = d;
+          parent[v] = u;
+          labels[v].push_back({i, d});
+          visited.push_back(v);
+          next_frontier.push_back(v);
+        }
+      }
+      frontier.swap(next_frontier);
+    }
+
+    // Subtree sizes over the partial SP tree, reverse visit order.
+    for (VertexId v : visited) {
+      subtree_size[v] = 1;
+      best_child[v] = kInvalidVertex;
+    }
+    subtree_size[h] = 1;
+    best_child[h] = kInvalidVertex;
+    for (auto it = visited.rbegin(); it != visited.rend(); ++it) {
+      const VertexId v = *it;
+      const VertexId p = parent[v];
+      subtree_size[p] += subtree_size[v];
+      if (best_child[p] == kInvalidVertex ||
+          subtree_size[v] > subtree_size[best_child[p]]) {
+        best_child[p] = v;
+      }
+    }
+
+    // Walk the significant path and score candidates:
+    // deg(v) * (des(parent(v)) - des(v)).
+    VertexId best = kInvalidVertex;
+    uint64_t best_score = 0;
+    for (VertexId v = best_child[h]; v != kInvalidVertex;
+         v = best_child[v]) {
+      const uint64_t score =
+          static_cast<uint64_t>(graph.Degree(v)) *
+          (subtree_size[parent[v]] - subtree_size[v]);
+      if (best == kInvalidVertex || score > best_score) {
+        best = v;
+        best_score = score;
+      }
+    }
+    next_hub = best;
+
+    // Reset scratch touched this iteration.
+    for (const DistLabel& l : labels[h]) tmp[l.hub_rank] = kInfDistance;
+    tmp[i] = kInfDistance;
+    bfs_dist[h] = kInfDistance;
+    for (VertexId v : visited) {
+      bfs_dist[v] = kInfDistance;
+      parent[v] = kInvalidVertex;
+    }
+  }
+  return VertexOrder(std::move(order));
+}
+
+}  // namespace pspc

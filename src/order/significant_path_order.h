@@ -1,0 +1,25 @@
+#ifndef PSPC_SRC_ORDER_SIGNIFICANT_PATH_ORDER_H_
+#define PSPC_SRC_ORDER_SIGNIFICANT_PATH_ORDER_H_
+
+#include "src/graph/graph.h"
+#include "src/order/vertex_order.h"
+
+/// Significant-path-based ordering (paper §III-G): the i-th hub's pruned
+/// BFS produces a partial shortest-path tree T_wi; the scheme walks the
+/// "significant path" from the root toward the leaf through children
+/// with the most descendants and picks as the next hub the path vertex
+/// maximizing `deg(v) * (des(parent(v)) - des(v))`.
+///
+/// This is the strongest sequential ordering in HP-SPC but is inherently
+/// order-dependent: hub i+1 cannot be chosen before hub i's BFS tree
+/// exists, which is exactly the dependency that blocks parallel
+/// construction (the paper's motivation for the hybrid order). The
+/// implementation runs a distance-only pruned-BFS labeling internally,
+/// so computing this order costs roughly one sequential index build.
+namespace pspc {
+
+VertexOrder SignificantPathOrder(const Graph& graph);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_ORDER_SIGNIFICANT_PATH_ORDER_H_

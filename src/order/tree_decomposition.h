@@ -1,0 +1,42 @@
+#ifndef PSPC_SRC_ORDER_TREE_DECOMPOSITION_H_
+#define PSPC_SRC_ORDER_TREE_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/order/vertex_order.h"
+
+/// Tree-decomposition-based "road network order" (paper §III-G).
+///
+/// Minimum-degree elimination: repeatedly remove the vertex of smallest
+/// degree from a working graph, connecting its neighbors into a clique
+/// (the fill-in); the removal sequence is the elimination order. The
+/// vertex-rank order ranks *later-eliminated* vertices higher — they
+/// sit nearer the top of the vertex hierarchy — exactly the paper's
+/// "append vertices in Q into R from the back of the queue to the
+/// front". The max bag size along the way upper-bounds the treewidth.
+namespace pspc {
+
+struct TreeDecompositionResult {
+  /// Rank order: rank 0 = eliminated last (most central vertex).
+  VertexOrder order;
+  /// Elimination sequence: `elimination[i]` is the i-th removed vertex.
+  std::vector<VertexId> elimination;
+  /// Max neighborhood size at elimination time; treewidth <= this.
+  VertexId max_bag_size = 0;
+};
+
+/// Options bounding the fill-in explosion on dense cores: once every
+/// remaining vertex has working degree > `degree_cap`, the remaining
+/// vertices are appended in descending-degree order instead of being
+/// eliminated (the standard core/fringe cutoff used by CH/H2H-style
+/// systems; 0 disables the cap).
+TreeDecompositionResult MinDegreeElimination(const Graph& graph,
+                                             VertexId degree_cap);
+
+/// Convenience: the road-network vertex order with a default cap.
+VertexOrder RoadNetworkOrder(const Graph& graph);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_ORDER_TREE_DECOMPOSITION_H_

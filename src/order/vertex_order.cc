@@ -1,0 +1,28 @@
+#include "src/order/vertex_order.h"
+
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace pspc {
+
+VertexOrder::VertexOrder(std::vector<VertexId> order_to_vertex)
+    : order_to_vertex_(std::move(order_to_vertex)) {
+  const auto n = static_cast<VertexId>(order_to_vertex_.size());
+  vertex_to_rank_.assign(n, kInvalidRank);
+  for (Rank r = 0; r < n; ++r) {
+    const VertexId v = order_to_vertex_[r];
+    PSPC_CHECK_MSG(v < n, "order contains out-of-range vertex " << v);
+    PSPC_CHECK_MSG(vertex_to_rank_[v] == kInvalidRank,
+                   "order assigns vertex " << v << " twice");
+    vertex_to_rank_[v] = r;
+  }
+}
+
+VertexOrder IdentityOrder(VertexId num_vertices) {
+  std::vector<VertexId> order(num_vertices);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  return VertexOrder(std::move(order));
+}
+
+}  // namespace pspc

@@ -1,0 +1,56 @@
+#ifndef PSPC_SRC_ORDER_VERTEX_ORDER_H_
+#define PSPC_SRC_ORDER_VERTEX_ORDER_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+/// Total order over vertices ("rank"). The hub-labeling index is built
+/// relative to this order (paper §II: "Let <= be a total order over V";
+/// `w <= v` means w ranks *higher*). Rank 0 is the highest rank. The
+/// order has a decisive effect on index size and build time (paper
+/// §III-G, Exp 5), which is why four schemes are provided.
+namespace pspc {
+
+class VertexOrder {
+ public:
+  VertexOrder() = default;
+
+  /// Builds from `order_to_vertex`: `order_to_vertex[r]` is the vertex
+  /// with rank `r`. Must be a permutation of `[0, n)` (PSPC_CHECK'd).
+  explicit VertexOrder(std::vector<VertexId> order_to_vertex);
+
+  /// Number of vertices covered by the order.
+  VertexId Size() const {
+    return static_cast<VertexId>(order_to_vertex_.size());
+  }
+
+  /// Rank of vertex `v` (0 = highest).
+  Rank RankOf(VertexId v) const { return vertex_to_rank_[v]; }
+
+  /// Vertex holding rank `r`.
+  VertexId VertexAt(Rank r) const { return order_to_vertex_[r]; }
+
+  /// True iff `u` ranks strictly higher than `v` (paper: u <= v, u != v).
+  bool RanksHigher(VertexId u, VertexId v) const {
+    return RankOf(u) < RankOf(v);
+  }
+
+  const std::vector<VertexId>& OrderToVertex() const {
+    return order_to_vertex_;
+  }
+  const std::vector<Rank>& VertexToRank() const { return vertex_to_rank_; }
+
+  friend bool operator==(const VertexOrder&, const VertexOrder&) = default;
+
+ private:
+  std::vector<VertexId> order_to_vertex_;
+  std::vector<Rank> vertex_to_rank_;
+};
+
+/// Identity order (vertex id == rank); baseline for tests.
+VertexOrder IdentityOrder(VertexId num_vertices);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_ORDER_VERTEX_ORDER_H_

@@ -1,0 +1,178 @@
+#include "src/reduce/equivalence.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/saturating.h"
+#include "src/graph/graph_builder.h"
+
+namespace pspc {
+namespace {
+
+/// FNV-1a over a neighbor list (optionally closed with v itself, which
+/// is inserted in sorted position to keep the hash order-canonical).
+uint64_t HashNeighborhood(std::span<const VertexId> nbrs, VertexId self,
+                          bool closed) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](VertexId x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  bool self_done = !closed;
+  for (VertexId x : nbrs) {
+    if (!self_done && self < x) {
+      mix(self);
+      self_done = true;
+    }
+    mix(x);
+  }
+  if (!self_done) mix(self);
+  return h;
+}
+
+bool SameOpenNeighborhood(const Graph& g, VertexId a, VertexId b) {
+  const auto na = g.Neighbors(a);
+  const auto nb = g.Neighbors(b);
+  return na.size() == nb.size() && std::equal(na.begin(), na.end(),
+                                              nb.begin());
+}
+
+bool SameClosedNeighborhood(const Graph& g, VertexId a, VertexId b) {
+  // N[a] == N[b] requires a,b adjacent (a is in N[a] = N[b]); checking
+  // it explicitly also shields against hash collisions lumping
+  // non-adjacent vertices into a closed bucket.
+  if (!g.HasEdge(a, b)) return false;
+  // With adjacency established, N[a] == N[b] <=> N(a)\{b} == N(b)\{a}.
+  const auto na = g.Neighbors(a);
+  const auto nb = g.Neighbors(b);
+  if (na.size() != nb.size()) return false;
+  size_t i = 0, j = 0;
+  while (i < na.size() && j < nb.size()) {
+    const VertexId x = na[i], y = nb[j];
+    if (x == b) {
+      ++i;
+      continue;
+    }
+    if (y == a) {
+      ++j;
+      continue;
+    }
+    if (x != y) return false;
+    ++i;
+    ++j;
+  }
+  while (i < na.size() && na[i] == b) ++i;
+  while (j < nb.size() && nb[j] == a) ++j;
+  return i == na.size() && j == nb.size();
+}
+
+}  // namespace
+
+EquivalenceReduction EquivalenceReduction::Build(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  EquivalenceReduction r;
+  r.class_of_.assign(n, kInvalidVertex);
+
+  // Bucket by open- and closed-neighborhood hashes, then verify within
+  // buckets (hash collisions are resolved by the exact comparison).
+  std::unordered_map<uint64_t, std::vector<VertexId>> open_buckets;
+  std::unordered_map<uint64_t, std::vector<VertexId>> closed_buckets;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    open_buckets[HashNeighborhood(nbrs, v, false)].push_back(v);
+    closed_buckets[HashNeighborhood(nbrs, v, true)].push_back(v);
+  }
+
+  // union-find over vertices; classes merge via the two twin relations.
+  std::vector<VertexId> parent(n);
+  for (VertexId v = 0; v < n; ++v) parent[v] = v;
+  auto find = [&parent](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  auto unite = [&](VertexId a, VertexId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);  // smaller id becomes representative
+    parent[b] = a;
+  };
+
+  std::vector<uint8_t> adjacent_class(n, 0);  // indexed by root, later
+  for (auto& [hash, bucket] : open_buckets) {
+    (void)hash;
+    if (bucket.size() < 2) continue;
+    for (size_t i = 1; i < bucket.size(); ++i) {
+      if (SameOpenNeighborhood(graph, bucket[0], bucket[i])) {
+        unite(bucket[0], bucket[i]);
+      } else {
+        // Rare collision path: compare against every earlier member.
+        for (size_t j = 1; j < i; ++j) {
+          if (SameOpenNeighborhood(graph, bucket[j], bucket[i])) {
+            unite(bucket[j], bucket[i]);
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (auto& [hash, bucket] : closed_buckets) {
+    (void)hash;
+    if (bucket.size() < 2) continue;
+    for (size_t i = 1; i < bucket.size(); ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        if (SameClosedNeighborhood(graph, bucket[j], bucket[i])) {
+          unite(bucket[j], bucket[i]);
+          adjacent_class[find(bucket[i])] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  // Dense class ids, weights, adjacency flags.
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId root = find(v);
+    if (r.class_of_[root] == kInvalidVertex) {
+      r.class_of_[root] = static_cast<VertexId>(r.rep_of_.size());
+      r.rep_of_.push_back(root);
+      r.weight_.push_back(0);
+      r.class_adjacent_.push_back(adjacent_class[root]);
+    }
+    r.class_of_[v] = r.class_of_[root];
+    r.weight_[r.class_of_[v]] = SatAdd(r.weight_[r.class_of_[v]], 1);
+  }
+
+  // Contracted graph: adjacency between classes is uniform across
+  // members, so edges of representatives suffice. Intra-class edges
+  // (true twins) become self-loops and are dropped by the builder; the
+  // class_adjacent_ flag preserves that information for queries.
+  GraphBuilder builder(static_cast<VertexId>(r.rep_of_.size()));
+  for (VertexId c = 0; c < r.rep_of_.size(); ++c) {
+    for (VertexId u : graph.Neighbors(r.rep_of_[c])) {
+      const VertexId cu = r.class_of_[u];
+      if (cu != c) builder.AddEdge(c, cu);
+    }
+  }
+  r.reduced_ = builder.Build();
+  return r;
+}
+
+SpcResult EquivalenceReduction::SameClassQuery(VertexId c) const {
+  if (ClassAdjacent(c)) return {1, 1};  // true twins: the direct edge
+  // False twins: every common neighbor gives one length-2 path; each
+  // reduced neighbor stands for `weight` original vertices.
+  Count paths = 0;
+  for (VertexId x : reduced_.Neighbors(c)) {
+    paths = SatAdd(paths, weight_[x]);
+  }
+  if (paths == 0) return {kInfSpcDistance, 0};  // isolated twins
+  return {2, paths};
+}
+
+}  // namespace pspc

@@ -1,0 +1,102 @@
+#include "src/reduce/one_shell.h"
+
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/graph/graph_builder.h"
+
+namespace pspc {
+
+OneShellReduction OneShellReduction::Build(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  OneShellReduction r;
+  r.anchor_.resize(n);
+  r.parent_.assign(n, kInvalidVertex);
+  r.depth_.assign(n, 0);
+  r.orig_to_core_.assign(n, kInvalidVertex);
+
+  // Peel vertices of current degree exactly 1. A vertex's unique
+  // remaining neighbor at peel time is its tree parent.
+  std::vector<VertexId> degree(n);
+  std::vector<VertexId> queue;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    if (degree[v] == 1) queue.push_back(v);
+  }
+  std::vector<bool> peeled(n, false);
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const VertexId v = queue[qi];
+    if (degree[v] != 1) continue;  // the last neighbor got peeled first
+    peeled[v] = true;
+    degree[v] = 0;
+    for (VertexId u : graph.Neighbors(v)) {
+      if (peeled[u]) continue;
+      r.parent_[v] = u;
+      if (--degree[u] == 1) queue.push_back(u);
+      break;  // exactly one unpeeled neighbor exists
+    }
+  }
+
+  // Dense ids for core survivors.
+  for (VertexId v = 0; v < n; ++v) {
+    if (!peeled[v]) {
+      r.orig_to_core_[v] = static_cast<VertexId>(r.core_to_orig_.size());
+      r.core_to_orig_.push_back(v);
+      r.anchor_[v] = v;
+    }
+  }
+
+  // Anchor and depth of fringe vertices. A vertex's parent is peeled
+  // strictly later than the vertex itself (its degree only drops to 1
+  // afterwards) or not at all, so one sweep over the peel sequence in
+  // reverse resolves every parent before its children.
+  for (auto it = queue.rbegin(); it != queue.rend(); ++it) {
+    const VertexId v = *it;
+    if (!peeled[v]) continue;  // stale queue entry, never peeled
+    const VertexId p = r.parent_[v];
+    if (peeled[p]) {
+      r.anchor_[v] = r.anchor_[p];
+      r.depth_[v] = static_cast<Distance>(r.depth_[p] + 1);
+    } else {
+      r.anchor_[v] = p;  // parent survived into the core
+      r.depth_[v] = 1;
+    }
+  }
+
+  // Build the core graph.
+  GraphBuilder builder(static_cast<VertexId>(r.core_to_orig_.size()));
+  for (VertexId c = 0; c < r.core_to_orig_.size(); ++c) {
+    const VertexId v = r.core_to_orig_[c];
+    for (VertexId u : graph.Neighbors(v)) {
+      if (!peeled[u] && v < u) {
+        builder.AddEdge(c, r.orig_to_core_[u]);
+      }
+    }
+  }
+  r.core_ = builder.Build();
+  return r;
+}
+
+SpcResult OneShellReduction::TreeQuery(VertexId s, VertexId t) const {
+  PSPC_CHECK(anchor_[s] == anchor_[t]);
+  if (s == t) return {0, 1};
+  // Climb to equal depth, then in lockstep to the LCA.
+  VertexId a = s, b = t;
+  uint32_t dist = 0;
+  while (depth_[a] > depth_[b]) {
+    a = parent_[a];
+    ++dist;
+  }
+  while (depth_[b] > depth_[a]) {
+    b = parent_[b];
+    ++dist;
+  }
+  while (a != b) {
+    a = parent_[a];
+    b = parent_[b];
+    dist += 2;
+  }
+  return {dist, 1};
+}
+
+}  // namespace pspc

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/bfs_spc.h"
+#include "src/baseline/brandes.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_builder.h"
+
+namespace pspc {
+namespace {
+
+// ------------------------------------------------------------- BFS --
+
+TEST(BfsTest, PathDistances) {
+  const Graph g = GeneratePath(5);
+  const auto d = BfsDistances(g, 0);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(BfsTest, UnreachableIsInfinite) {
+  const Graph g = MakeGraph(4, {{0, 1}, {2, 3}});
+  const auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kInfDistance);
+  EXPECT_EQ(d[3], kInfDistance);
+}
+
+// ---------------------------------------------- Connected components --
+
+TEST(ComponentsTest, CountsComponents) {
+  const Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {3, 4}});
+  VertexId num = 0;
+  const auto comp = ConnectedComponents(g, &num);
+  EXPECT_EQ(num, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[3], comp[5]);
+}
+
+// ----------------------------------------------------------- k-core --
+
+TEST(CoreTest, TreeIsOneCore) {
+  const Graph g = GenerateTree(20, 2);
+  const auto core = CoreNumbers(g);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_LE(core[v], 1u);
+}
+
+TEST(CoreTest, CliqueCoreNumbers) {
+  const Graph g = GenerateComplete(5);
+  const auto core = CoreNumbers(g);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(core[v], 4u);
+}
+
+TEST(CoreTest, LollipopSplitsCore) {
+  // Triangle with a tail: triangle is 2-core, tail is 1-shell.
+  const Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  const auto core = CoreNumbers(g);
+  EXPECT_EQ(core[0], 2u);
+  EXPECT_EQ(core[1], 2u);
+  EXPECT_EQ(core[2], 2u);
+  EXPECT_EQ(core[3], 1u);
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(KCoreVertices(g, 2).size(), 3u);
+}
+
+// --------------------------------------------------------- Diameter --
+
+TEST(DiameterTest, ExactOnPath) {
+  EXPECT_EQ(ExactDiameter(GeneratePath(10)), 9u);
+}
+
+TEST(DiameterTest, ExactOnCycle) {
+  EXPECT_EQ(ExactDiameter(GenerateCycle(10)), 5u);
+}
+
+TEST(DiameterTest, EstimateLowerBoundsExact) {
+  const Graph g = GenerateErdosRenyi(200, 500, 3);
+  const Distance est = EstimateDiameter(g, 4, 1);
+  EXPECT_LE(est, ExactDiameter(g));
+  EXPECT_GT(est, 0u);
+}
+
+TEST(DiameterTest, DoubleSweepExactOnTrees) {
+  const Graph g = GenerateTree(64, 2);
+  EXPECT_EQ(EstimateDiameter(g, 2, 5), ExactDiameter(g));
+}
+
+// ---------------------------------------------------------- BFS SPC --
+
+TEST(BfsSpcTest, CycleHasTwoWaysAround) {
+  const Graph g = GenerateCycle(6);
+  // Opposite vertices: two shortest paths of length 3.
+  EXPECT_EQ(BfsSpcPair(g, 0, 3), (SpcResult{3, 2}));
+  // Adjacent: one path.
+  EXPECT_EQ(BfsSpcPair(g, 0, 1), (SpcResult{1, 1}));
+}
+
+TEST(BfsSpcTest, CompleteGraphPairs) {
+  const Graph g = GenerateComplete(6);
+  EXPECT_EQ(BfsSpcPair(g, 2, 4), (SpcResult{1, 1}));
+}
+
+TEST(BfsSpcTest, DiamondLadderExponentialCounts) {
+  const Graph g = GenerateDiamondLadder(5, 4);  // 3 interior layers
+  const VertexId t = g.NumVertices() - 1;
+  EXPECT_EQ(BfsSpcPair(g, 0, t), (SpcResult{4, 64}));  // 4^3
+}
+
+TEST(BfsSpcTest, SelfPairIsZeroOne) {
+  const Graph g = GeneratePath(3);
+  EXPECT_EQ(BfsSpcPair(g, 1, 1), (SpcResult{0, 1}));
+}
+
+TEST(BfsSpcTest, DisconnectedPair) {
+  const Graph g = MakeGraph(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(BfsSpcPair(g, 0, 3), (SpcResult{kInfSpcDistance, 0}));
+}
+
+TEST(BfsSpcTest, PaperFigure2Example) {
+  // Example 1 corrected by Table II's own label arithmetic: common hubs
+  // of L(v10) and L(v7) are v1 (1+2=3, count 1*2) and v7 (3+0=3,
+  // count 2*1), so SPC(v10, v7) = (3, 4). (The prose misadds the v1
+  // leg as 2+2.) The four paths: v10-v1-v4-v7, v10-v1-v5-v7,
+  // v10-v2-v4-v7, v10-v9-v8-v7.
+  const Graph g = PaperFigure2Graph();
+  EXPECT_EQ(BfsSpcPair(g, 9, 6), (SpcResult{3, 4}));
+}
+
+// ---------------------------------------------------------- Brandes --
+
+TEST(BrandesTest, PathCenterDominates) {
+  const Graph g = GeneratePath(5);
+  const auto bc = BrandesBetweenness(g);
+  // Middle vertex lies on all 2x3 cross pairs... exact: pairs through
+  // v2: (0,3),(0,4),(1,3),(1,4) = 4, each with a unique shortest path.
+  EXPECT_DOUBLE_EQ(bc[2], 4.0);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[4], 0.0);
+}
+
+TEST(BrandesTest, StarCenterTakesAllPairs) {
+  const Graph g = GenerateStar(5);
+  const auto bc = BrandesBetweenness(g);
+  EXPECT_DOUBLE_EQ(bc[0], 10.0);  // C(5,2) leaf pairs
+  for (VertexId leaf = 1; leaf <= 5; ++leaf) EXPECT_DOUBLE_EQ(bc[leaf], 0.0);
+}
+
+TEST(BrandesTest, CycleIsUniform) {
+  const auto bc = BrandesBetweenness(GenerateCycle(8));
+  for (VertexId v = 1; v < 8; ++v) EXPECT_NEAR(bc[v], bc[0], 1e-9);
+}
+
+TEST(BrandesTest, FractionalDependencies) {
+  // Square 0-1-2-3-0: opposite corners have two shortest paths, each
+  // middle vertex carries half a pair.
+  const Graph g = GenerateCycle(4);
+  const auto bc = BrandesBetweenness(g);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_NEAR(bc[v], 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace pspc

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "src/graph/graph.h"
+#include "src/graph/graph_builder.h"
+#include "src/graph/graph_io.h"
+
+namespace pspc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ------------------------------------------------------------ Graph --
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.AverageDegree(), 0.0);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+}
+
+TEST(GraphTest, TriangleBasics) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0);
+}
+
+TEST(GraphTest, NeighborsAreSortedAscending) {
+  const Graph g = MakeGraph(5, {{4, 0}, {4, 2}, {4, 1}, {4, 3}});
+  const auto nbrs = g.Neighbors(4);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(g.MaxDegree(), 4u);
+}
+
+TEST(GraphTest, IsolatedVerticesHaveNoNeighbors) {
+  const Graph g = MakeGraph(4, {{0, 1}});
+  EXPECT_EQ(g.Degree(2), 0u);
+  EXPECT_EQ(g.Degree(3), 0u);
+  EXPECT_TRUE(g.Neighbors(2).empty());
+}
+
+TEST(GraphTest, EqualityComparesStructure) {
+  const Graph a = MakeGraph(3, {{0, 1}, {1, 2}});
+  const Graph b = MakeGraph(3, {{1, 2}, {0, 1}});
+  const Graph c = MakeGraph(3, {{0, 1}, {0, 2}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+// ----------------------------------------------------- GraphBuilder --
+
+TEST(GraphBuilderTest, DeduplicatesParallelEdges) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoops) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 0);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, BuildIsRepeatable) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const Graph g1 = b.Build();
+  b.AddEdge(1, 2);
+  const Graph g2 = b.Build();
+  EXPECT_EQ(g1.NumEdges(), 1u);
+  EXPECT_EQ(g2.NumEdges(), 2u);
+}
+
+TEST(GraphBuilderTest, RecordsCountPreDedup) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  EXPECT_EQ(b.NumEdgeRecords(), 2u);
+}
+
+TEST(GraphBuilderDeathTest, RejectsOutOfRangeVertex) {
+  GraphBuilder b(2);
+  EXPECT_DEATH(b.AddEdge(0, 2), "outside");
+}
+
+// -------------------------------------------------------- Text I/O --
+
+TEST(GraphIoTest, ParseEdgeListBasic) {
+  const auto r = ParseEdgeList("# comment\n0 1\n1 2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().NumVertices(), 3u);
+  EXPECT_EQ(r.value().NumEdges(), 2u);
+}
+
+TEST(GraphIoTest, ParsePreservesNumericIds) {
+  // Default loader keeps ids: gaps become isolated vertices.
+  const auto r = ParseEdgeList("0 1\n1 5\n");
+  ASSERT_TRUE(r.ok());
+  const Graph& g = r.value();
+  EXPECT_EQ(g.NumVertices(), 6u);
+  EXPECT_TRUE(g.HasEdge(1, 5));
+  EXPECT_EQ(g.Degree(3), 0u);
+}
+
+TEST(GraphIoTest, ParseRemapsSparseIds) {
+  // SNAP files have arbitrary ids; the Remapped variant densifies in
+  // first-seen order: 100 -> 0, 7 -> 1, 42 -> 2.
+  const auto r = ParseEdgeListRemapped("100 7\n7 42\n");
+  ASSERT_TRUE(r.ok());
+  const Graph& g = r.value();
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphIoTest, RemappedRejectsGarbageToo) {
+  EXPECT_FALSE(ParseEdgeListRemapped("0 1\nbad line\n").ok());
+}
+
+TEST(GraphIoTest, ParseSymmetrizesDirectedDuplicates) {
+  const auto r = ParseEdgeList("0 1\n1 0\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().NumEdges(), 1u);
+}
+
+TEST(GraphIoTest, ParseToleratesPercentComments) {
+  const auto r = ParseEdgeList("% konect header\n0 1\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().NumEdges(), 1u);
+}
+
+TEST(GraphIoTest, ParseRejectsGarbageLine) {
+  const auto r = ParseEdgeList("0 1\nnot an edge\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  const auto r = LoadEdgeList("/nonexistent/never/graph.txt");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kIOError);
+}
+
+TEST(GraphIoTest, EdgeListRoundTrip) {
+  const Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  const auto r = LoadEdgeList(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), g);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ Binary I/O --
+
+TEST(GraphIoTest, BinaryRoundTrip) {
+  const Graph g = MakeGraph(6, {{0, 1}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  const std::string path = TempPath("graph.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  const auto r = LoadBinary(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), g);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BinaryRejectsBadMagic) {
+  const std::string path = TempPath("bad_magic.bin");
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[32] = "this is not a pspc graph file";
+    fwrite(junk, 1, sizeof(junk), f);
+    fclose(f);
+  }
+  const auto r = LoadBinary(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BinaryRejectsTruncation) {
+  const Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  // Truncate the payload.
+  {
+    FILE* f = fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    fseek(f, 0, SEEK_END);
+    const long size = ftell(f);
+    ASSERT_EQ(0, ftruncate(fileno(f), size - 8));
+    fclose(f);
+  }
+  const auto r = LoadBinary(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pspc

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/hp_spc_builder.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/order/degree_order.h"
+#include "src/order/vertex_order.h"
+#include "tests/test_util.h"
+
+namespace pspc {
+namespace {
+
+using pspc::testing::AllPairs;
+using pspc::testing::BruteForceSpc;
+
+/// The paper's total order for Figure 2 (Table II):
+/// v1 <= v7 <= v4 <= v10 <= v3 <= v5 <= v6 <= v2 <= v8 <= v9.
+/// Paper vertex v_i is id i-1 here; the array maps rank -> id.
+VertexOrder PaperFigure2Order() {
+  return VertexOrder(std::vector<VertexId>{0, 6, 3, 9, 2, 4, 5, 1, 7, 8});
+}
+
+std::vector<LabelEntry> Labels(const SpcIndex& index, VertexId v) {
+  const auto span = index.Labels(v);
+  return {span.begin(), span.end()};
+}
+
+/// Exact reproduction of the paper's Table II: the ESPC labels of the
+/// Figure 2 graph under the published order. Hubs are stored as ranks;
+/// e.g. entry "(v7, 3, 2)" of vertex v10 becomes {rank 1, 3, 2}.
+TEST(HpSpcTableIITest, ReproducesEveryRow) {
+  const Graph g = PaperFigure2Graph();
+  const auto result = BuildHpSpcIndex(g, PaperFigure2Order());
+  const SpcIndex& index = result.index;
+
+  using E = std::vector<LabelEntry>;
+  // v1
+  EXPECT_EQ(Labels(index, 0), (E{{0, 0, 1}}));
+  // v2: (v1,2,2)(v7,2,1)(v4,1,1)(v10,1,1)(v2,0,1)
+  EXPECT_EQ(Labels(index, 1),
+            (E{{0, 2, 2}, {1, 2, 1}, {2, 1, 1}, {3, 1, 1}, {7, 0, 1}}));
+  // v3: (v1,1,1)(v7,2,1)(v3,0,1)
+  EXPECT_EQ(Labels(index, 2), (E{{0, 1, 1}, {1, 2, 1}, {4, 0, 1}}));
+  // v4: (v1,1,1)(v7,1,1)(v4,0,1)
+  EXPECT_EQ(Labels(index, 3), (E{{0, 1, 1}, {1, 1, 1}, {2, 0, 1}}));
+  // v5: (v1,1,1)(v7,1,1)(v5,0,1)
+  EXPECT_EQ(Labels(index, 4), (E{{0, 1, 1}, {1, 1, 1}, {5, 0, 1}}));
+  // v6: (v1,2,1)(v7,1,1)(v3,1,1)(v6,0,1)
+  EXPECT_EQ(Labels(index, 5), (E{{0, 2, 1}, {1, 1, 1}, {4, 1, 1}, {6, 0, 1}}));
+  // v7: (v1,2,2)(v7,0,1)
+  EXPECT_EQ(Labels(index, 6), (E{{0, 2, 2}, {1, 0, 1}}));
+  // v8: (v1,3,3)(v7,1,1)(v10,2,1)(v8,0,1)
+  EXPECT_EQ(Labels(index, 7), (E{{0, 3, 3}, {1, 1, 1}, {3, 2, 1}, {8, 0, 1}}));
+  // v9: (v1,2,1)(v7,2,1)(v4,3,1)(v10,1,1)(v8,1,1)(v9,0,1)
+  EXPECT_EQ(Labels(index, 8), (E{{0, 2, 1},
+                                 {1, 2, 1},
+                                 {2, 3, 1},
+                                 {3, 1, 1},
+                                 {8, 1, 1},
+                                 {9, 0, 1}}));
+  // v10: (v1,1,1)(v7,3,2)(v4,2,1)(v10,0,1)
+  EXPECT_EQ(Labels(index, 9), (E{{0, 1, 1}, {1, 3, 2}, {2, 2, 1}, {3, 0, 1}}));
+
+  EXPECT_EQ(index.TotalEntries(), 35u);
+}
+
+TEST(HpSpcTableIITest, QueryMatchesExample1) {
+  const Graph g = PaperFigure2Graph();
+  const auto result = BuildHpSpcIndex(g, PaperFigure2Order());
+  // Common hubs of L(v10), L(v7): v1 (1+2=3, 1*2) and v7 (3+0=3, 2*1).
+  EXPECT_EQ(result.index.Query(9, 6), (SpcResult{3, 4}));
+}
+
+TEST(HpSpcTest, AllPairsExactOnFigure2) {
+  const Graph g = PaperFigure2Graph();
+  const auto result = BuildHpSpcIndex(g, PaperFigure2Order());
+  for (const auto& [s, t] : AllPairs(g.NumVertices())) {
+    EXPECT_EQ(result.index.Query(s, t), BruteForceSpc(g, s, t))
+        << "pair (" << s << "," << t << ")";
+  }
+}
+
+TEST(HpSpcTest, CanonicalAndNonCanonicalSplitIsTracked) {
+  const Graph g = PaperFigure2Graph();
+  const auto result = BuildHpSpcIndex(g, PaperFigure2Order());
+  // Every non-self label is canonical or non-canonical; totals agree.
+  EXPECT_EQ(result.stats.canonical_labels + result.stats.non_canonical_labels +
+                g.NumVertices(),
+            result.stats.labels_inserted);
+  EXPECT_GT(result.stats.non_canonical_labels, 0u);
+}
+
+TEST(HpSpcTest, PathGraphLabelsAreLinear) {
+  // Under identity order on a path, vertex v's hubs are exactly
+  // 0..v (rank i at distance v-i): ESPC of a path has quadratic size.
+  const Graph g = GeneratePath(6);
+  const auto result = BuildHpSpcIndex(g, IdentityOrder(6));
+  for (VertexId v = 0; v < 6; ++v) {
+    const auto labels = result.index.Labels(v);
+    ASSERT_EQ(labels.size(), v + 1u);
+    for (VertexId i = 0; i <= v; ++i) {
+      EXPECT_EQ(labels[i].hub_rank, i);
+      EXPECT_EQ(labels[i].dist, v - i);
+      EXPECT_EQ(labels[i].count, 1u);
+    }
+  }
+}
+
+TEST(HpSpcTest, StarUnderDegreeOrderIsMinimal) {
+  // Center ranks first; every leaf stores only the center + itself.
+  const Graph g = GenerateStar(8);
+  const auto result = BuildHpSpcIndex(g, DegreeOrder(g));
+  EXPECT_EQ(result.index.TotalEntries(), 1u + 8u * 2u);
+  EXPECT_EQ(result.index.Query(3, 5), (SpcResult{2, 1}));
+}
+
+TEST(HpSpcTest, CompleteGraphQueries) {
+  const Graph g = GenerateComplete(7);
+  const auto result = BuildHpSpcIndex(g, DegreeOrder(g));
+  for (const auto& [s, t] : AllPairs(7)) {
+    EXPECT_EQ(result.index.Query(s, t), (SpcResult{1, 1}));
+  }
+}
+
+TEST(HpSpcTest, CycleCountsBothDirections) {
+  const Graph g = GenerateCycle(8);
+  const auto result = BuildHpSpcIndex(g, IdentityOrder(8));
+  EXPECT_EQ(result.index.Query(0, 4), (SpcResult{4, 2}));
+  EXPECT_EQ(result.index.Query(1, 5), (SpcResult{4, 2}));
+  EXPECT_EQ(result.index.Query(0, 3), (SpcResult{3, 1}));
+}
+
+TEST(HpSpcTest, DisconnectedComponentsStayDisconnected) {
+  const Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  const auto result = BuildHpSpcIndex(g, DegreeOrder(g));
+  EXPECT_EQ(result.index.Query(0, 5), (SpcResult{kInfSpcDistance, 0}));
+  EXPECT_EQ(result.index.Query(0, 2), (SpcResult{2, 1}));
+  EXPECT_EQ(result.index.Query(3, 5), (SpcResult{2, 1}));
+}
+
+TEST(HpSpcTest, DiamondLadderExponentialCounts) {
+  const Graph g = GenerateDiamondLadder(5, 3);
+  const auto result = BuildHpSpcIndex(g, DegreeOrder(g));
+  EXPECT_EQ(result.index.Query(0, g.NumVertices() - 1),
+            (SpcResult{4, 27}));  // 3^3
+}
+
+TEST(HpSpcTest, WeightedCountsMultiplyInternalVertices) {
+  // Path 0-1-2 with weight(1) = 5: five "virtual" middle vertices.
+  const Graph g = GeneratePath(3);
+  const std::vector<Count> weights{1, 5, 1};
+  const auto result = BuildHpSpcIndex(g, IdentityOrder(3), weights);
+  EXPECT_EQ(result.index.Query(0, 2), (SpcResult{2, 5}));
+  // Adjacent pair: no internal vertex, count stays 1.
+  EXPECT_EQ(result.index.Query(0, 1), (SpcResult{1, 1}));
+}
+
+TEST(HpSpcTest, RandomGraphMatchesBfsOracle) {
+  const Graph g = GenerateErdosRenyi(60, 150, 17);
+  const auto result = BuildHpSpcIndex(g, DegreeOrder(g));
+  for (const auto& [s, t] : AllPairs(60)) {
+    EXPECT_EQ(result.index.Query(s, t), BfsSpcPair(g, s, t))
+        << "pair (" << s << "," << t << ")";
+  }
+}
+
+TEST(HpSpcTest, OrderChoiceChangesSizeNotAnswers) {
+  const Graph g = GenerateBarabasiAlbert(80, 3, 21);
+  const auto by_degree = BuildHpSpcIndex(g, DegreeOrder(g));
+  const auto by_identity = BuildHpSpcIndex(g, IdentityOrder(80));
+  for (const auto& [s, t] : AllPairs(80)) {
+    EXPECT_EQ(by_degree.index.Query(s, t), by_identity.index.Query(s, t));
+  }
+  // Degree order should not be larger than the arbitrary one here.
+  EXPECT_LE(by_degree.index.TotalEntries(), by_identity.index.TotalEntries());
+}
+
+}  // namespace
+}  // namespace pspc

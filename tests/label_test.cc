@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/label/label_entry.h"
+#include "src/label/label_set.h"
+#include "src/label/spc_index.h"
+#include "src/order/vertex_order.h"
+
+namespace pspc {
+namespace {
+
+// ------------------------------------------------- LevelLabelStore --
+
+TEST(LevelLabelStoreTest, CommitsFormLevels) {
+  LevelLabelStore store(2);
+  const LabelEntry l0{0, 0, 1};
+  store.CommitLevel(0, {&l0, 1});
+  std::vector<LabelEntry> level1{{1, 1, 2}, {3, 1, 1}};
+  store.CommitLevel(0, level1);
+
+  EXPECT_EQ(store.NumLevels(0), 2u);
+  EXPECT_EQ(store.Entries(0).size(), 3u);
+  EXPECT_EQ(store.Level(0, 0).size(), 1u);
+  EXPECT_EQ(store.Level(0, 1).size(), 2u);
+  EXPECT_EQ(store.Level(0, 1)[1].hub_rank, 3u);
+  // Uncommitted level reads as empty.
+  EXPECT_TRUE(store.Level(0, 2).empty());
+  EXPECT_TRUE(store.Level(1, 0).empty());  // vertex 1 never committed
+}
+
+TEST(LevelLabelStoreTest, EmptyLevelsKeepAlignment) {
+  LevelLabelStore store(1);
+  const LabelEntry l0{0, 0, 1};
+  store.CommitLevel(0, {&l0, 1});
+  store.CommitLevel(0, {});  // distance 1: nothing
+  std::vector<LabelEntry> level2{{2, 2, 5}};
+  store.CommitLevel(0, level2);
+  EXPECT_TRUE(store.Level(0, 1).empty());
+  ASSERT_EQ(store.Level(0, 2).size(), 1u);
+  EXPECT_EQ(store.Level(0, 2)[0].count, 5u);
+}
+
+TEST(LevelLabelStoreTest, TotalEntriesAcrossVertices) {
+  LevelLabelStore store(3);
+  const LabelEntry a{0, 0, 1};
+  const LabelEntry b{1, 0, 1};
+  store.CommitLevel(0, {&a, 1});
+  store.CommitLevel(1, {&b, 1});
+  EXPECT_EQ(store.TotalEntries(), 2u);
+}
+
+TEST(LevelLabelStoreDeathTest, RejectsUnsortedBatch) {
+  LevelLabelStore store(1);
+  std::vector<LabelEntry> bad{{3, 1, 1}, {1, 1, 1}};
+  EXPECT_DEATH(store.CommitLevel(0, bad), "sorted");
+}
+
+// ---------------------------------------------------------- SpcIndex --
+
+SpcIndex MakeTinyIndex() {
+  // Path 0 - 1 - 2 under identity order. Hubs stored as ranks.
+  // L(0) = {(0,0,1)}; L(1) = {(0,1,1),(1,0,1)};
+  // L(2) = {(0,2,1),(1,1,1),(2,0,1)}.
+  std::vector<std::vector<LabelEntry>> labels(3);
+  labels[0] = {{0, 0, 1}};
+  labels[1] = {{0, 1, 1}, {1, 0, 1}};
+  labels[2] = {{0, 2, 1}, {1, 1, 1}, {2, 0, 1}};
+  return SpcIndex(IdentityOrder(3), std::move(labels));
+}
+
+TEST(SpcIndexTest, QueriesPathDistances) {
+  const SpcIndex index = MakeTinyIndex();
+  EXPECT_EQ(index.Query(0, 1), (SpcResult{1, 1}));
+  EXPECT_EQ(index.Query(0, 2), (SpcResult{2, 1}));
+  EXPECT_EQ(index.Query(2, 0), (SpcResult{2, 1}));
+}
+
+TEST(SpcIndexTest, SelfQueryIsZeroOne) {
+  EXPECT_EQ(MakeTinyIndex().Query(1, 1), (SpcResult{0, 1}));
+}
+
+TEST(SpcIndexTest, NoCommonHubMeansDisconnected) {
+  std::vector<std::vector<LabelEntry>> labels(2);
+  labels[0] = {{0, 0, 1}};
+  labels[1] = {{1, 0, 1}};
+  const SpcIndex index(IdentityOrder(2), std::move(labels));
+  EXPECT_EQ(index.Query(0, 1), (SpcResult{kInfSpcDistance, 0}));
+}
+
+TEST(SpcIndexTest, SumsCountsOverMinDistanceHubs) {
+  // Two hubs at the same total distance: counts add (Eq. 2).
+  std::vector<std::vector<LabelEntry>> labels(4);
+  labels[0] = {{0, 0, 1}};
+  labels[1] = {{0, 1, 1}, {1, 0, 1}};
+  labels[2] = {{0, 1, 1}, {2, 0, 1}};
+  labels[3] = {{0, 2, 2}, {1, 1, 1}, {2, 1, 1}, {3, 0, 1}};
+  const SpcIndex index(IdentityOrder(4), std::move(labels));
+  // 1 -> 3 via hub1 (0+1, count 1) and hub0 (1+2, dist 3 loses).
+  EXPECT_EQ(index.Query(1, 3), (SpcResult{1, 1}));
+  // 0 -> 3: hub0 gives 0+2 count 2.
+  EXPECT_EQ(index.Query(0, 3), (SpcResult{2, 2}));
+}
+
+TEST(SpcIndexTest, ConstructorSortsEntriesByRank) {
+  std::vector<std::vector<LabelEntry>> labels(2);
+  labels[0] = {{1, 1, 1}, {0, 0, 1}};  // deliberately unsorted
+  labels[1] = {{1, 0, 1}, {0, 1, 1}};
+  const SpcIndex index(IdentityOrder(2), std::move(labels));
+  EXPECT_EQ(index.Labels(0)[0].hub_rank, 0u);
+  EXPECT_EQ(index.Labels(0)[1].hub_rank, 1u);
+}
+
+TEST(SpcIndexTest, SizeAccounting) {
+  const SpcIndex index = MakeTinyIndex();
+  EXPECT_EQ(index.TotalEntries(), 6u);
+  EXPECT_DOUBLE_EQ(index.AverageLabelSize(), 2.0);
+  EXPECT_EQ(index.SizeBytes(),
+            6 * sizeof(LabelEntry) + 4 * sizeof(uint64_t));
+}
+
+TEST(SpcIndexTest, SaveLoadRoundTrip) {
+  const SpcIndex index = MakeTinyIndex();
+  const std::string path = ::testing::TempDir() + "/index.bin";
+  ASSERT_TRUE(index.Save(path).ok());
+  const auto loaded = SpcIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), index);
+  EXPECT_EQ(loaded.value().Query(0, 2), (SpcResult{2, 1}));
+  std::remove(path.c_str());
+}
+
+TEST(SpcIndexTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs("garbage bytes here, definitely not an index", f);
+    fclose(f);
+  }
+  const auto loaded = SpcIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SpcIndexTest, LoadMissingFileIsIOError) {
+  const auto loaded = SpcIndex::Load("/no/such/file.idx");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace pspc

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/core/landmark_filter.h"
+#include "src/core/scheduler.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/order/degree_order.h"
+#include "src/order/vertex_order.h"
+
+namespace pspc {
+namespace {
+
+// --------------------------------------------------- LandmarkFilter --
+
+TEST(LandmarkFilterTest, EmptyFilterPrunesNothing) {
+  LandmarkFilter filter;
+  EXPECT_EQ(filter.NumLandmarks(), 0u);
+  EXPECT_FALSE(filter.Prunes(0, 1, 5));
+}
+
+TEST(LandmarkFilterTest, NeverPrunesTrueShortestCandidates) {
+  // Soundness: Prunes(u, w, d) = true must imply dist(u, w) < d.
+  const Graph g = GenerateErdosRenyi(60, 150, 3);
+  const VertexOrder order = DegreeOrder(g);
+  const LandmarkFilter filter(g, order, 8, 2);
+  for (VertexId u = 0; u < 60; ++u) {
+    const auto dist = BfsDistances(g, u);
+    for (VertexId w = 0; w < 60; ++w) {
+      if (dist[w] == kInfDistance) continue;
+      EXPECT_FALSE(filter.Prunes(u, w, dist[w]))
+          << "filter claimed dist(" << u << "," << w << ") < " << dist[w];
+    }
+  }
+}
+
+TEST(LandmarkFilterTest, ExactWhenHubIsLandmark) {
+  // If w is a landmark, dist(w,w) = 0 makes the test exact: any
+  // candidate distance above the true one is pruned.
+  const Graph g = GenerateBarabasiAlbert(80, 3, 5);
+  const VertexOrder order = DegreeOrder(g);
+  const LandmarkFilter filter(g, order, 4, 2);
+  const VertexId landmark = order.VertexAt(0);
+  const auto dist = BfsDistances(g, landmark);
+  for (VertexId u = 0; u < 80; ++u) {
+    if (dist[u] == kInfDistance || u == landmark) continue;
+    EXPECT_TRUE(filter.Prunes(u, landmark, dist[u] + 1));
+    EXPECT_FALSE(filter.Prunes(u, landmark, dist[u]));
+  }
+}
+
+TEST(LandmarkFilterTest, CapsAtVertexCount) {
+  const Graph g = GeneratePath(5);
+  const LandmarkFilter filter(g, IdentityOrder(5), 100, 1);
+  EXPECT_EQ(filter.NumLandmarks(), 5u);
+  EXPECT_EQ(filter.SizeBytes(), 5u * 5u * sizeof(Distance));
+}
+
+TEST(LandmarkFilterTest, HandlesDisconnectedPairsSafely) {
+  const Graph g = MakeGraph(4, {{0, 1}, {2, 3}});
+  const LandmarkFilter filter(g, IdentityOrder(4), 4, 1);
+  // No landmark connects the components; no false pruning.
+  EXPECT_FALSE(filter.Prunes(0, 2, 10));
+}
+
+// -------------------------------------------------------- Scheduler --
+
+std::vector<Rank> IdentityRanks(VertexId n) {
+  std::vector<Rank> ranks(n);
+  for (VertexId v = 0; v < n; ++v) ranks[v] = v;
+  return ranks;
+}
+
+TEST(SchedulerTest, StaticPlanKeepsNodeOrder) {
+  const std::vector<VertexId> active{4, 1, 3};
+  const auto ranks = IdentityRanks(5);
+  const auto plan =
+      PlanIteration(ScheduleKind::kStatic, active, {}, ranks);
+  EXPECT_FALSE(plan.dynamic);
+  EXPECT_EQ(plan.sequence, (std::vector<VertexId>{1, 3, 4}));
+}
+
+TEST(SchedulerTest, DynamicPlanKeepsNodeOrder) {
+  const std::vector<VertexId> active{2, 0};
+  const auto plan =
+      PlanIteration(ScheduleKind::kDynamic, active, {}, IdentityRanks(3));
+  EXPECT_TRUE(plan.dynamic);
+  EXPECT_EQ(plan.sequence, (std::vector<VertexId>{0, 2}));
+}
+
+TEST(SchedulerTest, CostAwareSortsHeaviestFirst) {
+  const std::vector<VertexId> active{0, 1, 2, 3};
+  const std::vector<uint64_t> costs{5, 50, 1, 50};
+  const auto plan =
+      PlanIteration(ScheduleKind::kCostAware, active, costs, IdentityRanks(4));
+  EXPECT_TRUE(plan.dynamic);
+  // 50-cost vertices first (rank tie-break: 1 before 3), then 5, then 1.
+  EXPECT_EQ(plan.sequence, (std::vector<VertexId>{1, 3, 0, 2}));
+}
+
+TEST(SchedulerTest, PlansCoverActiveSetExactly) {
+  const std::vector<VertexId> active{7, 2, 9, 4};
+  const std::vector<uint64_t> costs{1, 2, 3, 4};
+  for (ScheduleKind kind : {ScheduleKind::kStatic, ScheduleKind::kDynamic,
+                            ScheduleKind::kCostAware}) {
+    const auto plan = PlanIteration(kind, active, costs, IdentityRanks(10));
+    std::multiset<VertexId> expect(active.begin(), active.end());
+    std::multiset<VertexId> got(plan.sequence.begin(), plan.sequence.end());
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(SchedulerTest, EmptyActiveSet) {
+  const auto plan =
+      PlanIteration(ScheduleKind::kCostAware, {}, {}, IdentityRanks(4));
+  EXPECT_TRUE(plan.sequence.empty());
+}
+
+}  // namespace
+}  // namespace pspc

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/graph/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/order/degree_order.h"
+#include "src/order/hybrid_order.h"
+#include "src/order/significant_path_order.h"
+#include "src/order/tree_decomposition.h"
+#include "src/order/vertex_order.h"
+
+namespace pspc {
+namespace {
+
+bool IsPermutation(const VertexOrder& order, VertexId n) {
+  if (order.Size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (Rank r = 0; r < n; ++r) {
+    const VertexId v = order.VertexAt(r);
+    if (v >= n || seen[v]) return false;
+    seen[v] = true;
+    if (order.RankOf(v) != r) return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------ VertexOrder --
+
+TEST(VertexOrderTest, IdentityRoundTrips) {
+  const VertexOrder order = IdentityOrder(5);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(order.RankOf(v), v);
+    EXPECT_EQ(order.VertexAt(v), v);
+  }
+}
+
+TEST(VertexOrderTest, PermutationRoundTrips) {
+  const VertexOrder order(std::vector<VertexId>{2, 0, 3, 1});
+  EXPECT_EQ(order.VertexAt(0), 2u);
+  EXPECT_EQ(order.RankOf(2), 0u);
+  EXPECT_EQ(order.RankOf(1), 3u);
+  EXPECT_TRUE(order.RanksHigher(2, 1));
+  EXPECT_FALSE(order.RanksHigher(1, 2));
+}
+
+TEST(VertexOrderDeathTest, RejectsDuplicates) {
+  EXPECT_DEATH(VertexOrder(std::vector<VertexId>{0, 0, 1}), "twice");
+}
+
+TEST(VertexOrderDeathTest, RejectsOutOfRange) {
+  EXPECT_DEATH(VertexOrder(std::vector<VertexId>{0, 5, 1}), "out-of-range");
+}
+
+// ------------------------------------------------------ DegreeOrder --
+
+TEST(DegreeOrderTest, StarCenterRanksFirst) {
+  const VertexOrder order = DegreeOrder(GenerateStar(6));
+  EXPECT_EQ(order.VertexAt(0), 0u);
+}
+
+TEST(DegreeOrderTest, DegreesNonIncreasingAlongRanks) {
+  const Graph g = GenerateBarabasiAlbert(100, 3, 1);
+  const VertexOrder order = DegreeOrder(g);
+  ASSERT_TRUE(IsPermutation(order, 100));
+  for (Rank r = 1; r < 100; ++r) {
+    EXPECT_GE(g.Degree(order.VertexAt(r - 1)), g.Degree(order.VertexAt(r)));
+  }
+}
+
+TEST(DegreeOrderTest, TieBreaksById) {
+  const Graph g = GenerateCycle(5);  // all degree 2
+  const VertexOrder order = DegreeOrder(g);
+  for (Rank r = 0; r < 5; ++r) EXPECT_EQ(order.VertexAt(r), r);
+}
+
+// ------------------------------------------- Min-degree elimination --
+
+TEST(TreeDecompositionTest, PathEliminationBagSize) {
+  // A path has treewidth 1: every elimination bag has <= 2 vertices.
+  const auto result = MinDegreeElimination(GeneratePath(20), 0);
+  EXPECT_LE(result.max_bag_size, 2u);
+  EXPECT_TRUE(IsPermutation(result.order, 20));
+}
+
+TEST(TreeDecompositionTest, TreeBagSizeIsTwo) {
+  const auto result = MinDegreeElimination(GenerateTree(63, 2), 0);
+  EXPECT_LE(result.max_bag_size, 2u);
+}
+
+TEST(TreeDecompositionTest, CycleBagSizeIsThree) {
+  // Cycles have treewidth 2: one elimination step sees 2 neighbors.
+  const auto result = MinDegreeElimination(GenerateCycle(12), 0);
+  EXPECT_EQ(result.max_bag_size, 3u);
+}
+
+TEST(TreeDecompositionTest, CliqueBagEqualsCliqueSize) {
+  const auto result = MinDegreeElimination(GenerateComplete(6), 0);
+  EXPECT_EQ(result.max_bag_size, 6u);
+}
+
+TEST(TreeDecompositionTest, LastEliminatedRanksHighest) {
+  const auto result = MinDegreeElimination(GeneratePath(10), 0);
+  EXPECT_EQ(result.order.VertexAt(0), result.elimination.back());
+}
+
+TEST(TreeDecompositionTest, DegreeCapKeepsDenseCore) {
+  // Complete graph with cap 3: nothing can be eliminated; survivors
+  // are appended and the order is still a valid permutation.
+  const auto result = MinDegreeElimination(GenerateComplete(8), 3);
+  EXPECT_TRUE(IsPermutation(result.order, 8));
+  EXPECT_LE(result.max_bag_size, 4u);
+}
+
+TEST(TreeDecompositionTest, RoadNetworkOrderOnGrid) {
+  const Graph g = GenerateRoadGrid(12, 12, 1.0, 0.0, 1);
+  const VertexOrder order = RoadNetworkOrder(g);
+  EXPECT_TRUE(IsPermutation(order, g.NumVertices()));
+}
+
+// ------------------------------------------------------ HybridOrder --
+
+TEST(HybridOrderTest, ValidPermutation) {
+  const Graph g = GenerateBarabasiAlbert(200, 3, 2);
+  EXPECT_TRUE(IsPermutation(HybridOrder(g, 5), 200));
+}
+
+TEST(HybridOrderTest, CoreVerticesOutrankFringe) {
+  const Graph g = GenerateStar(10);  // center degree 10, leaves 1
+  const VertexOrder order = HybridOrder(g, 5);
+  // Only the center exceeds delta=5; it must take rank 0.
+  EXPECT_EQ(order.VertexAt(0), 0u);
+  for (VertexId leaf = 1; leaf <= 10; ++leaf) {
+    EXPECT_TRUE(order.RanksHigher(0, leaf));
+  }
+}
+
+TEST(HybridOrderTest, DeltaZeroMakesEveryoneCore) {
+  // Every vertex with degree > 0 is core: hybrid == degree order.
+  const Graph g = GenerateBarabasiAlbert(80, 2, 3);
+  const VertexOrder hybrid = HybridOrder(g, 0);
+  const VertexOrder degree = DegreeOrder(g);
+  EXPECT_EQ(hybrid.OrderToVertex(), degree.OrderToVertex());
+}
+
+TEST(HybridOrderTest, HugeDeltaMakesEveryoneFringe) {
+  const Graph g = GenerateCycle(10);
+  const VertexOrder hybrid = HybridOrder(g, 1000);
+  EXPECT_TRUE(IsPermutation(hybrid, 10));
+}
+
+TEST(HybridOrderTest, HandlesIsolatedVertices) {
+  const Graph g = MakeGraph(5, {{0, 1}});
+  EXPECT_TRUE(IsPermutation(HybridOrder(g, 0), 5));
+  EXPECT_TRUE(IsPermutation(HybridOrder(g, 3), 5));
+}
+
+TEST(HybridOrderTest, FillInCapKeepsDenseFringeValid) {
+  // Huge delta forces every vertex into the fringe; on a dense graph
+  // the elimination cap must kick in and still yield a permutation.
+  const Graph g = GenerateErdosRenyi(120, 2500, 31);  // davg ~ 42
+  EXPECT_TRUE(IsPermutation(HybridOrder(g, 100000), 120));
+}
+
+TEST(HybridOrderTest, CappedOrderStillBuildsExactIndex) {
+  // End-to-end: the cap changes ranking quality, never correctness.
+  const Graph g = GenerateWattsStrogatz(150, 5, 0.1, 33);
+  EXPECT_TRUE(IsPermutation(HybridOrder(g, 1000), 150));
+}
+
+// -------------------------------------------- SignificantPathOrder --
+
+TEST(SignificantPathOrderTest, ValidPermutation) {
+  const Graph g = GenerateErdosRenyi(80, 200, 4);
+  EXPECT_TRUE(IsPermutation(SignificantPathOrder(g), 80));
+}
+
+TEST(SignificantPathOrderTest, StartsAtMaxDegree) {
+  const Graph g = GenerateBarabasiAlbert(60, 2, 6);
+  const VertexOrder order = SignificantPathOrder(g);
+  EXPECT_EQ(g.Degree(order.VertexAt(0)), g.MaxDegree());
+}
+
+TEST(SignificantPathOrderTest, HandlesDisconnectedGraphs) {
+  const Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_TRUE(IsPermutation(SignificantPathOrder(g), 6));
+}
+
+TEST(SignificantPathOrderTest, DeterministicAcrossRuns) {
+  const Graph g = GenerateErdosRenyi(50, 120, 9);
+  EXPECT_EQ(SignificantPathOrder(g).OrderToVertex(),
+            SignificantPathOrder(g).OrderToVertex());
+}
+
+}  // namespace
+}  // namespace pspc

@@ -1,0 +1,59 @@
+#ifndef PSPC_TESTS_TEST_UTIL_H_
+#define PSPC_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/baseline/bfs_spc.h"
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+#include "src/label/spc_index.h"
+
+/// Shared helpers for the PSPC test suite.
+namespace pspc::testing {
+
+/// Exhaustive shortest-path counting by DFS path enumeration — the
+/// independent oracle used to validate the BFS oracle itself. Only for
+/// tiny graphs (exponential).
+inline void EnumeratePaths(const Graph& g, VertexId current, VertexId target,
+                           uint32_t budget, std::vector<bool>& on_path,
+                           Count& found) {
+  if (current == target) {
+    ++found;
+    return;
+  }
+  if (budget == 0) return;
+  on_path[current] = true;
+  for (VertexId nxt : g.Neighbors(current)) {
+    if (!on_path[nxt]) {
+      EnumeratePaths(g, nxt, target, budget - 1, on_path, found);
+    }
+  }
+  on_path[current] = false;
+}
+
+/// (distance, count) by brute-force enumeration of simple paths of the
+/// exact shortest length.
+inline SpcResult BruteForceSpc(const Graph& g, VertexId s, VertexId t) {
+  if (s == t) return {0, 1};
+  const SpcResult bfs = BfsSpcPair(g, s, t);  // distance from BFS only
+  if (bfs.distance == kInfSpcDistance) return {kInfSpcDistance, 0};
+  std::vector<bool> on_path(g.NumVertices(), false);
+  Count found = 0;
+  EnumeratePaths(g, s, t, bfs.distance, on_path, found);
+  return {bfs.distance, found};
+}
+
+/// All (s, t) pairs of a small graph, s < t.
+inline std::vector<std::pair<VertexId, VertexId>> AllPairs(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = s + 1; t < n; ++t) pairs.emplace_back(s, t);
+  }
+  return pairs;
+}
+
+}  // namespace pspc::testing
+
+#endif  // PSPC_TESTS_TEST_UTIL_H_
