@@ -1,22 +1,31 @@
 // Command-line SPC tool: build an index from an edge-list file (or a
-// named synthetic dataset), persist it, and answer queries.
+// named synthetic dataset), persist it, answer queries, and replay
+// edge-update streams against the dynamic index.
 //
 //   ./spc_cli build  <graph.txt|dataset:CODE> <index.bin> [--hp-spc]
 //                    [--order degree|sig|road|hybrid] [--threads N]
 //   ./spc_cli query  <graph-or-dataset> <index.bin> <s> <t> [s t ...]
 //   ./spc_cli stats  <graph-or-dataset>
+//   ./spc_cli update <graph-or-dataset> <index.bin>
+//                    --update-stream <updates.txt>
+//                    [--rebuild-threshold R] [--save <out.bin>]
 //
 // Examples:
 //   ./spc_cli build dataset:FB /tmp/fb.idx --order hybrid
 //   ./spc_cli query dataset:FB /tmp/fb.idx 0 17 3 99
+//   ./spc_cli update dataset:FB /tmp/fb.idx --update-stream churn.txt
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/timer.h"
 #include "src/core/builder_facade.h"
+#include "src/dynamic/dynamic_spc_index.h"
+#include "src/dynamic/edge_update.h"
 #include "src/graph/algorithms.h"
 #include "src/graph/datasets.h"
 #include "src/graph/graph_io.h"
@@ -30,7 +39,10 @@ int Usage() {
                "  spc_cli build <graph.txt|dataset:CODE> <index.bin> "
                "[--hp-spc] [--order degree|sig|road|hybrid] [--threads N]\n"
                "  spc_cli query <graph-or-dataset> <index.bin> <s> <t> ...\n"
-               "  spc_cli stats <graph-or-dataset>\n");
+               "  spc_cli stats <graph-or-dataset>\n"
+               "  spc_cli update <graph-or-dataset> <index.bin> "
+               "--update-stream <updates.txt> [--rebuild-threshold R] "
+               "[--save <out.bin>]\n");
   return 2;
 }
 
@@ -143,6 +155,87 @@ int CmdStats(int argc, char** argv) {
   return 0;
 }
 
+// Replays an update stream against the dynamic index: per-update
+// repair latency, staleness growth, and optionally a compacted
+// (rebuilt) index written back to disk.
+int CmdUpdate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  pspc::Graph graph;
+  if (!LoadGraphArg(argv[2], &graph)) return 1;
+  auto loaded = pspc::SpcIndex::Load(argv[3]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "failed to load index %s: %s\n", argv[3],
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string stream_path, save_path;
+  pspc::DynamicOptions options;
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--update-stream" && i + 1 < argc) {
+      stream_path = argv[++i];
+    } else if (flag == "--rebuild-threshold" && i + 1 < argc) {
+      options.rebuild_threshold = std::atof(argv[++i]);
+    } else if (flag == "--save" && i + 1 < argc) {
+      save_path = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (stream_path.empty()) return Usage();
+
+  auto stream = pspc::LoadUpdateStream(stream_path);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "failed to load updates %s: %s\n",
+                 stream_path.c_str(), stream.status().ToString().c_str());
+    return 1;
+  }
+
+  if (loaded.value().NumVertices() != graph.NumVertices()) {
+    std::fprintf(stderr, "index has %u vertices but graph has %u\n",
+                 loaded.value().NumVertices(), graph.NumVertices());
+    return 1;
+  }
+  pspc::DynamicSpcIndex index(std::move(graph), std::move(loaded).value(),
+                              options);
+  std::printf("replaying %zu updates against %u vertices / %llu edges\n",
+              stream.value().Size(), index.NumVertices(),
+              static_cast<unsigned long long>(index.NumEdges()));
+
+  pspc::WallTimer timer;
+  size_t applied = 0;
+  for (const pspc::EdgeUpdate& up : stream.value()) {
+    const pspc::Status st = index.Apply(up);
+    if (!st.ok()) {
+      std::fprintf(stderr, "update %zu (%c %u %u) failed: %s\n", applied,
+                   up.kind == pspc::EdgeUpdateKind::kInsert ? 'i' : 'd',
+                   up.u, up.v, st.ToString().c_str());
+      return 1;
+    }
+    ++applied;
+  }
+  const double total = timer.ElapsedSeconds();
+
+  std::printf("applied %zu updates in %.3fs (%.3f ms/update)\n%s\n", applied,
+              total, applied == 0 ? 0.0 : total * 1e3 / applied,
+              index.Stats().ToString().c_str());
+  std::printf("staleness: %.4f (threshold %.4f), edges now %llu\n",
+              index.StalenessRatio(), options.rebuild_threshold,
+              static_cast<unsigned long long>(index.NumEdges()));
+
+  if (!save_path.empty()) {
+    index.Rebuild();  // compact: fold the overlay into a fresh base
+    if (const pspc::Status st = index.BaseIndex().Save(save_path); !st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("rebuilt + saved to %s (%.1f MB)\n", save_path.c_str(),
+                static_cast<double>(index.BaseIndex().SizeBytes()) / 1048576.0);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,5 +243,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "build") == 0) return CmdBuild(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return CmdQuery(argc, argv);
   if (std::strcmp(argv[1], "stats") == 0) return CmdStats(argc, argv);
+  if (std::strcmp(argv[1], "update") == 0) return CmdUpdate(argc, argv);
   return Usage();
 }

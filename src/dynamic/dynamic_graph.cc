@@ -1,0 +1,107 @@
+#include "src/dynamic/dynamic_graph.h"
+
+#include <string>
+
+#include "src/graph/graph_builder.h"
+
+namespace pspc {
+namespace {
+
+bool SortedContains(const std::vector<VertexId>& vec, VertexId v) {
+  return std::binary_search(vec.begin(), vec.end(), v);
+}
+
+void SortedInsert(std::vector<VertexId>* vec, VertexId v) {
+  vec->insert(std::upper_bound(vec->begin(), vec->end(), v), v);
+}
+
+void SortedErase(std::vector<VertexId>* vec, VertexId v) {
+  const auto it = std::lower_bound(vec->begin(), vec->end(), v);
+  if (it != vec->end() && *it == v) vec->erase(it);
+}
+
+}  // namespace
+
+Status DynamicGraph::ValidateEndpoints(VertexId u, VertexId v) const {
+  if (u >= NumVertices() || v >= NumVertices()) {
+    return Status::InvalidArgument(
+        "edge (" + std::to_string(u) + ", " + std::to_string(v) +
+        ") outside vertex universe [0, " + std::to_string(NumVertices()) +
+        "); the dynamic index does not grow the vertex set");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-loop on vertex " + std::to_string(u));
+  }
+  return Status::OK();
+}
+
+bool DynamicGraph::HasEdge(VertexId u, VertexId v) const {
+  const auto it = delta_.find(u);
+  if (it == delta_.end()) return base_->HasEdge(u, v);
+  if (SortedContains(it->second.added, v)) return true;
+  if (SortedContains(it->second.removed, v)) return false;
+  return base_->HasEdge(u, v);
+}
+
+Status DynamicGraph::AddEdge(VertexId u, VertexId v) {
+  PSPC_RETURN_IF_ERROR(ValidateEndpoints(u, v));
+  if (HasEdge(u, v)) {
+    return Status::InvalidArgument("edge (" + std::to_string(u) + ", " +
+                                   std::to_string(v) + ") already exists");
+  }
+  AddDirected(u, v);
+  AddDirected(v, u);
+  ++num_edges_;
+  ++delta_edges_;
+  return Status::OK();
+}
+
+Status DynamicGraph::RemoveEdge(VertexId u, VertexId v) {
+  PSPC_RETURN_IF_ERROR(ValidateEndpoints(u, v));
+  if (!HasEdge(u, v)) {
+    return Status::NotFound("edge (" + std::to_string(u) + ", " +
+                            std::to_string(v) + ") does not exist");
+  }
+  RemoveDirected(u, v);
+  RemoveDirected(v, u);
+  --num_edges_;
+  ++delta_edges_;
+  return Status::OK();
+}
+
+void DynamicGraph::AddDirected(VertexId u, VertexId v) {
+  VertexDelta& d = delta_[u];
+  if (SortedContains(d.removed, v)) {
+    SortedErase(&d.removed, v);  // un-remove a base edge
+  } else {
+    SortedInsert(&d.added, v);
+  }
+}
+
+void DynamicGraph::RemoveDirected(VertexId u, VertexId v) {
+  VertexDelta& d = delta_[u];
+  if (SortedContains(d.added, v)) {
+    SortedErase(&d.added, v);  // cancel a delta insertion
+  } else {
+    SortedInsert(&d.removed, v);
+  }
+}
+
+VertexId DynamicGraph::Degree(VertexId v) const {
+  const auto it = delta_.find(v);
+  if (it == delta_.end()) return base_->Degree(v);
+  return static_cast<VertexId>(base_->Degree(v) + it->second.added.size() -
+                               it->second.removed.size());
+}
+
+Graph DynamicGraph::Materialize() const {
+  GraphBuilder builder(NumVertices());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    ForEachNeighbor(u, [&](VertexId w) {
+      if (u < w) builder.AddEdge(u, w);
+    });
+  }
+  return builder.Build();
+}
+
+}  // namespace pspc

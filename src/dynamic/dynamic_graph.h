@@ -1,0 +1,98 @@
+#ifndef PSPC_SRC_DYNAMIC_DYNAMIC_GRAPH_H_
+#define PSPC_SRC_DYNAMIC_DYNAMIC_GRAPH_H_
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+/// Mutable adjacency view over an immutable CSR `Graph`.
+///
+/// The base CSR stays untouched; per-vertex deltas record edges added
+/// and removed since the base was materialized. Only vertices touched
+/// by updates pay any overhead — untouched vertices iterate straight
+/// over the base CSR span, which keeps BFS-heavy repair passes close to
+/// static-graph speed between rebuilds. `Materialize()` folds the
+/// deltas into a fresh CSR when the owning index decides to rebuild.
+namespace pspc {
+
+class DynamicGraph {
+ public:
+  /// `base` must outlive the view (the owning DynamicSpcIndex keeps
+  /// both and rebases after rebuilds).
+  explicit DynamicGraph(const Graph* base)
+      : base_(base), num_edges_(base->NumEdges()) {}
+
+  /// Swaps in a new base and drops all deltas.
+  void Rebase(const Graph* base) {
+    base_ = base;
+    delta_.clear();
+    num_edges_ = base->NumEdges();
+    delta_edges_ = 0;
+  }
+
+  VertexId NumVertices() const { return base_->NumVertices(); }
+  EdgeId NumEdges() const { return num_edges_; }
+
+  /// Number of structural changes applied since the last Rebase (an
+  /// un-remove cancels a removal rather than counting twice).
+  size_t DeltaEdges() const { return delta_edges_; }
+
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// InvalidArgument for self-loops or endpoints outside `[0, n)` (the
+  /// vertex universe is fixed; HasEdge on such input would be UB).
+  Status ValidateEndpoints(VertexId u, VertexId v) const;
+
+  /// Adds the undirected edge `{u, v}`. InvalidArgument on self-loops,
+  /// out-of-range endpoints, or an edge that already exists.
+  Status AddEdge(VertexId u, VertexId v);
+
+  /// Removes the undirected edge `{u, v}`. NotFound if absent;
+  /// InvalidArgument on self-loops or out-of-range endpoints.
+  Status RemoveEdge(VertexId u, VertexId v);
+
+  /// Current degree of `v`.
+  VertexId Degree(VertexId v) const;
+
+  /// Invokes `fn(w)` for every current neighbor `w` of `v`. Order is
+  /// base-CSR order followed by added edges (insertion order); repair
+  /// BFS results do not depend on it.
+  template <typename Fn>
+  void ForEachNeighbor(VertexId v, Fn&& fn) const {
+    const auto it = delta_.find(v);
+    if (it == delta_.end()) {
+      for (const VertexId w : base_->Neighbors(v)) fn(w);
+      return;
+    }
+    const VertexDelta& d = it->second;
+    for (const VertexId w : base_->Neighbors(v)) {
+      if (!std::binary_search(d.removed.begin(), d.removed.end(), w)) fn(w);
+    }
+    for (const VertexId w : d.added) fn(w);
+  }
+
+  /// CSR snapshot of the current graph (for rebuilds and oracles).
+  Graph Materialize() const;
+
+ private:
+  struct VertexDelta {
+    std::vector<VertexId> added;    // sorted
+    std::vector<VertexId> removed;  // sorted; always subset of base edges
+  };
+
+  void AddDirected(VertexId u, VertexId v);
+  void RemoveDirected(VertexId u, VertexId v);
+
+  const Graph* base_;
+  std::unordered_map<VertexId, VertexDelta> delta_;
+  EdgeId num_edges_ = 0;
+  size_t delta_edges_ = 0;
+};
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_DYNAMIC_DYNAMIC_GRAPH_H_

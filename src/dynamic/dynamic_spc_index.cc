@@ -1,0 +1,799 @@
+#include "src/dynamic/dynamic_spc_index.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/parallel.h"
+#include "src/common/saturating.h"
+#include "src/common/timer.h"
+#include "src/core/builder_facade.h"
+#include "src/core/scheduler.h"
+#include "src/label/label_merge.h"
+
+namespace pspc {
+namespace {
+
+/// Index of the entry with `hub_rank` in a rank-sorted list, or
+/// `list.size()` if absent.
+size_t FindHubEntry(std::span<const LabelEntry> list, Rank hub_rank) {
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), LabelEntry{hub_rank, 0, 0}, ByHubRank);
+  if (it != list.end() && it->hub_rank == hub_rank) {
+    return static_cast<size_t>(it - list.begin());
+  }
+  return list.size();
+}
+
+Distance ToLabelDistance(uint32_t d) {
+  PSPC_CHECK_MSG(d < kInfDistance, "distance " << d << " overflows Distance");
+  return static_cast<Distance>(d);
+}
+
+}  // namespace
+
+std::string DynamicStats::ToString() const {
+  std::ostringstream oss;
+  oss << "updates: " << insertions_applied << " insert / "
+      << deletions_applied << " delete\n"
+      << "repair:  " << resumed_bfs_runs << " resumed BFS, "
+      << affected_hubs << " hubs fully re-run, " << subtract_repairs
+      << " hubs count-subtracted\n"
+      << "labels:  " << entries_inserted << " inserted, " << entries_renewed
+      << " renewed, " << entries_erased << " erased\n"
+      << "rebuilds: " << rebuilds << "\n"
+      << "time: repair " << repair_seconds << "s, rebuild "
+      << rebuild_seconds << "s";
+  return oss.str();
+}
+
+DynamicSpcIndex::DynamicSpcIndex(Graph graph, SpcIndex index,
+                                 DynamicOptions options)
+    : base_graph_(std::move(graph)),
+      base_(std::move(index)),
+      order_(base_.Order()),
+      graph_(&base_graph_),
+      overlay_(&base_),
+      options_(options) {
+  PSPC_CHECK_MSG(base_.NumVertices() == base_graph_.NumVertices(),
+                 "index (" << base_.NumVertices() << " vertices) does not "
+                 "match graph (" << base_graph_.NumVertices() << ")");
+  InitScratch();
+}
+
+DynamicSpcIndex::DynamicSpcIndex(Graph graph,
+                                 const BuildOptions& build_options,
+                                 DynamicOptions options)
+    : DynamicSpcIndex(graph, BuildIndex(graph, build_options).index,
+                      options) {}
+
+void DynamicSpcIndex::InitScratch() {
+  const VertexId n = base_graph_.NumVertices();
+  hub_dist_.assign(n, kInfSpcDistance);
+  bfs_dist_.assign(n, kInfSpcDistance);
+  bfs_count_.assign(n, 0);
+  updated_.assign(n, 0);
+  subtract_side_.assign(n, 0);
+  bucket_max_.assign(n, 0);
+  bfs_touched_.clear();
+  bfs_queue_.clear();
+}
+
+SpcResult DynamicSpcIndex::Query(VertexId s, VertexId t) const {
+  PSPC_CHECK_MSG(s < NumVertices() && t < NumVertices(),
+                 "query (" << s << "," << t << ") out of range");
+  if (s == t) return {0, 1};
+  return MergeLabelCounts(Labels(s), Labels(t));
+}
+
+double DynamicSpcIndex::StalenessRatio() const {
+  return static_cast<double>(overlay_.OverlaidEntries()) /
+         static_cast<double>(std::max<size_t>(1, base_.TotalEntries()));
+}
+
+void DynamicSpcIndex::MaybeRebuild() {
+  if (options_.auto_rebuild && StalenessRatio() > options_.rebuild_threshold) {
+    Rebuild();
+  }
+}
+
+void DynamicSpcIndex::Rebuild() {
+  WallTimer timer;
+  Graph current = graph_.Materialize();
+  BuildResult result = BuildIndex(current, options_.rebuild_options);
+  base_graph_ = std::move(current);
+  base_ = std::move(result.index);
+  order_ = base_.Order();
+  graph_.Rebase(&base_graph_);
+  overlay_.Rebase(&base_);
+  ++stats_.rebuilds;
+  stats_.rebuild_seconds += timer.ElapsedSeconds();
+}
+
+Status DynamicSpcIndex::InsertEdge(VertexId u, VertexId v) {
+  PSPC_RETURN_IF_ERROR(graph_.AddEdge(u, v));
+  {
+    ScopedTimer timer(&stats_.repair_seconds);
+    RepairInsertion(u, v);
+  }
+  ++stats_.insertions_applied;
+  MaybeRebuild();
+  return Status::OK();
+}
+
+Status DynamicSpcIndex::DeleteEdge(VertexId u, VertexId v) {
+  PSPC_RETURN_IF_ERROR(graph_.ValidateEndpoints(u, v));
+  if (!graph_.HasEdge(u, v)) {
+    return Status::NotFound("edge (" + std::to_string(u) + ", " +
+                            std::to_string(v) + ") does not exist");
+  }
+  {
+    ScopedTimer timer(&stats_.repair_seconds);
+    RepairDeletion(u, v);
+  }
+  ++stats_.deletions_applied;
+  MaybeRebuild();
+  return Status::OK();
+}
+
+Status DynamicSpcIndex::Apply(const EdgeUpdate& update) {
+  return update.kind == EdgeUpdateKind::kInsert
+             ? InsertEdge(update.u, update.v)
+             : DeleteEdge(update.u, update.v);
+}
+
+Status DynamicSpcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
+  PSPC_RETURN_IF_ERROR(batch.Validate(NumVertices()));
+  for (const EdgeUpdate& update : batch) {
+    PSPC_RETURN_IF_ERROR(Apply(update));
+  }
+  return Status::OK();
+}
+
+void DynamicSpcIndex::LoadHubDist(VertexId hub) {
+  for (const LabelEntry& e : Labels(hub)) hub_dist_[e.hub_rank] = e.dist;
+}
+
+void DynamicSpcIndex::ResetHubDist(VertexId hub) {
+  for (const LabelEntry& e : Labels(hub)) {
+    hub_dist_[e.hub_rank] = kInfSpcDistance;
+  }
+}
+
+// ------------------------------------------------------------- insertion
+
+void DynamicSpcIndex::RepairInsertion(VertexId a, VertexId b) {
+  // Snapshots: every resumed BFS must seed from the *pre-insertion*
+  // trough counts, and repairs mutate the live lists as they go.
+  const auto la_span = Labels(a);
+  const auto lb_span = Labels(b);
+  const std::vector<LabelEntry> la(la_span.begin(), la_span.end());
+  const std::vector<LabelEntry> lb(lb_span.begin(), lb_span.end());
+  const Rank ra = order_.RankOf(a);
+  const Rank rb = order_.RankOf(b);
+
+  // Ascending hub rank across both lists, so that each hub's resumed
+  // BFS prunes against already-repaired higher-ranked labels (the same
+  // order dependency as HP-SPC construction, Lemma 1). On a shared hub
+  // the a-side runs first; both seeds still read snapshot counts.
+  size_t i = 0, j = 0;
+  while (i < la.size() || j < lb.size()) {
+    const bool take_a =
+        j == lb.size() ||
+        (i < la.size() && la[i].hub_rank <= lb[j].hub_rank);
+    const bool take_b =
+        i == la.size() ||
+        (j < lb.size() && lb[j].hub_rank <= la[i].hub_rank);
+    if (take_a) {
+      // New trough paths h ... a -> b ...: only possible if b may
+      // appear below h in the order.
+      if (la[i].hub_rank < rb) {
+        ResumedInsertBfs(la[i].hub_rank, b,
+                         static_cast<uint32_t>(la[i].dist) + 1, la[i].count);
+      }
+      ++i;
+    }
+    if (take_b) {
+      if (lb[j].hub_rank < ra) {
+        ResumedInsertBfs(lb[j].hub_rank, a,
+                         static_cast<uint32_t>(lb[j].dist) + 1, lb[j].count);
+      }
+      ++j;
+    }
+  }
+}
+
+void DynamicSpcIndex::ResumedInsertBfs(Rank hub_rank, VertexId start,
+                                       uint32_t seed_dist, Count seed_count) {
+  const VertexId hub = order_.VertexAt(hub_rank);
+  LoadHubDist(hub);
+
+  bfs_queue_.clear();
+  bfs_touched_.clear();
+  bfs_dist_[start] = seed_dist;
+  bfs_count_[start] = seed_count;
+  bfs_queue_.push_back(start);
+  bfs_touched_.push_back(start);
+
+  for (size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const VertexId v = bfs_queue_[head];
+    const uint32_t dv = bfs_dist_[v];
+
+    // One walk over L(v) up to the hub's rank: the 2-hop distance
+    // certificate over hubs ranked >= hub_rank (the hub's own old
+    // entry participates via hub_dist_[hub_rank] == 0), plus the
+    // position of the hub's entry if present.
+    const auto lv = Labels(v);
+    uint32_t certified = kInfSpcDistance;
+    size_t pos = 0;
+    bool has_hub = false;
+    LabelEntry old_entry{};
+    for (; pos < lv.size() && lv[pos].hub_rank <= hub_rank; ++pos) {
+      const uint32_t hd = hub_dist_[lv[pos].hub_rank];
+      if (hd != kInfSpcDistance) {
+        certified = std::min(certified, hd + lv[pos].dist);
+      }
+      if (lv[pos].hub_rank == hub_rank) {
+        has_hub = true;
+        old_entry = lv[pos];
+        break;
+      }
+    }
+    if (dv > certified) continue;  // covered strictly shorter: prune
+
+    Count total = bfs_count_[v];
+    if (has_hub && old_entry.dist == dv) {
+      total = SatAdd(total, old_entry.count);  // pre-existing trough paths
+    }
+    if (has_hub) {
+      if (old_entry.dist != dv || old_entry.count != total) {
+        overlay_.Mutable(v)[pos] = {hub_rank, ToLabelDistance(dv), total};
+        ++stats_.entries_renewed;
+      }
+    } else {
+      std::vector<LabelEntry>& mv = overlay_.Mutable(v);
+      mv.insert(mv.begin() + static_cast<ptrdiff_t>(pos),
+                {hub_rank, ToLabelDistance(dv), total});
+      ++stats_.entries_inserted;
+    }
+
+    graph_.ForEachNeighbor(v, [&](VertexId w) {
+      if (order_.RankOf(w) <= hub_rank) return;
+      if (bfs_dist_[w] == kInfSpcDistance) {
+        bfs_dist_[w] = dv + 1;
+        bfs_count_[w] = bfs_count_[v];
+        bfs_queue_.push_back(w);
+        bfs_touched_.push_back(w);
+      } else if (bfs_dist_[w] == dv + 1) {
+        bfs_count_[w] = SatAdd(bfs_count_[w], bfs_count_[v]);
+      }
+    });
+  }
+
+  ++stats_.resumed_bfs_runs;
+  ResetHubDist(hub);
+  for (const VertexId v : bfs_touched_) {
+    bfs_dist_[v] = kInfSpcDistance;
+    bfs_count_[v] = 0;
+  }
+}
+
+// -------------------------------------------------------------- deletion
+
+std::vector<uint32_t> DynamicSpcIndex::BfsDistances(VertexId source) const {
+  std::vector<uint32_t> dist(NumVertices(), kInfSpcDistance);
+  std::vector<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    graph_.ForEachNeighbor(u, [&](VertexId w) {
+      if (dist[w] == kInfSpcDistance) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+      }
+    });
+  }
+  return dist;
+}
+
+void DynamicSpcIndex::DetectAffectedSide(
+    VertexId from, VertexId to, const std::vector<uint8_t>& hub_of_a,
+    const std::vector<uint8_t>& hub_of_b, AffectedSide* side) const {
+  const VertexId n = base_graph_.NumVertices();
+  side->flags.assign(n, 0);
+  side->full_ranks.clear();
+  side->subtract_ranks.clear();
+  side->touched.clear();
+
+  // Pruned partial BFS over the *pre-deletion* graph. A vertex u is in
+  // the affected region iff the doomed edge lies on one of its
+  // shortest paths to the far endpoint: d(u, from) + 1 == d(u, to),
+  // answered by the (still exact) 2-hop index. Only region vertices
+  // expand, so the traversal stays proportional to the blast radius.
+  std::vector<uint32_t> dist(n, kInfSpcDistance);
+  std::vector<Count> count(n, 0);
+  std::vector<VertexId> queue;
+  dist[from] = 0;
+  count[from] = 1;
+  queue.push_back(from);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    const SpcResult to_far = Query(u, to);
+    if (dist[u] + 1 != to_far.distance) continue;
+
+    // `count[u]` = shortest `from`-u paths, which is exactly the number
+    // of shortest u-`to` paths crossing the edge. If *all* of them
+    // cross (count matches), distances from u can grow, so u needs a
+    // full hub re-run. A common hub of both endpoint labels that keeps
+    // alternative routes can only lose trough counts — repairable by
+    // subtraction. Everything else is a mere receiver. Saturated
+    // counts cannot be compared (or subtracted), so they
+    // conservatively promote to a full re-run.
+    const Rank ru = order_.RankOf(u);
+    const bool saturated =
+        count[u] == kSaturatedCount || to_far.count == kSaturatedCount;
+    if (saturated || count[u] >= to_far.count) {
+      side->flags[u] = 1;
+      side->full_ranks.push_back(ru);
+    } else if (hub_of_a[ru] != 0 && hub_of_b[ru] != 0) {
+      side->flags[u] = 2;
+      side->subtract_ranks.push_back(ru);
+    } else {
+      side->flags[u] = -1;
+    }
+    side->touched.push_back(u);
+
+    graph_.ForEachNeighbor(u, [&](VertexId w) {
+      if (dist[w] == kInfSpcDistance) {
+        dist[w] = dist[u] + 1;
+        count[w] = count[u];
+        queue.push_back(w);
+      } else if (dist[w] == dist[u] + 1) {
+        count[w] = SatAdd(count[w], count[u]);
+      }
+    });
+  }
+}
+
+void DynamicSpcIndex::RepairDeletion(VertexId a, VertexId b) {
+  const VertexId n = base_graph_.NumVertices();
+
+  std::vector<uint8_t> hub_of_a(n, 0), hub_of_b(n, 0);
+  for (const LabelEntry& e : Labels(a)) hub_of_a[e.hub_rank] = 1;
+  for (const LabelEntry& e : Labels(b)) hub_of_b[e.hub_rank] = 1;
+
+  // Pre-deletion snapshots of the endpoint labels: subtraction seeds
+  // must be the through-edge trough counts as they were before any
+  // repair of this update touches them.
+  const auto la_span = Labels(a);
+  const auto lb_span = Labels(b);
+  const std::vector<LabelEntry> la(la_span.begin(), la_span.end());
+  const std::vector<LabelEntry> lb(lb_span.begin(), lb_span.end());
+
+  // Detection runs against the pre-deletion graph and index; the two
+  // sides are disjoint (u cannot satisfy both distance conditions).
+  AffectedSide side_a, side_b;
+  DetectAffectedSide(a, b, hub_of_a, hub_of_b, &side_a);
+  DetectAffectedSide(b, a, hub_of_a, hub_of_b, &side_b);
+
+  // Every changed pair of a sender hub falls in one of two classes,
+  // each with a provable certificate that picks the cheapest repair:
+  //
+  //  * Count-only changes (trough counts drop, distances hold). The
+  //    lost trough path routes `x ... far -> near ... h`, and both of
+  //    its edge-endpoint suffixes are restricted shortest — so h must
+  //    hold a *valid* entry in both endpoint labels. Repairable by the
+  //    subtractive pass, seeded from h's entry at its own side's
+  //    endpoint (a stale seed means no trough path crosses at all).
+  //
+  //  * Distance changes (some pair distance grows; the only source of
+  //    brand-new entries). Both pair endpoints must then be full
+  //    senders, so a plain post-deletion BFS from each opposite-side
+  //    full sender detects every such hub exactly — those few re-run
+  //    the full pruned restricted BFS. When the opposite full-sender
+  //    set is too large to scan, the side falls back to re-running all
+  //    of its full senders.
+  struct HubTask {
+    Rank rank;
+    bool subtract;
+    VertexId start;       // subtract: far endpoint the BFS seeds from
+    uint32_t seed_dist;   // subtract: entry dist + 1 across the edge
+    Count seed_count;     // subtract: through-edge trough count
+    const AffectedSide* opposite;
+  };
+  std::vector<HubTask> tasks;
+  tasks.reserve(side_a.full_ranks.size() + side_a.subtract_ranks.size() +
+                side_b.full_ranks.size() + side_b.subtract_ranks.size());
+
+  // Seed validation must query the still-exact pre-deletion index.
+  std::vector<uint8_t> seed_ok(n, 0);
+  std::vector<uint32_t> seed_dist(n, 0);
+  std::vector<Count> seed_count(n, 0);
+  auto validate_seeds = [&](const AffectedSide& side,
+                            const std::vector<LabelEntry>& near_labels,
+                            VertexId near) {
+    auto validate = [&](Rank r) {
+      if (hub_of_a[r] == 0 || hub_of_b[r] == 0) return;
+      const size_t pos =
+          FindHubEntry({near_labels.data(), near_labels.size()}, r);
+      if (pos == near_labels.size()) return;
+      const LabelEntry& seed = near_labels[pos];
+      if (Query(near, order_.VertexAt(r)).distance != seed.dist) return;
+      seed_ok[r] = 1;
+      seed_dist[r] = static_cast<uint32_t>(seed.dist) + 1;
+      seed_count[r] = seed.count;
+    };
+    for (const Rank r : side.full_ranks) validate(r);
+    for (const Rank r : side.subtract_ranks) validate(r);
+  };
+  validate_seeds(side_a, la, a);
+  validate_seeds(side_b, lb, b);
+
+  // The exact distance-change filter costs one plain BFS per opposite
+  // full sender; past a few hundred the blanket re-run is cheaper.
+  // Pre-deletion endpoint distances feed its through-edge formula and
+  // must be captured while the edge still exists — but only when some
+  // filtered side actually has full senders to test.
+  constexpr size_t kDistanceFilterCap = 256;
+  const bool filter_a = side_b.full_ranks.size() <= kDistanceFilterCap;
+  const bool filter_b = side_a.full_ranks.size() <= kDistanceFilterCap;
+  const bool need_pre_dists = (filter_a && !side_a.full_ranks.empty()) ||
+                              (filter_b && !side_b.full_ranks.empty());
+  const std::vector<uint32_t> pre_dist_a =
+      need_pre_dists ? BfsDistances(a) : std::vector<uint32_t>();
+  const std::vector<uint32_t> pre_dist_b =
+      need_pre_dists ? BfsDistances(b) : std::vector<uint32_t>();
+
+  PSPC_CHECK(graph_.RemoveEdge(a, b).ok());
+
+  // Exact distance-change detection (post-deletion): hub u's distance
+  // to opposite full sender x grew iff every old shortest route used
+  // the edge, i.e. the through-edge length beat today's BFS distance.
+  // Each BFS also runs a bottleneck-rank DP over its shortest-path
+  // DAG: C(u) = the best (numerically largest) over shortest x-u paths
+  // of the smallest rank on the path excluding u. A new trough entry
+  // for the pair exists iff C(u) > rank(u) — some shortest path stays
+  // entirely below u — which decides *exactly* whether a hub whose
+  // distance grew without any pre-existing entry must re-run.
+  // A hub must fully re-run iff some pair distance to an opposite full
+  // sender x grew AND that pair matters: x still has a trough shortest
+  // path below the hub (a new or renewed entry is due), or x holds an
+  // entry for the hub — possibly a stale leftover of an earlier
+  // insertion whose recorded distance the growth just reached, which
+  // must be erased or renewed. Pairs that grew with neither leave
+  // nothing to store, and a hub with only such pairs can still repair
+  // its count-only pairs by subtraction.
+  std::vector<uint8_t> needs_full(n, 0);
+  auto mark_distance_changes = [&](const std::vector<Rank>& sender_ranks,
+                                   const std::vector<uint32_t>& pre_near,
+                                   const std::vector<uint32_t>& pre_far,
+                                   const AffectedSide& opposite) {
+    if (sender_ranks.empty()) return;
+    const Rank min_sender =
+        *std::min_element(sender_ranks.begin(), sender_ranks.end());
+    std::vector<uint32_t> now(n), bottleneck(n);
+    std::vector<VertexId> queue;
+    const std::vector<Rank>& rank_of = order_.VertexToRank();
+    for (const Rank rx : opposite.full_ranks) {
+      if (rx <= min_sender) continue;  // no sender can hold an entry at x
+      const VertexId x = order_.VertexAt(rx);
+      if (pre_far[x] == kInfSpcDistance) continue;
+      now.assign(n, kInfSpcDistance);
+      bottleneck.assign(n, 0);
+      queue.clear();
+      now[x] = 0;
+      bottleneck[x] = kInfSpcDistance;  // empty prefix: no bottleneck yet
+      queue.push_back(x);
+      for (size_t head = 0; head < queue.size(); ++head) {
+        const VertexId p = queue[head];
+        const uint32_t via = std::min(bottleneck[p], uint32_t{rank_of[p]});
+        graph_.ForEachNeighbor(p, [&](VertexId w) {
+          if (now[w] == kInfSpcDistance) {
+            now[w] = now[p] + 1;
+            bottleneck[w] = via;
+            queue.push_back(w);
+          } else if (now[w] == now[p] + 1) {
+            bottleneck[w] = std::max(bottleneck[w], via);
+          }
+        });
+      }
+      const auto lx = Labels(x);
+      for (const Rank r : sender_ranks) {
+        if (r >= rx || needs_full[r] != 0) continue;
+        const VertexId u = order_.VertexAt(r);
+        if (pre_near[u] == kInfSpcDistance) continue;
+        const uint64_t through =
+            uint64_t{pre_far[x]} + 1 + uint64_t{pre_near[u]};
+        if (through < now[u]) {
+          if ((now[u] != kInfSpcDistance && bottleneck[u] > r) ||
+              FindHubEntry(lx, r) < lx.size()) {
+            needs_full[r] = 1;
+          }
+        }
+      }
+    }
+  };
+  if (filter_a) {
+    mark_distance_changes(side_a.full_ranks, pre_dist_a, pre_dist_b, side_b);
+  }
+  if (filter_b) {
+    mark_distance_changes(side_b.full_ranks, pre_dist_b, pre_dist_a, side_a);
+  }
+
+  auto assemble = [&](const AffectedSide& side, bool filtered, VertexId far,
+                      const AffectedSide* opposite) {
+    for (const Rank r : side.full_ranks) {
+      if (!filtered || needs_full[r] != 0) {
+        tasks.push_back({r, false, 0, 0, 0, opposite});
+      } else if (seed_ok[r] != 0) {
+        tasks.push_back({r, true, far, seed_dist[r], seed_count[r], opposite});
+      }
+      // else: provably no pair of this hub changed in a way that needs
+      // a re-run — no grown pair carries an entry or surviving trough,
+      // and count-only pairs need a valid common seed.
+    }
+    for (const Rank r : side.subtract_ranks) {
+      if (seed_ok[r] != 0) {
+        tasks.push_back({r, true, far, seed_dist[r], seed_count[r], opposite});
+      }
+    }
+  };
+  assemble(side_a, filter_a, b, &side_b);
+  assemble(side_b, filter_b, a, &side_a);
+
+  // One pass over the region's labels buckets, per subtractive hub,
+  // the farthest entry it may have to fix; the subtraction BFS stops
+  // at that depth, and hubs nobody stores an entry for are skipped
+  // outright (they provably cannot gain entries).
+  for (const HubTask& task : tasks) {
+    if (task.subtract) {
+      subtract_side_[task.rank] = task.opposite == &side_b ? 1 : 2;
+    }
+  }
+  for (const VertexId v : side_b.touched) {
+    for (const LabelEntry& e : Labels(v)) {
+      if (subtract_side_[e.hub_rank] == 1) {
+        bucket_max_[e.hub_rank] =
+            std::max<uint32_t>(bucket_max_[e.hub_rank], e.dist);
+      }
+    }
+  }
+  for (const VertexId v : side_a.touched) {
+    for (const LabelEntry& e : Labels(v)) {
+      if (subtract_side_[e.hub_rank] == 2) {
+        bucket_max_[e.hub_rank] =
+            std::max<uint32_t>(bucket_max_[e.hub_rank], e.dist);
+      }
+    }
+  }
+
+  // Changed label pairs always straddle the cut, so a hub on the
+  // a-side only rewrites entries at b-side vertices and vice versa.
+  // Ascending global rank keeps pruning sound (a full re-run consults
+  // higher-ranked labels, which are already repaired).
+  std::sort(tasks.begin(), tasks.end(),
+            [](const HubTask& x, const HubTask& y) { return x.rank < y.rank; });
+  for (const HubTask& task : tasks) {
+    if (!task.subtract) {
+      RepairHubAfterDeletion(task.rank, *task.opposite);
+    } else if (bucket_max_[task.rank] >= task.seed_dist) {
+      SubtractiveDeleteRepair(task.rank, task.start, task.seed_dist,
+                              task.seed_count, bucket_max_[task.rank],
+                              *task.opposite);
+    }
+  }
+
+  for (const HubTask& task : tasks) {
+    subtract_side_[task.rank] = 0;
+    bucket_max_[task.rank] = 0;
+  }
+}
+
+void DynamicSpcIndex::SubtractiveDeleteRepair(Rank hub_rank, VertexId start,
+                                              uint32_t seed_dist,
+                                              Count seed_count,
+                                              uint32_t depth_cap,
+                                              const AffectedSide& opposite) {
+  // Every trough path this hub loses crosses the deleted edge once and
+  // continues into the opposite region, so propagating the through-edge
+  // count from the far endpoint (restricted below the hub, over the
+  // post-deletion graph — the remainder of each lost path avoids the
+  // edge) visits only the blast radius instead of the hub's whole
+  // coverage. No pruning certificates are needed: a restricted path
+  // through a covered vertex is provably longer than the entry distance
+  // it would have to match. Saturated counts cannot be subtracted and
+  // escalate to the full re-run, which recomputes everything this pass
+  // may already have touched.
+  bool escalate = seed_count == kSaturatedCount;
+  if (!escalate) {
+    bfs_queue_.clear();
+    bfs_touched_.clear();
+    bfs_dist_[start] = seed_dist;
+    bfs_count_[start] = seed_count;
+    bfs_queue_.push_back(start);
+    bfs_touched_.push_back(start);
+
+    for (size_t head = 0; head < bfs_queue_.size(); ++head) {
+      const VertexId v = bfs_queue_[head];
+      const uint32_t dv = bfs_dist_[v];
+
+      if (opposite.flags[v] != 0) {
+        const auto lv = Labels(v);
+        const size_t pos = FindHubEntry(lv, hub_rank);
+        if (pos < lv.size() && lv[pos].dist == dv) {
+          const LabelEntry old_entry = lv[pos];
+          if (old_entry.count == kSaturatedCount ||
+              bfs_count_[v] >= old_entry.count) {
+            // Saturation, or subtracting the last trough paths: the
+            // entry must go, but `== 0` with surviving alternatives is
+            // the only provable case — anything else escalates.
+            if (old_entry.count != kSaturatedCount &&
+                bfs_count_[v] == old_entry.count) {
+              std::vector<LabelEntry>& mv = overlay_.Mutable(v);
+              mv.erase(mv.begin() + static_cast<ptrdiff_t>(pos));
+              ++stats_.entries_erased;
+            } else {
+              escalate = true;
+              break;
+            }
+          } else {
+            overlay_.Mutable(v)[pos].count = old_entry.count - bfs_count_[v];
+            ++stats_.entries_renewed;
+          }
+        }
+      }
+
+      if (dv < depth_cap) {
+        graph_.ForEachNeighbor(v, [&](VertexId w) {
+          if (order_.RankOf(w) <= hub_rank) return;
+          if (bfs_dist_[w] == kInfSpcDistance) {
+            bfs_dist_[w] = dv + 1;
+            bfs_count_[w] = bfs_count_[v];
+            bfs_queue_.push_back(w);
+            bfs_touched_.push_back(w);
+          } else if (bfs_dist_[w] == dv + 1) {
+            bfs_count_[w] = SatAdd(bfs_count_[w], bfs_count_[v]);
+          }
+        });
+      }
+    }
+
+    for (const VertexId v : bfs_touched_) {
+      bfs_dist_[v] = kInfSpcDistance;
+      bfs_count_[v] = 0;
+    }
+    if (!escalate) ++stats_.subtract_repairs;
+  }
+
+  if (escalate) {
+    RepairHubAfterDeletion(hub_rank, opposite);
+  }
+}
+
+void DynamicSpcIndex::RepairHubAfterDeletion(Rank hub_rank,
+                                             const AffectedSide& opposite) {
+  const VertexId hub = order_.VertexAt(hub_rank);
+  LoadHubDist(hub);
+
+  // Full pruned restricted BFS from the hub over the post-deletion
+  // graph — the same discipline as HP-SPC's per-hub iteration, except
+  // that entries are only written at opposite-side affected vertices
+  // (everything else is provably unchanged and is used for pruning and
+  // count propagation only).
+  bfs_queue_.clear();
+  bfs_touched_.clear();
+  bfs_dist_[hub] = 0;
+  bfs_count_[hub] = 1;
+  bfs_queue_.push_back(hub);
+  bfs_touched_.push_back(hub);
+
+  for (size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const VertexId v = bfs_queue_[head];
+    const uint32_t dv = bfs_dist_[v];
+
+    if (v != hub) {
+      const auto lv = Labels(v);
+      uint32_t over = kInfSpcDistance;  // certificate via strictly higher hubs
+      size_t pos = 0;
+      bool has_hub = false;
+      LabelEntry old_entry{};
+      for (; pos < lv.size() && lv[pos].hub_rank <= hub_rank; ++pos) {
+        if (lv[pos].hub_rank == hub_rank) {
+          has_hub = true;
+          old_entry = lv[pos];
+          break;
+        }
+        const uint32_t hd = hub_dist_[lv[pos].hub_rank];
+        if (hd != kInfSpcDistance) {
+          over = std::min(over, hd + lv[pos].dist);
+        }
+      }
+
+      if (opposite.flags[v] == 0) {
+        // Unaffected pair: the existing entry (if any) is still exact,
+        // so the full certificate may include it.
+        uint32_t certified = over;
+        if (has_hub) {
+          certified = std::min(certified,
+                               static_cast<uint32_t>(old_entry.dist));
+        }
+        if (certified < dv) continue;
+      } else {
+        // Affected pair: the old entry cannot be trusted; prune only
+        // via strictly higher hubs, then renew/insert.
+        if (dv > over) continue;
+        if (!has_hub) {
+          std::vector<LabelEntry>& mv = overlay_.Mutable(v);
+          mv.insert(mv.begin() + static_cast<ptrdiff_t>(pos),
+                    {hub_rank, ToLabelDistance(dv), bfs_count_[v]});
+          ++stats_.entries_inserted;
+        } else if (old_entry.dist != dv || old_entry.count != bfs_count_[v]) {
+          overlay_.Mutable(v)[pos] = {hub_rank, ToLabelDistance(dv),
+                                      bfs_count_[v]};
+          ++stats_.entries_renewed;
+        }
+        updated_[v] = 1;
+      }
+    }
+
+    graph_.ForEachNeighbor(v, [&](VertexId w) {
+      if (order_.RankOf(w) <= hub_rank) return;
+      if (bfs_dist_[w] == kInfSpcDistance) {
+        bfs_dist_[w] = dv + 1;
+        bfs_count_[w] = bfs_count_[v];
+        bfs_queue_.push_back(w);
+        bfs_touched_.push_back(w);
+      } else if (bfs_dist_[w] == dv + 1) {
+        bfs_count_[w] = SatAdd(bfs_count_[w], bfs_count_[v]);
+      }
+    });
+  }
+
+  // Erasure sweep: an opposite-side vertex the re-run did not confirm
+  // has lost its trough paths to this hub — its entry (when present)
+  // is stale and must go. Per-vertex erases are independent, so the
+  // sweep is planned cost-aware (label sizes vary wildly) and runs
+  // through the shared parallel-for.
+  std::vector<VertexId> to_erase;
+  for (const VertexId v : opposite.touched) {
+    if (order_.RankOf(v) <= hub_rank || updated_[v] != 0) continue;
+    const auto lv = Labels(v);
+    if (FindHubEntry(lv, hub_rank) < lv.size()) to_erase.push_back(v);
+  }
+  if (!to_erase.empty()) {
+    std::vector<uint64_t> costs;
+    costs.reserve(to_erase.size());
+    for (const VertexId v : to_erase) costs.push_back(Labels(v).size());
+    const SchedulePlan plan = PlanIteration(ScheduleKind::kCostAware, to_erase,
+                                            costs, order_.VertexToRank());
+    // Copy-on-write materialization touches the overlay map and stays
+    // sequential; the erases themselves are per-vertex independent.
+    std::vector<std::vector<LabelEntry>*> lists;
+    lists.reserve(plan.sequence.size());
+    for (const VertexId v : plan.sequence) {
+      lists.push_back(&overlay_.Mutable(v));
+    }
+    ParallelForDynamic(lists.size(), options_.num_threads, plan.chunk,
+                       [&](size_t i) {
+                         std::vector<LabelEntry>& mv = *lists[i];
+                         const size_t pos = FindHubEntry(
+                             {mv.data(), mv.size()}, hub_rank);
+                         if (pos < mv.size()) {
+                           mv.erase(mv.begin() + static_cast<ptrdiff_t>(pos));
+                         }
+                       });
+    stats_.entries_erased += lists.size();
+  }
+
+  ++stats_.affected_hubs;
+  ResetHubDist(hub);
+  for (const VertexId v : bfs_touched_) {
+    bfs_dist_[v] = kInfSpcDistance;
+    bfs_count_[v] = 0;
+    updated_[v] = 0;
+  }
+}
+
+}  // namespace pspc

@@ -1,0 +1,211 @@
+#ifndef PSPC_SRC_DYNAMIC_DYNAMIC_SPC_INDEX_H_
+#define PSPC_SRC_DYNAMIC_DYNAMIC_SPC_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/core/build_options.h"
+#include "src/dynamic/dynamic_graph.h"
+#include "src/dynamic/edge_update.h"
+#include "src/dynamic/label_overlay.h"
+#include "src/graph/graph.h"
+#include "src/label/spc_index.h"
+#include "src/order/vertex_order.h"
+
+/// Incremental maintenance of the ESPC 2-hop index under edge churn.
+///
+/// `DynamicSpcIndex` wraps an immutable CSR `SpcIndex` with a
+/// copy-on-write label overlay and repairs labels in place of the
+/// full-rebuild the static pipeline would need:
+///
+///  * **Insertion** `{a, b}` — every changed label pair `(v, h)` gains
+///    a new shortest trough path crossing the edge, whose hub-side
+///    section is itself a trough-shortest path recorded in `L(a)` (or
+///    `L(b)`). It therefore suffices to walk the two endpoint label
+///    lists in ascending hub-rank order and run one *resumed pruned
+///    BFS* per hub, seeded at the opposite endpoint with the hub's
+///    recorded distance + 1 and trough count (the incremental scheme of
+///    dynamic hub labeling, adapted to counts).
+///
+///  * **Deletion** `{a, b}` — affected hubs are detected by a pruned
+///    partial BFS from each endpoint over the pre-deletion graph: the
+///    BFS only expands vertices with `d(u, a) + 1 == d(u, b)` (the edge
+///    lies on one of their shortest paths to the far endpoint, answered
+///    by 2-hop queries), and classifies each as a *full sender* (every
+///    shortest path to the far endpoint dies with the edge, so
+///    distances from it can grow and its pruned restricted BFS is
+///    re-run from scratch), a *subtractive sender* (a shared hub of
+///    both endpoint labels that keeps alternative routes: provably
+///    only its trough *counts* can drop, so a depth-capped BFS from
+///    the far endpoint subtracts the through-edge path counts from the
+///    existing entries directly — the workhorse that keeps deletions
+///    cheap, since shared hubs are the high-ranked ones whose full
+///    re-runs would each sweep most of the graph), or a mere
+///    *receiver* (only entries stored at it change). Saturated counts
+///    cannot be subtracted, so those hubs escalate to a full re-run.
+///
+/// Between rebuilds the maintained labels satisfy: every pair with a
+/// positive trough count at the true shortest distance has a correct
+/// entry, and any extra (stale) entry records a distance strictly
+/// longer than the true one — such entries can never reach the minimum
+/// in the query merge, so queries stay exact while the index slowly
+/// accretes garbage. Deletions are the one place this invariant needs
+/// active defense: a grown pair distance can *meet* a stale entry's
+/// recorded distance, so any hub whose distance to the opposite region
+/// grew re-runs whenever an opposite label still holds an entry for it
+/// (see the task assembly in RepairDeletion). The staleness policy
+/// watches the overlay size and folds everything into a fresh rebuild
+/// (through the standard builder_facade pipeline, re-ordering
+/// included) past a threshold.
+///
+/// Scope: unweighted undirected graphs over a fixed vertex universe
+/// `[0, n)`; saturated counts remain saturating (as everywhere in the
+/// library).
+namespace pspc {
+
+struct DynamicOptions {
+  /// Rebuild when `overlay entries / base entries` exceeds this.
+  double rebuild_threshold = 0.25;
+  /// When false, StalenessRatio still grows but nothing auto-rebuilds
+  /// (callers drive Rebuild() themselves).
+  bool auto_rebuild = true;
+  /// Pipeline used for staleness rebuilds (ordering recomputed from
+  /// the current graph, construction parallel per these options).
+  BuildOptions rebuild_options;
+  /// Threads for the parallel repair phases (<= 0: all cores).
+  int num_threads = 0;
+};
+
+struct DynamicStats {
+  size_t insertions_applied = 0;
+  size_t deletions_applied = 0;
+  size_t resumed_bfs_runs = 0;   ///< insertion repair BFS launches
+  size_t affected_hubs = 0;      ///< deletion hubs fully re-run
+  size_t subtract_repairs = 0;   ///< deletion hubs repaired by subtraction
+  size_t entries_inserted = 0;
+  size_t entries_renewed = 0;
+  size_t entries_erased = 0;
+  size_t rebuilds = 0;
+  double repair_seconds = 0.0;
+  double rebuild_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+class DynamicSpcIndex {
+ public:
+  /// Wraps a prebuilt index. `graph` must be the exact graph `index`
+  /// was built from.
+  DynamicSpcIndex(Graph graph, SpcIndex index, DynamicOptions options = {});
+
+  /// Builds the initial index for `graph` through builder_facade.
+  DynamicSpcIndex(Graph graph, const BuildOptions& build_options,
+                  DynamicOptions options = {});
+
+  // Self-referential (graph/label views point into owned members).
+  DynamicSpcIndex(const DynamicSpcIndex&) = delete;
+  DynamicSpcIndex& operator=(const DynamicSpcIndex&) = delete;
+
+  /// Distance and exact shortest-path count on the *current* graph.
+  SpcResult Query(VertexId s, VertexId t) const;
+
+  /// Single-edge updates; label repair runs before returning. Errors
+  /// (self-loop, out-of-range, duplicate insert, missing delete) leave
+  /// the index untouched.
+  Status InsertEdge(VertexId u, VertexId v);
+  Status DeleteEdge(VertexId u, VertexId v);
+  Status Apply(const EdgeUpdate& update);
+
+  /// Applies updates in order, stopping at the first failure (already
+  /// applied updates stay applied; the index remains consistent).
+  Status ApplyBatch(const EdgeUpdateBatch& batch);
+
+  /// Overlay entries relative to base entries — what the staleness
+  /// policy compares against `rebuild_threshold`.
+  double StalenessRatio() const;
+
+  /// Forces the full rebuild the staleness policy would trigger.
+  void Rebuild();
+
+  VertexId NumVertices() const { return graph_.NumVertices(); }
+  EdgeId NumEdges() const { return graph_.NumEdges(); }
+
+  /// True iff `{u, v}` is an edge of the current graph.
+  bool HasEdge(VertexId u, VertexId v) const { return graph_.HasEdge(u, v); }
+
+  /// Current labels of `v` (base or overlay), rank-sorted.
+  std::span<const LabelEntry> Labels(VertexId v) const {
+    return overlay_.Labels(v);
+  }
+
+  /// CSR snapshot of the current graph.
+  Graph MaterializeGraph() const { return graph_.Materialize(); }
+
+  const SpcIndex& BaseIndex() const { return base_; }
+  const VertexOrder& Order() const { return order_; }
+  const DynamicStats& Stats() const { return stats_; }
+  const DynamicOptions& Options() const { return options_; }
+
+ private:
+  void InitScratch();
+  void MaybeRebuild();
+
+  void RepairInsertion(VertexId a, VertexId b);
+  void ResumedInsertBfs(Rank hub_rank, VertexId start, uint32_t seed_dist,
+                        Count seed_count);
+
+  // Deletion machinery. `side` buffers are per-endpoint; flags hold 0
+  // (untouched), 1 (full sender), 2 (subtractive sender) or -1
+  // (receiver); any non-zero value marks the affected region.
+  struct AffectedSide {
+    std::vector<int8_t> flags;         // indexed by vertex id
+    std::vector<Rank> full_ranks;      // hubs needing a full re-run
+    std::vector<Rank> subtract_ranks;  // hubs repairable by subtraction
+    std::vector<VertexId> touched;     // everything in the region
+  };
+  void RepairDeletion(VertexId a, VertexId b);
+  void DetectAffectedSide(VertexId from, VertexId to,
+                          const std::vector<uint8_t>& hub_of_a,
+                          const std::vector<uint8_t>& hub_of_b,
+                          AffectedSide* side) const;
+  // Plain BFS distances from `source` over the current graph view.
+  std::vector<uint32_t> BfsDistances(VertexId source) const;
+  void RepairHubAfterDeletion(Rank hub_rank, const AffectedSide& opposite);
+  // Depth-capped count subtraction for a shared hub; escalates to
+  // RepairHubAfterDeletion itself when saturation blocks subtraction.
+  void SubtractiveDeleteRepair(Rank hub_rank, VertexId start,
+                               uint32_t seed_dist, Count seed_count,
+                               uint32_t depth_cap,
+                               const AffectedSide& opposite);
+
+  // Scratch: loads `hub_dist_[rank] = dist` for the hub's current
+  // labels; ResetHubDist undoes exactly those writes.
+  void LoadHubDist(VertexId hub);
+  void ResetHubDist(VertexId hub);
+
+  Graph base_graph_;
+  SpcIndex base_;
+  VertexOrder order_;
+  DynamicGraph graph_;
+  LabelOverlay overlay_;
+  DynamicOptions options_;
+  DynamicStats stats_;
+
+  // Reusable n-sized scratch (reset via touched lists after each use).
+  std::vector<uint32_t> hub_dist_;   // by rank; kInfSpcDistance = unset
+  std::vector<uint32_t> bfs_dist_;   // by vertex; kInfSpcDistance = unset
+  std::vector<Count> bfs_count_;     // by vertex
+  std::vector<VertexId> bfs_touched_;
+  std::vector<VertexId> bfs_queue_;
+  std::vector<uint8_t> updated_;     // by vertex; deletion repair marks
+  std::vector<uint8_t> subtract_side_;  // by rank; 1 = a-side, 2 = b-side
+  std::vector<uint32_t> bucket_max_;    // by rank; max target entry dist
+};
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_DYNAMIC_DYNAMIC_SPC_INDEX_H_

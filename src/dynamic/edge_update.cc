@@ -1,0 +1,81 @@
+#include "src/dynamic/edge_update.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace pspc {
+
+Status EdgeUpdateBatch::Validate(VertexId num_vertices) const {
+  for (size_t i = 0; i < updates_.size(); ++i) {
+    const EdgeUpdate& up = updates_[i];
+    if (up.u >= num_vertices || up.v >= num_vertices) {
+      return Status::OutOfRange("update " + std::to_string(i) + " touches (" +
+                                std::to_string(up.u) + ", " +
+                                std::to_string(up.v) + ") outside [0, " +
+                                std::to_string(num_vertices) + ")");
+    }
+    if (up.u == up.v) {
+      return Status::InvalidArgument("update " + std::to_string(i) +
+                                     " is a self-loop on vertex " +
+                                     std::to_string(up.u));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<EdgeUpdateBatch> ParseUpdateLines(std::istream& in) {
+  EdgeUpdateBatch batch;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::string op;
+    uint64_t u = 0, v = 0;
+    if (!(ls >> op >> u >> v) || (op != "i" && op != "d")) {
+      return Status::Corruption("bad update at line " +
+                                std::to_string(line_no) + ": '" + line + "'");
+    }
+    if (u >= kInvalidVertex || v >= kInvalidVertex) {
+      return Status::OutOfRange("vertex id at line " +
+                                std::to_string(line_no) +
+                                " exceeds the 32-bit id space");
+    }
+    if (op == "i") {
+      batch.Insert(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    } else {
+      batch.Delete(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    }
+  }
+  return batch;
+}
+
+}  // namespace
+
+Result<EdgeUpdateBatch> ParseUpdateStream(const std::string& text) {
+  std::istringstream in(text);
+  return ParseUpdateLines(in);
+}
+
+Result<EdgeUpdateBatch> LoadUpdateStream(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ParseUpdateLines(in);
+}
+
+Status SaveUpdateStream(const EdgeUpdateBatch& batch,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const EdgeUpdate& up : batch) {
+    out << (up.kind == EdgeUpdateKind::kInsert ? 'i' : 'd') << ' ' << up.u
+        << ' ' << up.v << '\n';
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace pspc

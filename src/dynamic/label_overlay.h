@@ -1,0 +1,73 @@
+#ifndef PSPC_SRC_DYNAMIC_LABEL_OVERLAY_H_
+#define PSPC_SRC_DYNAMIC_LABEL_OVERLAY_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/label/label_entry.h"
+#include "src/label/spc_index.h"
+
+/// Copy-on-write per-vertex delta overlay on top of an immutable
+/// `SpcIndex`.
+///
+/// Label repair rewrites whole per-vertex entry lists, so the overlay
+/// holds a private rank-sorted copy for exactly the vertices a repair
+/// has touched; every other vertex keeps reading the base index's CSR
+/// span. Queries see one uniform `Labels(v)` view. The owning
+/// `DynamicSpcIndex` watches `OverlaidEntries()` as its staleness
+/// signal and folds the overlay away by rebuilding the base.
+namespace pspc {
+
+class LabelOverlay {
+ public:
+  /// `base` must outlive the overlay (the owning index rebases on
+  /// rebuild).
+  explicit LabelOverlay(const SpcIndex* base) : base_(base) {}
+
+  /// Swaps in a freshly built base and drops every overlaid vertex.
+  void Rebase(const SpcIndex* base) {
+    base_ = base;
+    overlay_.clear();
+  }
+
+  /// Current labels of `v`: the overlaid copy when present, the base
+  /// span otherwise. Invalidated by Mutable(v) for the same vertex.
+  std::span<const LabelEntry> Labels(VertexId v) const {
+    const auto it = overlay_.find(v);
+    if (it == overlay_.end()) return base_->Labels(v);
+    return {it->second.data(), it->second.size()};
+  }
+
+  /// Mutable per-vertex list, copied from the base on first touch.
+  /// Must stay sorted by hub rank (callers insert via rank position).
+  std::vector<LabelEntry>& Mutable(VertexId v) {
+    const auto it = overlay_.find(v);
+    if (it != overlay_.end()) return it->second;
+    const auto base_span = base_->Labels(v);
+    return overlay_.emplace(v, std::vector<LabelEntry>(base_span.begin(),
+                                                       base_span.end()))
+        .first->second;
+  }
+
+  bool Overlaid(VertexId v) const { return overlay_.contains(v); }
+
+  size_t OverlaidVertices() const { return overlay_.size(); }
+
+  /// Total entries held out-of-line — the staleness signal. O(number
+  /// of overlaid vertices).
+  size_t OverlaidEntries() const {
+    size_t total = 0;
+    for (const auto& [v, entries] : overlay_) total += entries.size();
+    return total;
+  }
+
+ private:
+  const SpcIndex* base_;
+  std::unordered_map<VertexId, std::vector<LabelEntry>> overlay_;
+};
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_DYNAMIC_LABEL_OVERLAY_H_

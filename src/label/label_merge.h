@@ -1,0 +1,49 @@
+#ifndef PSPC_SRC_LABEL_LABEL_MERGE_H_
+#define PSPC_SRC_LABEL_LABEL_MERGE_H_
+
+#include <span>
+
+#include "src/common/saturating.h"
+#include "src/common/types.h"
+#include "src/label/label_entry.h"
+
+/// The 2-hop SPC query kernel (paper Equations (1) and (2)), factored
+/// out of `SpcIndex` so that every label container — the immutable CSR
+/// index and the dynamic overlay view — answers queries through the
+/// identical sorted-merge code path.
+namespace pspc {
+
+/// Merges two rank-sorted label lists: keeps the common hubs minimizing
+/// `dist(s,h) + dist(h,t)` and sums `count(s,h) * count(h,t)` over
+/// them. `(kInfSpcDistance, 0)` when the lists share no hub. The caller
+/// handles the `s == t` case.
+inline SpcResult MergeLabelCounts(std::span<const LabelEntry> ls,
+                                  std::span<const LabelEntry> lt) {
+  uint32_t best = kInfSpcDistance;
+  Count count = 0;
+  size_t i = 0, j = 0;
+  while (i < ls.size() && j < lt.size()) {
+    if (ls[i].hub_rank < lt[j].hub_rank) {
+      ++i;
+    } else if (ls[i].hub_rank > lt[j].hub_rank) {
+      ++j;
+    } else {
+      const uint32_t d =
+          static_cast<uint32_t>(ls[i].dist) + static_cast<uint32_t>(lt[j].dist);
+      if (d < best) {
+        best = d;
+        count = SatMul(ls[i].count, lt[j].count);
+      } else if (d == best) {
+        count = SatAdd(count, SatMul(ls[i].count, lt[j].count));
+      }
+      ++i;
+      ++j;
+    }
+  }
+  if (best == kInfSpcDistance) return {kInfSpcDistance, 0};
+  return {best, count};
+}
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_LABEL_LABEL_MERGE_H_

@@ -5,12 +5,17 @@
 #include <fstream>
 
 #include "src/common/logging.h"
-#include "src/common/saturating.h"
+#include "src/label/label_merge.h"
 
 namespace pspc {
 namespace {
 
 constexpr uint64_t kIndexMagic = 0x5053'5043'4944'5801ull;  // "PSPCIDX" v1
+
+// On-disk entry footprint: hub_rank (4) + dist (2) + count (8), written
+// field-by-field (no struct padding).
+constexpr uint64_t kEntryBytes = sizeof(Rank) + sizeof(Distance) +
+                                 sizeof(Count);
 
 }  // namespace
 
@@ -36,31 +41,7 @@ SpcResult SpcIndex::Query(VertexId s, VertexId t) const {
                  "query (" << s << "," << t << ") out of range");
   if (s == t) return {0, 1};
 
-  const auto ls = Labels(s);
-  const auto lt = Labels(t);
-  uint32_t best = kInfSpcDistance;
-  Count count = 0;
-  size_t i = 0, j = 0;
-  while (i < ls.size() && j < lt.size()) {
-    if (ls[i].hub_rank < lt[j].hub_rank) {
-      ++i;
-    } else if (ls[i].hub_rank > lt[j].hub_rank) {
-      ++j;
-    } else {
-      const uint32_t d =
-          static_cast<uint32_t>(ls[i].dist) + static_cast<uint32_t>(lt[j].dist);
-      if (d < best) {
-        best = d;
-        count = SatMul(ls[i].count, lt[j].count);
-      } else if (d == best) {
-        count = SatAdd(count, SatMul(ls[i].count, lt[j].count));
-      }
-      ++i;
-      ++j;
-    }
-  }
-  if (best == kInfSpcDistance) return {kInfSpcDistance, 0};
-  return {best, count};
+  return MergeLabelCounts(Labels(s), Labels(t));
 }
 
 double SpcIndex::AverageLabelSize() const {
@@ -97,8 +78,13 @@ Status SpcIndex::Save(const std::string& path) const {
 }
 
 Result<SpcIndex> SpcIndex::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::IOError("cannot open " + path);
+  // Every size read from the file is validated against the physical
+  // file length *before* any allocation, so a corrupt header cannot
+  // drive a multi-gigabyte resize or a crash — only Status::Corruption.
+  const auto file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0);
   auto get = [&in](void* p, size_t bytes) {
     in.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
     return static_cast<bool>(in);
@@ -110,9 +96,33 @@ Result<SpcIndex> SpcIndex::Load(const std::string& path) {
   if (!get(&n, sizeof(n)) || !get(&total, sizeof(total))) {
     return Status::Corruption("truncated header in " + path);
   }
+  if (n >= kInvalidVertex) {
+    return Status::Corruption("implausible vertex count in " + path);
+  }
+  // Division, not multiplication: `total * kEntryBytes` could wrap for
+  // a crafted 2^63-ish entry count and sail past the size check.
+  const uint64_t header_bytes = 3 * sizeof(uint64_t);
+  const uint64_t fixed_bytes =
+      n * sizeof(VertexId) + (n + 1) * sizeof(uint64_t);
+  if (file_size < header_bytes || fixed_bytes > file_size - header_bytes ||
+      total > (file_size - header_bytes - fixed_bytes) / kEntryBytes) {
+    return Status::Corruption("file too short for declared sizes in " + path);
+  }
   std::vector<VertexId> order_vec(n);
   if (!get(order_vec.data(), n * sizeof(VertexId))) {
     return Status::Corruption("truncated order in " + path);
+  }
+  // Validate the permutation here: VertexOrder's constructor treats a
+  // malformed order as a programmer error and aborts, which a corrupt
+  // file must never be able to trigger.
+  {
+    std::vector<bool> seen(n, false);
+    for (const VertexId v : order_vec) {
+      if (v >= n || seen[v]) {
+        return Status::Corruption("order is not a permutation in " + path);
+      }
+      seen[v] = true;
+    }
   }
   SpcIndex index;
   index.order_ = VertexOrder(std::move(order_vec));
@@ -123,11 +133,28 @@ Result<SpcIndex> SpcIndex::Load(const std::string& path) {
   if (index.offsets_.front() != 0 || index.offsets_.back() != total) {
     return Status::Corruption("inconsistent offsets in " + path);
   }
+  for (size_t v = 0; v + 1 < index.offsets_.size(); ++v) {
+    if (index.offsets_[v] > index.offsets_[v + 1]) {
+      return Status::Corruption("non-monotonic offsets in " + path);
+    }
+  }
   index.entries_.resize(total);
   for (LabelEntry& e : index.entries_) {
     if (!get(&e.hub_rank, sizeof(e.hub_rank)) ||
         !get(&e.dist, sizeof(e.dist)) || !get(&e.count, sizeof(e.count))) {
       return Status::Corruption("truncated entries in " + path);
+    }
+  }
+  // Per-vertex lists must be strictly rank-sorted with in-range hubs —
+  // the invariant Query's sorted merge relies on.
+  for (uint64_t v = 0; v < n; ++v) {
+    for (uint64_t i = index.offsets_[v]; i < index.offsets_[v + 1]; ++i) {
+      if (index.entries_[i].hub_rank >= n ||
+          (i > index.offsets_[v] &&
+           index.entries_[i - 1].hub_rank >= index.entries_[i].hub_rank)) {
+        return Status::Corruption("unsorted or out-of-range labels in " +
+                                  path);
+      }
     }
   }
   return index;

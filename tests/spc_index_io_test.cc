@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/builder_facade.h"
+#include "src/graph/generators.h"
+#include "src/label/spc_index.h"
+
+namespace pspc {
+namespace {
+
+// On-disk layout (see SpcIndex::Save): magic(8) n(8) total(8),
+// order n*4, offsets (n+1)*8, entries total*(4+2+8).
+constexpr size_t kHeaderBytes = 24;
+
+SpcIndex BuildSmallIndex() {
+  BuildOptions options;
+  options.num_landmarks = 4;
+  return BuildIndex(GenerateErdosRenyi(24, 50, 7), options).index;
+}
+
+std::string SavedIndexPath() {
+  static const std::string* path = [] {
+    auto* p = new std::string(::testing::TempDir() + "/io_test.idx");
+    EXPECT_TRUE(BuildSmallIndex().Save(*p).ok());
+    return p;
+  }();
+  return *path;
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SpcIndexIoTest, RoundTrip) {
+  const SpcIndex index = BuildSmallIndex();
+  const auto loaded = SpcIndex::Load(SavedIndexPath());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value(), index);
+}
+
+TEST(SpcIndexIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(SpcIndex::Load("/nonexistent/index.bin").status().code(),
+            Status::Code::kIOError);
+}
+
+TEST(SpcIndexIoTest, BadMagicIsCorruption) {
+  auto bytes = ReadAll(SavedIndexPath());
+  bytes[0] ^= 0x5A;
+  const std::string path = ::testing::TempDir() + "/bad_magic.idx";
+  WriteAll(path, bytes);
+  EXPECT_EQ(SpcIndex::Load(path).status().code(), Status::Code::kCorruption);
+}
+
+// Truncations at every structurally interesting boundary: mid-header,
+// mid-order, mid-offsets, mid-entries, and one byte short. All must be
+// a clean Corruption, never a crash.
+TEST(SpcIndexIoTest, TruncationsAreCorruption) {
+  const auto bytes = ReadAll(SavedIndexPath());
+  ASSERT_GT(bytes.size(), kHeaderBytes);
+  const size_t cuts[] = {4,  12,         20,
+                         kHeaderBytes + 5,  bytes.size() / 2,
+                         bytes.size() - 1};
+  for (const size_t cut : cuts) {
+    const std::string path = ::testing::TempDir() + "/truncated.idx";
+    WriteAll(path, {bytes.begin(), bytes.begin() + static_cast<long>(cut)});
+    EXPECT_EQ(SpcIndex::Load(path).status().code(), Status::Code::kCorruption)
+        << "cut at " << cut;
+  }
+}
+
+// A corrupt header must not drive a huge allocation (the declared
+// sizes are validated against the physical file length first).
+TEST(SpcIndexIoTest, ImplausibleSizesAreCorruption) {
+  auto bytes = ReadAll(SavedIndexPath());
+  auto patch_u64 = [&bytes](size_t offset, uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      bytes[offset + static_cast<size_t>(i)] =
+          static_cast<char>((value >> (8 * i)) & 0xFF);
+    }
+  };
+  const std::string path = ::testing::TempDir() + "/huge_n.idx";
+
+  patch_u64(8, uint64_t{1} << 60);  // vertex count
+  WriteAll(path, bytes);
+  EXPECT_EQ(SpcIndex::Load(path).status().code(), Status::Code::kCorruption);
+
+  bytes = ReadAll(SavedIndexPath());
+  patch_u64(16, uint64_t{1} << 60);  // entry count
+  WriteAll(path, bytes);
+  EXPECT_EQ(SpcIndex::Load(path).status().code(), Status::Code::kCorruption);
+
+  // 2^63 * 14 bytes/entry wraps uint64; the size check must use
+  // division so the overflow cannot smuggle a huge resize through.
+  bytes = ReadAll(SavedIndexPath());
+  patch_u64(16, uint64_t{1} << 63);
+  WriteAll(path, bytes);
+  EXPECT_EQ(SpcIndex::Load(path).status().code(), Status::Code::kCorruption);
+}
+
+// A corrupt order region (duplicate vertex) must not abort the
+// process via VertexOrder's internal invariant checks.
+TEST(SpcIndexIoTest, NonPermutationOrderIsCorruption) {
+  auto bytes = ReadAll(SavedIndexPath());
+  // order[0] = order[1]: guaranteed duplicate.
+  for (int i = 0; i < 4; ++i) {
+    bytes[kHeaderBytes + static_cast<size_t>(i)] =
+        bytes[kHeaderBytes + 4 + static_cast<size_t>(i)];
+  }
+  const std::string path = ::testing::TempDir() + "/dup_order.idx";
+  WriteAll(path, bytes);
+  EXPECT_EQ(SpcIndex::Load(path).status().code(), Status::Code::kCorruption);
+}
+
+TEST(SpcIndexIoTest, NonMonotonicOffsetsAreCorruption) {
+  auto bytes = ReadAll(SavedIndexPath());
+  const SpcIndex index = BuildSmallIndex();
+  const size_t n = index.NumVertices();
+  const size_t offsets_base = kHeaderBytes + n * sizeof(VertexId);
+  // offsets[1] = huge: breaks monotonicity against offsets[2] while
+  // keeping front()/back() intact.
+  bytes[offsets_base + 8 + 7] = static_cast<char>(0x70);
+  const std::string path = ::testing::TempDir() + "/bad_offsets.idx";
+  WriteAll(path, bytes);
+  EXPECT_EQ(SpcIndex::Load(path).status().code(), Status::Code::kCorruption);
+}
+
+TEST(SpcIndexIoTest, UnsortedLabelsAreCorruption) {
+  auto bytes = ReadAll(SavedIndexPath());
+  const SpcIndex index = BuildSmallIndex();
+  const size_t n = index.NumVertices();
+  const size_t entries_base =
+      kHeaderBytes + n * sizeof(VertexId) + (n + 1) * sizeof(uint64_t);
+  // First entry's hub rank -> out of range (rank >= n).
+  bytes[entries_base + 3] = static_cast<char>(0x7F);
+  const std::string path = ::testing::TempDir() + "/bad_entries.idx";
+  WriteAll(path, bytes);
+  EXPECT_EQ(SpcIndex::Load(path).status().code(), Status::Code::kCorruption);
+}
+
+}  // namespace
+}  // namespace pspc
