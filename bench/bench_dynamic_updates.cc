@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/baseline/bfs_spc.h"
+#include "src/common/percentile.h"
 #include "src/common/random.h"
 #include "src/common/timer.h"
 #include "src/core/builder_facade.h"
@@ -44,13 +45,6 @@ struct BenchCase {
   // measure repair itself (exactness never depends on the threshold).
   double rebuild_threshold = 0.25;
 };
-
-double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const auto idx = static_cast<size_t>(p * static_cast<double>(values.size()));
-  return values[std::min(idx, values.size() - 1)];
-}
 
 void RunCase(const BenchCase& bench, size_t num_updates) {
   const pspc::Graph& graph = bench.graph;
@@ -163,7 +157,7 @@ void RunCase(const BenchCase& bench, size_t num_updates) {
     std::printf(
         "%s: %zu updates, mean %.3f ms, p50 %.3f ms, p95 %.3f ms, "
         "max %.0f ms -> %.0fx faster than rebuild\n",
-        label, ms.size(), mean, Percentile(ms, 0.5), Percentile(ms, 0.95),
+        label, ms.size(), mean, pspc::Percentile(ms, 0.5), pspc::Percentile(ms, 0.95),
         *std::max_element(ms.begin(), ms.end()),
         rebuild_seconds * 1e3 / mean);
   };

@@ -1,0 +1,279 @@
+// Mixed read/write serving throughput: the epoch-snapshot
+// `ServingEngine` against a snapshot-off baseline that takes one
+// global mutex around the whole `DynamicSpcIndex` for every query and
+// every update — the design the serving subsystem replaces.
+//
+// For each read/write ratio (100/0, 95/5, 50/50) and loader-thread
+// count, loader threads run a closed query loop while a writer applies
+// synthetic closure churn (close a live edge / reopen a closed one),
+// self-paced toward the target write share of total operations.
+// Because one repair costs thousands of query times, any nonzero write
+// share leaves the writer near-saturated; the measurement is then
+// exactly the subsystem's reason to exist: how much read throughput
+// survives while the index is continuously repairing. The headline
+// check is the ISSUE-2 acceptance bar — at 95/5 the engine must
+// sustain >= 5x the baseline's query throughput.
+//
+// Self-contained (WallTimer-based) so it builds without the
+// google-benchmark dependency the figure benches use:
+//
+//   ./bench_serving [duration_seconds_per_run] [scale_divisor]
+//                   [required_95_5_speedup]
+//
+// The optional third argument turns the 95/5 target into a hard exit
+// code (CI passes 5 at quarter scale, where the regime holds).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/baseline/bfs_spc.h"
+#include "src/common/percentile.h"
+#include "src/common/random.h"
+#include "src/common/timer.h"
+#include "src/core/builder_facade.h"
+#include "src/dynamic/closure_churn.h"
+#include "src/dynamic/dynamic_spc_index.h"
+#include "src/graph/generators.h"
+#include "src/label/query_engine.h"
+#include "src/serve/serving_engine.h"
+
+namespace {
+
+constexpr size_t kBatch = 64;       // queries per loader iteration
+constexpr size_t kHotPairs = 4096;  // repeat-keyed working set
+constexpr double kHotShare = 0.9;   // of queries drawn from the hot set
+
+struct RunResult {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  double seconds = 0.0;
+  double batch_p50_ms = 0.0;
+  double batch_p99_ms = 0.0;
+
+  double ReadsPerSecond() const {
+    return seconds == 0.0 ? 0.0 : static_cast<double>(reads) / seconds;
+  }
+};
+
+// Drives one mixed run: `loaders` closed-loop reader threads calling
+// `run_batch`, plus this thread applying churn through `apply`, paced
+// toward `write_share` of total operations. Queries follow the shape
+// of serving traffic — heavily repeat-keyed (kHotShare of them draw
+// from a kHotPairs working set, the rest are uniform random), the
+// regime the generation-tagged result cache exists for.
+RunResult RunMixed(
+    pspc::VertexId n, double write_share, int loaders, double duration,
+    const std::function<void(const pspc::QueryBatch&)>& run_batch,
+    const std::function<pspc::Status(const pspc::EdgeUpdate&)>& apply,
+    pspc::ClosureChurn* churn) {
+  const pspc::QueryBatch hot = pspc::MakeRandomQueries(n, kHotPairs, 0xcafe);
+  std::atomic<uint64_t> reads{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(loaders));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < loaders; ++i) {
+    auto* out = &latencies[static_cast<size_t>(i)];
+    const uint64_t seed = 0xb0b0 + static_cast<uint64_t>(i);
+    threads.emplace_back([&, out, seed] {
+      pspc::Rng rng(seed);
+      pspc::QueryBatch batch(kBatch);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (auto& query : batch) {
+          if (rng.NextBool(kHotShare)) {
+            query = hot[rng.NextBounded(kHotPairs)];
+          } else {
+            query = {static_cast<pspc::VertexId>(rng.NextBounded(n)),
+                     static_cast<pspc::VertexId>(rng.NextBounded(n))};
+          }
+        }
+        pspc::WallTimer timer;
+        run_batch(batch);
+        out->push_back(timer.ElapsedMillis());
+        reads.fetch_add(batch.size(), std::memory_order_relaxed);
+      }
+    });
+  }
+
+  pspc::Rng write_rng(0xfeed);
+  uint64_t writes = 0;
+  pspc::WallTimer wall;
+  while (wall.ElapsedSeconds() < duration) {
+    const double quota =
+        write_share / (1.0 - write_share) *
+        static_cast<double>(reads.load(std::memory_order_relaxed));
+    if (write_share == 0.0 || churn->Empty() ||
+        static_cast<double>(writes) >= quota) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    if (apply(churn->Next(write_rng)).ok()) ++writes;
+  }
+  const double elapsed = wall.ElapsedSeconds();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads) thread.join();
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  RunResult result;
+  result.reads = reads.load();
+  result.writes = writes;
+  result.seconds = elapsed;
+  result.batch_p50_ms = pspc::Percentile(all, 0.5);
+  result.batch_p99_ms = pspc::Percentile(all, 0.99);
+  return result;
+}
+
+// Quiesce exactness check: after the run has fully drained, a handful
+// of answers must match a fresh BFS on the live graph.
+size_t OracleMismatches(
+    pspc::DynamicSpcIndex* index,
+    const std::function<pspc::SpcResult(pspc::VertexId, pspc::VertexId)>&
+        query) {
+  const pspc::Graph current = index->MaterializeGraph();
+  size_t mismatches = 0;
+  for (const auto& [s, t] :
+       pspc::MakeRandomQueries(current.NumVertices(), 8, 0x0c1e)) {
+    if (query(s, t) != pspc::BfsSpcPair(current, s, t)) ++mismatches;
+  }
+  return mismatches;
+}
+
+struct Row {
+  const char* mode;
+  double write_share;
+  int loaders;
+  RunResult result;
+  size_t oracle_mismatches;
+};
+
+Row RunEngine(const pspc::Graph& graph, const pspc::SpcIndex& index,
+              double write_share, int loaders, double duration) {
+  pspc::DynamicSpcIndex dynamic(graph, index);  // fresh copy per run
+  pspc::ServingOptions options;
+  options.num_workers = loaders;
+  pspc::ServingEngine engine(&dynamic, options);
+  pspc::ClosureChurn churn(graph);
+  RunResult result = RunMixed(
+      graph.NumVertices(), write_share, loaders, duration,
+      [&](const pspc::QueryBatch& batch) { engine.SubmitBatch(batch).get(); },
+      [&](const pspc::EdgeUpdate& update) {
+        return engine.ApplyUpdate(update);
+      },
+      &churn);
+  engine.Drain();
+  const size_t mismatches =
+      OracleMismatches(&dynamic, [&](pspc::VertexId s, pspc::VertexId t) {
+        return engine.Submit(s, t).get();
+      });
+  return {"engine", write_share, loaders, result, mismatches};
+}
+
+Row RunGlobalLock(const pspc::Graph& graph, const pspc::SpcIndex& index,
+                  double write_share, int loaders, double duration) {
+  pspc::DynamicSpcIndex dynamic(graph, index);  // fresh copy per run
+  std::mutex whole_index;  // the snapshot-off design: one lock for all
+  pspc::ClosureChurn churn(graph);
+  RunResult result = RunMixed(
+      graph.NumVertices(), write_share, loaders, duration,
+      [&](const pspc::QueryBatch& batch) {
+        for (const auto& [s, t] : batch) {
+          std::lock_guard<std::mutex> lock(whole_index);
+          dynamic.Query(s, t);
+        }
+      },
+      [&](const pspc::EdgeUpdate& update) {
+        std::lock_guard<std::mutex> lock(whole_index);
+        return dynamic.Apply(update);
+      },
+      &churn);
+  const size_t mismatches =
+      OracleMismatches(&dynamic, [&](pspc::VertexId s, pspc::VertexId t) {
+        std::lock_guard<std::mutex> lock(whole_index);
+        return dynamic.Query(s, t);
+      });
+  return {"lock  ", write_share, loaders, result, mismatches};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double duration = 2.0;
+  uint32_t divisor = 1;
+  double required_speedup = 0.0;
+  if (argc > 1) duration = std::atof(argv[1]);
+  if (argc > 2) divisor = static_cast<uint32_t>(std::atoi(argv[2]));
+  if (argc > 3) required_speedup = std::atof(argv[3]);
+  if (divisor == 0) divisor = 1;
+
+  // Floor at a size where the graph still has edges to churn.
+  const pspc::VertexId n = std::max<pspc::VertexId>(64, 8000 / divisor);
+  const pspc::Graph graph = pspc::GenerateBarabasiAlbert(n, 4, 1);
+  std::printf("graph: %u vertices, %llu edges; building base index...\n", n,
+              static_cast<unsigned long long>(graph.NumEdges()));
+  pspc::BuildResult built = pspc::BuildIndex(graph, pspc::BuildOptions{});
+  std::printf("base index: %zu entries\n\n", built.index.TotalEntries());
+
+  const double kWriteShares[] = {0.0, 0.05, 0.5};  // 100/0, 95/5, 50/50
+  const int kLoaderCounts[] = {2, 4};
+
+  std::vector<Row> rows;
+  std::printf("%-7s %9s %8s %14s %10s %10s %7s %7s\n", "mode", "ratio",
+              "loaders", "reads/s", "p50 ms", "p99 ms", "writes", "oracle");
+  for (const double write_share : kWriteShares) {
+    for (const int loaders : kLoaderCounts) {
+      for (const bool use_engine : {false, true}) {
+        const Row row =
+            use_engine
+                ? RunEngine(graph, built.index, write_share, loaders, duration)
+                : RunGlobalLock(graph, built.index, write_share, loaders,
+                                duration);
+        std::printf("%-7s %3.0f/%-3.0f %8d %14.0f %10.3f %10.3f %7llu %7s\n",
+                    row.mode, 100.0 * (1.0 - write_share), 100.0 * write_share,
+                    loaders, row.result.ReadsPerSecond(), row.result.batch_p50_ms,
+                    row.result.batch_p99_ms,
+                    static_cast<unsigned long long>(row.result.writes),
+                    row.oracle_mismatches == 0 ? "exact" : "WRONG");
+        rows.push_back(row);
+      }
+    }
+  }
+
+  // Headline: the ISSUE-2 acceptance bar at 95/5, best loader count.
+  double best_speedup = 0.0;
+  size_t total_mismatches = 0;
+  for (const Row& row : rows) total_mismatches += row.oracle_mismatches;
+  for (const int loaders : kLoaderCounts) {
+    double engine_rate = 0.0, lock_rate = 0.0;
+    for (const Row& row : rows) {
+      if (row.write_share != 0.05 || row.loaders != loaders) continue;
+      if (row.mode[0] == 'e') {
+        engine_rate = row.result.ReadsPerSecond();
+      } else {
+        lock_rate = row.result.ReadsPerSecond();
+      }
+    }
+    if (lock_rate > 0.0) {
+      best_speedup = std::max(best_speedup, engine_rate / lock_rate);
+    }
+  }
+  std::printf("\n95/5 read throughput, engine vs whole-index lock: %.1fx %s\n",
+              best_speedup,
+              best_speedup >= 5.0 ? "(target >=5x met)"
+                                  : "(BELOW the 5x target!)");
+  std::printf("oracle: %zu mismatches%s\n", total_mismatches,
+              total_mismatches == 0 ? "" : "  <-- CORRECTNESS BUG");
+  // The third argument makes the speedup bar enforceable where the
+  // configuration warrants it (the CI smoke passes 5); unconditional
+  // enforcement would false-fail tiny scales, where repairs are too
+  // fast for the lock baseline to collapse.
+  if (required_speedup > 0.0 && best_speedup < required_speedup) return 1;
+  return total_mismatches == 0 ? 0 : 1;
+}

@@ -9,27 +9,42 @@
 //   ./spc_cli update <graph-or-dataset> <index.bin>
 //                    --update-stream <updates.txt>
 //                    [--rebuild-threshold R] [--save <out.bin>]
+//   ./spc_cli serve  <graph-or-dataset> <index.bin>
+//                    [--duration-seconds S] [--workers N] [--loaders N]
+//                    [--batch B] [--write-share P]
+//                    [--update-stream <updates.txt>] [--seed X] [--no-cache]
 //
 // Examples:
 //   ./spc_cli build dataset:FB /tmp/fb.idx --order hybrid
 //   ./spc_cli query dataset:FB /tmp/fb.idx 0 17 3 99
 //   ./spc_cli update dataset:FB /tmp/fb.idx --update-stream churn.txt
+//   ./spc_cli serve dataset:FB /tmp/fb.idx --write-share 0.05
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/baseline/bfs_spc.h"
+#include "src/common/percentile.h"
+#include "src/common/random.h"
 #include "src/common/timer.h"
 #include "src/core/builder_facade.h"
+#include "src/dynamic/closure_churn.h"
 #include "src/dynamic/dynamic_spc_index.h"
 #include "src/dynamic/edge_update.h"
 #include "src/graph/algorithms.h"
 #include "src/graph/datasets.h"
 #include "src/graph/graph_io.h"
+#include "src/label/query_engine.h"
 #include "src/label/spc_index.h"
+#include "src/serve/serving_engine.h"
 
 namespace {
 
@@ -42,7 +57,11 @@ int Usage() {
                "  spc_cli stats <graph-or-dataset>\n"
                "  spc_cli update <graph-or-dataset> <index.bin> "
                "--update-stream <updates.txt> [--rebuild-threshold R] "
-               "[--save <out.bin>]\n");
+               "[--save <out.bin>]\n"
+               "  spc_cli serve <graph-or-dataset> <index.bin> "
+               "[--duration-seconds S] [--workers N] [--loaders N] "
+               "[--batch B] [--write-share P] "
+               "[--update-stream <updates.txt>] [--seed X] [--no-cache]\n");
   return 2;
 }
 
@@ -119,14 +138,32 @@ int CmdQuery(int argc, char** argv) {
     return 1;
   }
   const pspc::SpcIndex& index = loaded.value();
+  // Validate every id up front: a malformed or out-of-range vertex id
+  // is a usage error, not a per-pair answer.
+  for (int i = 4; i < argc; ++i) {
+    char* end = nullptr;
+    const long long id = std::strtoll(argv[i], &end, 10);
+    if (end == argv[i] || *end != '\0') {
+      std::fprintf(stderr, "vertex id '%s' is not a number\n", argv[i]);
+      return 2;
+    }
+    if (id < 0 || static_cast<unsigned long long>(id) >= index.NumVertices()) {
+      const pspc::VertexId n = index.NumVertices();
+      if (n == 0) {
+        std::fprintf(stderr, "vertex id %s out of range: index is empty\n",
+                     argv[i]);
+      } else {
+        std::fprintf(stderr,
+                     "vertex id %s out of range: index has %u vertices "
+                     "(valid ids are 0..%u)\n",
+                     argv[i], n, n - 1);
+      }
+      return 2;
+    }
+  }
   for (int i = 4; i + 1 < argc; i += 2) {
     const auto s = static_cast<pspc::VertexId>(std::atoll(argv[i]));
     const auto t = static_cast<pspc::VertexId>(std::atoll(argv[i + 1]));
-    if (s >= index.NumVertices() || t >= index.NumVertices()) {
-      std::printf("SPC(%u, %u): out of range (n=%u)\n", s, t,
-                  index.NumVertices());
-      continue;
-    }
     const pspc::SpcResult r = index.Query(s, t);
     if (r.distance == pspc::kInfSpcDistance) {
       std::printf("SPC(%u, %u): unreachable\n", s, t);
@@ -236,6 +273,202 @@ int CmdUpdate(int argc, char** argv) {
   return 0;
 }
 
+// Drives a mixed read/write workload through the concurrent serving
+// engine: loader threads submit random query batches (closed loop)
+// while the main thread applies edge updates — from a replayed stream
+// when given, otherwise synthetic closure churn (close a live edge /
+// reopen a closed one, which keeps the graph near its initial shape).
+// The writer self-paces toward `--write-share` of total operations;
+// since one repair costs thousands of query times, shares beyond a few
+// percent leave the writer saturated and merely measure how well reads
+// survive a continuously writing index — which is the point.
+int CmdServe(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  pspc::Graph graph;
+  if (!LoadGraphArg(argv[2], &graph)) return 1;
+  auto loaded = pspc::SpcIndex::Load(argv[3]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "failed to load index %s: %s\n", argv[3],
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  if (loaded.value().NumVertices() != graph.NumVertices()) {
+    std::fprintf(stderr, "index has %u vertices but graph has %u\n",
+                 loaded.value().NumVertices(), graph.NumVertices());
+    return 1;
+  }
+
+  double duration_seconds = 5.0;
+  double write_share = 0.05;
+  int workers = 0;
+  int loaders = 2;
+  size_t batch = 16;
+  uint64_t seed = 42;
+  bool no_cache = false;
+  std::string stream_path;
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--duration-seconds" && i + 1 < argc) {
+      duration_seconds = std::atof(argv[++i]);
+    } else if (flag == "--write-share" && i + 1 < argc) {
+      write_share = std::atof(argv[++i]);
+    } else if (flag == "--workers" && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (flag == "--loaders" && i + 1 < argc) {
+      loaders = std::atoi(argv[++i]);
+    } else if (flag == "--batch" && i + 1 < argc) {
+      // Clamp like --loaders: a negative value must not wrap to 2^64.
+      const long long value = std::atoll(argv[++i]);
+      batch = value < 1 ? 1 : static_cast<size_t>(value);
+    } else if (flag == "--seed" && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (flag == "--update-stream" && i + 1 < argc) {
+      stream_path = argv[++i];
+    } else if (flag == "--no-cache") {
+      no_cache = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (loaders < 1) loaders = 1;
+  if (write_share < 0.0) write_share = 0.0;
+  if (write_share > 0.95) write_share = 0.95;
+
+  pspc::EdgeUpdateBatch stream;
+  if (!stream_path.empty()) {
+    auto r = pspc::LoadUpdateStream(stream_path);
+    if (!r.ok()) {
+      std::fprintf(stderr, "failed to load updates %s: %s\n",
+                   stream_path.c_str(), r.status().ToString().c_str());
+      return 1;
+    }
+    stream = std::move(r).value();
+  }
+
+  const pspc::VertexId n = graph.NumVertices();
+  if (n == 0) {
+    std::fprintf(stderr, "cannot serve an empty graph\n");
+    return 1;
+  }
+  // Synthetic churn pools (shared with bench_serving).
+  pspc::ClosureChurn churn(graph);
+
+  pspc::DynamicSpcIndex index(std::move(graph), std::move(loaded).value());
+  pspc::ServingOptions serving_options;
+  serving_options.num_workers = workers;
+  if (no_cache) serving_options.cache_capacity_per_shard = 0;
+  pspc::ServingEngine engine(&index, serving_options);
+
+  std::printf("serving %u vertices / %llu edges: %d loaders x batch %zu, "
+              "write share %.2f, %.1fs\n",
+              n, static_cast<unsigned long long>(index.NumEdges()), loaders,
+              batch, write_share, duration_seconds);
+
+  std::atomic<uint64_t> reads{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> batch_ms(
+      static_cast<size_t>(loaders));
+  std::vector<std::thread> loader_threads;
+  pspc::Rng seeder(seed);
+  for (int i = 0; i < loaders; ++i) {
+    pspc::Rng rng = seeder.Split();
+    auto* out = &batch_ms[static_cast<size_t>(i)];
+    loader_threads.emplace_back([&, rng, out]() mutable {
+      while (!stop.load(std::memory_order_relaxed)) {
+        pspc::QueryBatch queries =
+            pspc::MakeRandomQueries(n, batch, rng.Next());
+        pspc::WallTimer timer;
+        engine.SubmitBatch(queries).get();
+        out->push_back(timer.ElapsedMillis());
+        reads.fetch_add(queries.size(), std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer loop: paced toward `write_share` of total operations.
+  pspc::Rng write_rng = seeder.Split();
+  std::vector<double> update_ms;
+  uint64_t writes = 0, write_errors = 0;
+  size_t stream_pos = 0;
+  pspc::WallTimer wall;
+  while (wall.ElapsedSeconds() < duration_seconds) {
+    const double quota =
+        write_share >= 0.95
+            ? 1e18
+            : write_share / (1.0 - write_share) *
+                  static_cast<double>(reads.load(std::memory_order_relaxed));
+    if (write_share == 0.0 || static_cast<double>(writes) >= quota) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    pspc::EdgeUpdate update;
+    if (!stream.Empty()) {
+      if (stream_pos >= stream.Size()) {
+        // Stream exhausted: keep serving reads until the deadline.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      update = stream.Updates()[stream_pos++];
+    } else if (!churn.Empty()) {
+      update = churn.Next(write_rng);
+    } else {
+      // Nothing to churn (edgeless graph): keep serving reads.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    pspc::WallTimer timer;
+    const pspc::Status st = engine.ApplyUpdate(update);
+    update_ms.push_back(timer.ElapsedMillis());
+    if (st.ok()) {
+      ++writes;
+    } else {
+      ++write_errors;
+    }
+  }
+  const double elapsed = wall.ElapsedSeconds();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : loader_threads) t.join();
+  engine.Drain();
+
+  std::vector<double> all_batch_ms;
+  for (const auto& v : batch_ms) {
+    all_batch_ms.insert(all_batch_ms.end(), v.begin(), v.end());
+  }
+  const uint64_t total_reads = reads.load();
+  const double total_ops = static_cast<double>(total_reads + writes);
+  std::printf("reads:  %llu queries in %.2fs -> %.0f queries/s\n",
+              static_cast<unsigned long long>(total_reads), elapsed,
+              static_cast<double>(total_reads) / elapsed);
+  std::printf("        batch latency p50 %.3f ms, p99 %.3f ms (batch=%zu)\n",
+              pspc::Percentile(all_batch_ms, 0.5), pspc::Percentile(all_batch_ms, 0.99),
+              batch);
+  std::printf("writes: %llu updates (%llu rejected), p50 %.3f ms, "
+              "p99 %.3f ms -> achieved write share %.4f\n",
+              static_cast<unsigned long long>(writes),
+              static_cast<unsigned long long>(write_errors),
+              pspc::Percentile(update_ms, 0.5), pspc::Percentile(update_ms, 0.99),
+              total_ops == 0.0 ? 0.0 : static_cast<double>(writes) / total_ops);
+  std::printf("%s\n", engine.Counters().ToString().c_str());
+
+  // Quiesce exactness spot-check: drained engine + idle writer means
+  // served answers must now match a fresh BFS on the live graph.
+  const pspc::Graph current = index.MaterializeGraph();
+  pspc::QueryBatch checks = pspc::MakeRandomQueries(n, 16, seed ^ 0x5eed);
+  const std::vector<pspc::SpcResult> served =
+      engine.SubmitBatch(checks).get();
+  size_t mismatches = 0;
+  for (size_t i = 0; i < checks.size(); ++i) {
+    if (served[i] != pspc::BfsSpcPair(current, checks[i].first,
+                                      checks[i].second)) {
+      ++mismatches;
+    }
+  }
+  std::printf("quiesce oracle: %zu/%zu exact%s\n", checks.size() - mismatches,
+              checks.size(),
+              mismatches == 0 ? "" : "  <-- CORRECTNESS BUG");
+  return mismatches == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -244,5 +477,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "query") == 0) return CmdQuery(argc, argv);
   if (std::strcmp(argv[1], "stats") == 0) return CmdStats(argc, argv);
   if (std::strcmp(argv[1], "update") == 0) return CmdUpdate(argc, argv);
+  if (std::strcmp(argv[1], "serve") == 0) return CmdServe(argc, argv);
   return Usage();
 }

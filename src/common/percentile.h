@@ -1,0 +1,22 @@
+#ifndef PSPC_SRC_COMMON_PERCENTILE_H_
+#define PSPC_SRC_COMMON_PERCENTILE_H_
+
+#include <algorithm>
+#include <vector>
+
+/// Nearest-rank percentile over a sample, shared by every bench/CLI
+/// latency report so p50/p99 always mean the same thing.
+namespace pspc {
+
+/// The `p`-quantile (`p` in [0, 1]) by nearest rank; 0 for an empty
+/// sample. Takes the values by copy — callers keep their raw series.
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<size_t>(p * static_cast<double>(values.size()));
+  return values[std::min(idx, values.size() - 1)];
+}
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_COMMON_PERCENTILE_H_

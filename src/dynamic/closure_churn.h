@@ -1,0 +1,60 @@
+#ifndef PSPC_SRC_DYNAMIC_CLOSURE_CHURN_H_
+#define PSPC_SRC_DYNAMIC_CLOSURE_CHURN_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/dynamic/edge_update.h"
+#include "src/graph/graph.h"
+
+/// Closure-churn update generator shared by the serving bench and
+/// `spc_cli serve`: deletes live edges and reinserts previously
+/// deleted ones, so a long run orbits the graph's starting shape
+/// instead of densifying or disintegrating — the road-network closure
+/// model of bench_dynamic_updates, packaged for mixed workloads.
+namespace pspc {
+
+class ClosureChurn {
+ public:
+  explicit ClosureChurn(const Graph& graph) {
+    for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+      for (const VertexId v : graph.Neighbors(u)) {
+        if (u < v) live_.push_back({u, v});
+      }
+    }
+  }
+
+  /// True when there is nothing to churn (edgeless graph) — Next would
+  /// have no update to draw.
+  bool Empty() const { return live_.empty() && closed_.empty(); }
+
+  /// Draws the next update (50/50 reopen-vs-close when both pools are
+  /// non-empty) and moves the edge between pools assuming the caller
+  /// applies it successfully — which always holds when this generator
+  /// is the sole writer. Requires `!Empty()`.
+  EdgeUpdate Next(Rng& rng) {
+    if (!closed_.empty() && (live_.empty() || rng.NextBool(0.5))) {
+      const size_t i = rng.NextBounded(closed_.size());
+      const auto edge = closed_[i];
+      closed_[i] = closed_.back();
+      closed_.pop_back();
+      live_.push_back(edge);
+      return {edge.first, edge.second, EdgeUpdateKind::kInsert};
+    }
+    const size_t i = rng.NextBounded(live_.size());
+    const auto edge = live_[i];
+    live_[i] = live_.back();
+    live_.pop_back();
+    closed_.push_back(edge);
+    return {edge.first, edge.second, EdgeUpdateKind::kDelete};
+  }
+
+ private:
+  std::vector<std::pair<VertexId, VertexId>> live_, closed_;
+};
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_DYNAMIC_CLOSURE_CHURN_H_

@@ -51,13 +51,13 @@ std::string DynamicStats::ToString() const {
 DynamicSpcIndex::DynamicSpcIndex(Graph graph, SpcIndex index,
                                  DynamicOptions options)
     : base_graph_(std::move(graph)),
-      base_(std::move(index)),
-      order_(base_.Order()),
+      base_(std::make_shared<const SpcIndex>(std::move(index))),
+      order_(base_->Order()),
       graph_(&base_graph_),
-      overlay_(&base_),
+      overlay_(base_.get()),
       options_(options) {
-  PSPC_CHECK_MSG(base_.NumVertices() == base_graph_.NumVertices(),
-                 "index (" << base_.NumVertices() << " vertices) does not "
+  PSPC_CHECK_MSG(base_->NumVertices() == base_graph_.NumVertices(),
+                 "index (" << base_->NumVertices() << " vertices) does not "
                  "match graph (" << base_graph_.NumVertices() << ")");
   InitScratch();
 }
@@ -89,7 +89,7 @@ SpcResult DynamicSpcIndex::Query(VertexId s, VertexId t) const {
 
 double DynamicSpcIndex::StalenessRatio() const {
   return static_cast<double>(overlay_.OverlaidEntries()) /
-         static_cast<double>(std::max<size_t>(1, base_.TotalEntries()));
+         static_cast<double>(std::max<size_t>(1, base_->TotalEntries()));
 }
 
 void DynamicSpcIndex::MaybeRebuild() {
@@ -103,10 +103,13 @@ void DynamicSpcIndex::Rebuild() {
   Graph current = graph_.Materialize();
   BuildResult result = BuildIndex(current, options_.rebuild_options);
   base_graph_ = std::move(current);
-  base_ = std::move(result.index);
-  order_ = base_.Order();
+  // A fresh shared base: snapshots captured from the old generation
+  // keep the retired CSR alive through their shared_ptr.
+  base_ = std::make_shared<const SpcIndex>(std::move(result.index));
+  order_ = base_->Order();
   graph_.Rebase(&base_graph_);
-  overlay_.Rebase(&base_);
+  overlay_.Rebase(base_.get());
+  ++generation_;
   ++stats_.rebuilds;
   stats_.rebuild_seconds += timer.ElapsedSeconds();
 }
@@ -118,6 +121,7 @@ Status DynamicSpcIndex::InsertEdge(VertexId u, VertexId v) {
     RepairInsertion(u, v);
   }
   ++stats_.insertions_applied;
+  ++generation_;
   MaybeRebuild();
   return Status::OK();
 }
@@ -133,6 +137,7 @@ Status DynamicSpcIndex::DeleteEdge(VertexId u, VertexId v) {
     RepairDeletion(u, v);
   }
   ++stats_.deletions_applied;
+  ++generation_;
   MaybeRebuild();
   return Status::OK();
 }

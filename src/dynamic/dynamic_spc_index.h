@@ -2,6 +2,7 @@
 #define PSPC_SRC_DYNAMIC_DYNAMIC_SPC_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -65,6 +66,13 @@
 /// Scope: unweighted undirected graphs over a fixed vertex universe
 /// `[0, n)`; saturated counts remain saturating (as everywhere in the
 /// library).
+///
+/// Threading: the index itself is single-threaded (one thread of
+/// control for reads and writes). Concurrent serving goes through
+/// `src/serve/`: a writer thread applies updates here and publishes
+/// immutable `IndexSnapshot` generations (captured via `Generation()`,
+/// `SharedBaseIndex()` and `Overlay()`), which readers query without
+/// ever touching this object.
 namespace pspc {
 
 struct DynamicOptions {
@@ -145,7 +153,21 @@ class DynamicSpcIndex {
   /// CSR snapshot of the current graph.
   Graph MaterializeGraph() const { return graph_.Materialize(); }
 
-  const SpcIndex& BaseIndex() const { return base_; }
+  /// Monotone label-state version: bumped by every applied update and
+  /// every rebuild. `IndexSnapshot::Capture` tags snapshots with it so
+  /// the serving layer can tell whether anything changed since the
+  /// last published generation.
+  uint64_t Generation() const { return generation_; }
+
+  /// Shared ownership of the current immutable base. Snapshots hold
+  /// this so a later Rebuild cannot free the CSR arrays out from under
+  /// an epoch still reading them.
+  std::shared_ptr<const SpcIndex> SharedBaseIndex() const { return base_; }
+
+  /// The copy-on-write overlay (snapshot capture copies its map).
+  const LabelOverlay& Overlay() const { return overlay_; }
+
+  const SpcIndex& BaseIndex() const { return *base_; }
   const VertexOrder& Order() const { return order_; }
   const DynamicStats& Stats() const { return stats_; }
   const DynamicOptions& Options() const { return options_; }
@@ -188,12 +210,13 @@ class DynamicSpcIndex {
   void ResetHubDist(VertexId hub);
 
   Graph base_graph_;
-  SpcIndex base_;
+  std::shared_ptr<const SpcIndex> base_;
   VertexOrder order_;
   DynamicGraph graph_;
   LabelOverlay overlay_;
   DynamicOptions options_;
   DynamicStats stats_;
+  uint64_t generation_ = 0;
 
   // Reusable n-sized scratch (reset via touched lists after each use).
   std::vector<uint32_t> hub_dist_;   // by rank; kInfSpcDistance = unset

@@ -53,6 +53,12 @@ class LabelOverlay {
 
   bool Overlaid(VertexId v) const { return overlay_.contains(v); }
 
+  /// The overlaid vertex -> entry-list map. `IndexSnapshot::Capture`
+  /// copies it to freeze a queryable view of the current labels.
+  const std::unordered_map<VertexId, std::vector<LabelEntry>>& Map() const {
+    return overlay_;
+  }
+
   size_t OverlaidVertices() const { return overlay_.size(); }
 
   /// Total entries held out-of-line — the staleness signal. O(number

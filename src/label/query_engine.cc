@@ -7,6 +7,8 @@ namespace pspc {
 
 QueryBatch MakeRandomQueries(VertexId num_vertices, size_t count,
                              uint64_t seed) {
+  // An empty universe has no pairs to draw (NextBounded(0) is UB).
+  if (num_vertices == 0) return {};
   Rng rng(seed);
   QueryBatch batch;
   batch.reserve(count);

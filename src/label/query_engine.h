@@ -16,7 +16,8 @@ namespace pspc {
 using QueryBatch = std::vector<std::pair<VertexId, VertexId>>;
 
 /// `count` uniform random pairs over `[0, num_vertices)`; the workload
-/// the paper uses for Exp 3 (10^5 random queries per dataset).
+/// the paper uses for Exp 3 (10^5 random queries per dataset). An
+/// empty universe (`num_vertices == 0`) yields an empty batch.
 QueryBatch MakeRandomQueries(VertexId num_vertices, size_t count,
                              uint64_t seed);
 

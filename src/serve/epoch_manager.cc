@@ -1,0 +1,53 @@
+#include "src/serve/epoch_manager.h"
+
+#include "src/common/logging.h"
+
+namespace pspc {
+
+size_t EpochManager::Enter() {
+  // Per-thread first-fit hint: after the first Enter, a thread's CAS
+  // almost always lands on the slot it used last time.
+  static thread_local size_t hint = 0;
+  const uint64_t epoch = epoch_.load(std::memory_order_seq_cst);
+  for (size_t probe = 0; probe < kMaxSlots; ++probe) {
+    const size_t i = (hint + probe) % kMaxSlots;
+    uint64_t expected = 0;
+    if (slots_[i].value.compare_exchange_strong(expected, epoch,
+                                                std::memory_order_seq_cst)) {
+      hint = i;
+      return i;
+    }
+  }
+  PSPC_CHECK_MSG(false, "all " << kMaxSlots
+                               << " epoch slots pinned simultaneously");
+  return 0;  // unreachable
+}
+
+void EpochManager::Exit(size_t slot) {
+  PSPC_CHECK(slot < kMaxSlots);
+  PSPC_CHECK(slots_[slot].value.load(std::memory_order_relaxed) != 0);
+  slots_[slot].value.store(0, std::memory_order_seq_cst);
+}
+
+uint64_t EpochManager::AdvanceEpoch() {
+  return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min = kNoActiveReader;
+  for (const Slot& slot : slots_) {
+    const uint64_t value = slot.value.load(std::memory_order_seq_cst);
+    if (value != 0 && value < min) min = value;
+  }
+  return min;
+}
+
+size_t EpochManager::ActiveReaders() const {
+  size_t active = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.value.load(std::memory_order_seq_cst) != 0) ++active;
+  }
+  return active;
+}
+
+}  // namespace pspc

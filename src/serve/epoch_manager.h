@@ -1,0 +1,76 @@
+#ifndef PSPC_SRC_SERVE_EPOCH_MANAGER_H_
+#define PSPC_SRC_SERVE_EPOCH_MANAGER_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+/// Epoch-based reclamation for the serving subsystem.
+///
+/// Readers *pin* the current epoch into a private slot before touching
+/// a published pointer and clear the slot when done; the (single)
+/// writer advances the global epoch each time it retires a pointer and
+/// frees a retired pointer only once every active slot has moved past
+/// its retire epoch. The invariant the reclaimer relies on: a reader
+/// that still holds a pointer retired at epoch `e` pinned *before* the
+/// swap that retired it, so its slot records an epoch `< e` — once
+/// `min(active slots) >= e`, nobody can be reading the pointee.
+///
+/// Readers take no locks and never wait: Enter is one load plus a CAS
+/// on a free slot (first-fit from a per-thread hint, so steady-state
+/// re-entry is a single CAS), Exit is one store. All cross-thread
+/// operations are seq_cst — the slot-scan soundness argument ("if the
+/// writer's scan saw the slot empty, the reader's snapshot load
+/// happened after the writer's swap") needs a total order, and the
+/// cost is irrelevant next to the micro-batch of queries each pin
+/// amortizes over.
+namespace pspc {
+
+class EpochManager {
+ public:
+  /// Upper bound on simultaneously pinned readers, not threads: a
+  /// thread occupies a slot only between Enter and Exit.
+  static constexpr size_t kMaxSlots = 512;
+
+  /// MinActiveEpoch() when no reader is pinned.
+  static constexpr uint64_t kNoActiveReader = UINT64_MAX;
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  uint64_t CurrentEpoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Pins the calling thread at the current epoch; returns the slot to
+  /// pass to Exit. Aborts if kMaxSlots readers are already pinned.
+  size_t Enter();
+
+  /// Releases a slot returned by Enter.
+  void Exit(size_t slot);
+
+  /// Writer-side: bumps the global epoch; returns the new value (the
+  /// retire epoch for a pointer unpublished just before the bump).
+  uint64_t AdvanceEpoch();
+
+  /// Smallest epoch any pinned reader entered at, or kNoActiveReader.
+  uint64_t MinActiveEpoch() const;
+
+  /// Number of currently pinned slots (diagnostics / shutdown checks).
+  size_t ActiveReaders() const;
+
+ private:
+  // One cache line per slot so reader pins do not false-share.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> value{0};  // 0 = free, else pinned epoch
+  };
+
+  std::atomic<uint64_t> epoch_{1};
+  std::array<Slot, kMaxSlots> slots_{};
+};
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_SERVE_EPOCH_MANAGER_H_

@@ -1,0 +1,27 @@
+#include "src/serve/index_snapshot.h"
+
+#include "src/common/logging.h"
+#include "src/dynamic/dynamic_spc_index.h"
+#include "src/label/label_merge.h"
+
+namespace pspc {
+
+std::unique_ptr<const IndexSnapshot> IndexSnapshot::Capture(
+    const DynamicSpcIndex& index) {
+  auto snapshot = std::unique_ptr<IndexSnapshot>(new IndexSnapshot());
+  snapshot->base_ = index.SharedBaseIndex();
+  snapshot->overlay_ = index.Overlay().Map();
+  snapshot->generation_ = index.Generation();
+  snapshot->num_vertices_ = index.NumVertices();
+  snapshot->num_edges_ = index.NumEdges();
+  return snapshot;
+}
+
+SpcResult IndexSnapshot::Query(VertexId s, VertexId t) const {
+  PSPC_CHECK_MSG(s < num_vertices_ && t < num_vertices_,
+                 "query (" << s << "," << t << ") out of range");
+  if (s == t) return {0, 1};
+  return MergeLabelCounts(Labels(s), Labels(t));
+}
+
+}  // namespace pspc

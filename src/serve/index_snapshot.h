@@ -1,0 +1,67 @@
+#ifndef PSPC_SRC_SERVE_INDEX_SNAPSHOT_H_
+#define PSPC_SRC_SERVE_INDEX_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/label/label_entry.h"
+#include "src/label/spc_index.h"
+
+/// An immutable, queryable freeze of a `DynamicSpcIndex` generation.
+///
+/// Capture shares the base CSR (a `shared_ptr`, so a later staleness
+/// rebuild cannot free it while an epoch still reads it) and deep-copies
+/// the copy-on-write overlay — only the vertices repairs have touched,
+/// which is exactly the part of the label state the writer keeps
+/// mutating. After construction a snapshot is never written again, so
+/// any number of reader threads may query it without synchronization;
+/// answers are exact for the graph as of the captured generation.
+namespace pspc {
+
+class DynamicSpcIndex;
+
+class IndexSnapshot {
+ public:
+  /// Freezes the current labels of `index`. Must be called from the
+  /// thread that owns the index's write path (the same thread of
+  /// control that applies updates).
+  static std::unique_ptr<const IndexSnapshot> Capture(
+      const DynamicSpcIndex& index);
+
+  /// Distance and exact shortest-path count on the captured graph
+  /// generation — the same merge kernel as every other label container.
+  SpcResult Query(VertexId s, VertexId t) const;
+
+  /// Labels of `v` as of the capture, rank-sorted.
+  std::span<const LabelEntry> Labels(VertexId v) const {
+    const auto it = overlay_.find(v);
+    if (it == overlay_.end()) return base_->Labels(v);
+    return {it->second.data(), it->second.size()};
+  }
+
+  /// Generation counter of the captured index state.
+  uint64_t Generation() const { return generation_; }
+
+  VertexId NumVertices() const { return num_vertices_; }
+  EdgeId NumEdges() const { return num_edges_; }
+
+  /// Vertices held out-of-line (capture cost diagnostic).
+  size_t OverlaidVertices() const { return overlay_.size(); }
+
+ private:
+  IndexSnapshot() = default;
+
+  std::shared_ptr<const SpcIndex> base_;
+  std::unordered_map<VertexId, std::vector<LabelEntry>> overlay_;
+  uint64_t generation_ = 0;
+  VertexId num_vertices_ = 0;
+  EdgeId num_edges_ = 0;
+};
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_SERVE_INDEX_SNAPSHOT_H_

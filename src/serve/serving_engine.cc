@@ -1,0 +1,195 @@
+#include "src/serve/serving_engine.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/parallel.h"
+
+namespace pspc {
+
+std::string ServingCounters::ToString() const {
+  std::ostringstream oss;
+  oss << "queries: " << queries_served << " in " << micro_batches
+      << " micro-batches\n"
+      << "cache:   " << cache_hits << " hits / " << cache_misses
+      << " misses\n"
+      << "writes:  " << updates_applied << " updates, "
+      << generations_published << " generations published\n"
+      << "epochs:  " << snapshots_reclaimed << " snapshots reclaimed, "
+      << snapshots_retired_pending << " retired pending";
+  return oss.str();
+}
+
+ServingEngine::ServingEngine(DynamicSpcIndex* index, ServingOptions options)
+    : index_(index),
+      options_(options),
+      num_vertices_(index->NumVertices()),
+      num_workers_(options.num_workers > 0
+                       ? static_cast<size_t>(options.num_workers)
+                       : static_cast<size_t>(MaxThreads())),
+      snapshots_(IndexSnapshot::Capture(*index)),
+      queue_(options.queue_capacity),
+      cache_(options.cache_shards, options.cache_capacity_per_shard),
+      published_generation_(index->Generation()) {
+  if (num_workers_ == 0) num_workers_ = 1;
+  workers_.reserve(num_workers_);
+  for (size_t i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServingEngine::~ServingEngine() { Stop(); }
+
+bool ServingEngine::Enqueue(ServeRequest request) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.Push(std::move(request))) {
+    FinishRequests(1);
+    return false;
+  }
+  return true;
+}
+
+void ServingEngine::FinishRequests(size_t n) {
+  if (pending_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+std::future<SpcResult> ServingEngine::Submit(VertexId s, VertexId t) {
+  PSPC_CHECK_MSG(s < num_vertices_ && t < num_vertices_,
+                 "query (" << s << "," << t << ") out of range");
+  auto ticket = std::make_shared<SingleTicket>();
+  std::future<SpcResult> future = ticket->promise.get_future();
+  ServeRequest request;
+  request.s = s;
+  request.t = t;
+  request.single = std::move(ticket);
+  PSPC_CHECK_MSG(Enqueue(std::move(request)), "Submit after Stop");
+  return future;
+}
+
+std::future<std::vector<SpcResult>> ServingEngine::SubmitBatch(
+    const QueryBatch& batch) {
+  auto ticket = std::make_shared<BatchTicket>(batch.size());
+  std::future<std::vector<SpcResult>> future = ticket->promise.get_future();
+  if (batch.empty()) {
+    ticket->promise.set_value({});
+    return future;
+  }
+  std::vector<ServeRequest> requests;
+  requests.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto [s, t] = batch[i];
+    PSPC_CHECK_MSG(s < num_vertices_ && t < num_vertices_,
+                   "query (" << s << "," << t << ") out of range");
+    ServeRequest request;
+    request.s = s;
+    request.t = t;
+    request.pos = static_cast<uint32_t>(i);
+    request.batch = ticket;
+    requests.push_back(std::move(request));
+  }
+  pending_.fetch_add(requests.size(), std::memory_order_relaxed);
+  const size_t pushed = queue_.PushAll(&requests);
+  if (pushed < requests.size()) {
+    FinishRequests(requests.size() - pushed);
+    PSPC_CHECK_MSG(false, "SubmitBatch after Stop");
+  }
+  return future;
+}
+
+Status ServingEngine::ApplyUpdates(const EdgeUpdateBatch& batch) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const DynamicStats& stats = index_->Stats();
+  const uint64_t applied_before =
+      stats.insertions_applied + stats.deletions_applied;
+  const Status status = index_->ApplyBatch(batch);
+  updates_applied_ +=
+      stats.insertions_applied + stats.deletions_applied - applied_before;
+  // Publish whatever actually applied — on a mid-batch failure the
+  // prefix is in the index and must become visible, not linger as an
+  // unpublished divergence between index and snapshot.
+  if (index_->Generation() != published_generation_) {
+    snapshots_.Publish(IndexSnapshot::Capture(*index_));
+    published_generation_ = index_->Generation();
+    ++publishes_;
+  }
+  return status;
+}
+
+Status ServingEngine::ApplyUpdate(const EdgeUpdate& update) {
+  EdgeUpdateBatch batch;
+  batch.Add(update);
+  return ApplyUpdates(batch);
+}
+
+void ServingEngine::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ServingEngine::Stop() {
+  if (stopped_.exchange(true)) return;
+  Drain();
+  queue_.Close();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ServingCounters ServingEngine::Counters() const {
+  ServingCounters counters;
+  counters.queries_served = queries_served_.load(std::memory_order_relaxed);
+  counters.micro_batches = micro_batches_.load(std::memory_order_relaxed);
+  counters.cache_hits = cache_.Hits();
+  counters.cache_misses = cache_.Misses();
+  {
+    // Retired/reclaimed bookkeeping is writer-side state; snapshot it
+    // under the writer mutex so Counters is safe from any thread.
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    counters.updates_applied = updates_applied_;
+    counters.generations_published = publishes_;
+    counters.snapshots_reclaimed = snapshots_.ReclaimedCount();
+    counters.snapshots_retired_pending = snapshots_.RetiredCount();
+  }
+  return counters;
+}
+
+void ServingEngine::WorkerLoop() {
+  std::vector<ServeRequest> local;
+  local.reserve(options_.max_batch);
+  for (;;) {
+    local.clear();
+    const size_t taken =
+        queue_.PopBatch(&local, options_.max_batch, num_workers_);
+    if (taken == 0) return;  // closed and drained
+
+    // One epoch pin covers the whole micro-batch: the snapshot (and
+    // its generation, for cache tagging) is fixed across it.
+    SnapshotRef snapshot = snapshots_.Acquire();
+    const uint64_t generation = snapshot->Generation();
+    for (ServeRequest& request : local) {
+      SpcResult result;
+      if (!cache_.Lookup(generation, request.s, request.t, &result)) {
+        result = snapshot->Query(request.s, request.t);
+        cache_.Insert(generation, request.s, request.t, result);
+      }
+      if (request.single != nullptr) {
+        request.single->promise.set_value(result);
+      } else {
+        BatchTicket& ticket = *request.batch;
+        ticket.results[request.pos] = result;
+        if (ticket.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          ticket.promise.set_value(std::move(ticket.results));
+        }
+      }
+    }
+    queries_served_.fetch_add(taken, std::memory_order_relaxed);
+    micro_batches_.fetch_add(1, std::memory_order_relaxed);
+    FinishRequests(taken);
+  }
+}
+
+}  // namespace pspc

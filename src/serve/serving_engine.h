@@ -1,0 +1,147 @@
+#ifndef PSPC_SRC_SERVE_SERVING_ENGINE_H_
+#define PSPC_SRC_SERVE_SERVING_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/dynamic/dynamic_spc_index.h"
+#include "src/label/query_engine.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/result_cache.h"
+#include "src/serve/snapshot_manager.h"
+
+/// The concurrent serving front-end: queries run against published
+/// epoch snapshots while edge repairs apply, so readers never wait on
+/// a writer.
+///
+/// Wiring: client threads Submit single queries or batches into the
+/// bounded MPMC queue; a worker pool drains it in adaptive
+/// micro-batches, pins one epoch per micro-batch, consults the sharded
+/// generation-tagged result cache, and answers the rest from the
+/// pinned `IndexSnapshot` (the §IV parallel-batch kernel's merge path).
+/// The write side — ApplyUpdate(s) — is serialized on a writer mutex
+/// no reader ever touches: it repairs the `DynamicSpcIndex` and
+/// publishes a fresh snapshot generation, which retires the previous
+/// one into the epoch reclamation queue.
+///
+/// Every answer is exact for the generation it was computed against;
+/// a query admitted before a publish may be answered from the prior
+/// generation (standard RCU semantics). After Drain() with no write in
+/// flight, answers are exact for the current graph.
+namespace pspc {
+
+struct ServingOptions {
+  /// Query worker threads (<= 0: all cores).
+  int num_workers = 0;
+  /// Micro-batch cap: the most queries one epoch pin spans.
+  size_t max_batch = 64;
+  /// Bounded request queue; full = producer back-pressure.
+  size_t queue_capacity = 1 << 16;
+  /// Result-cache geometry; shard count rounds up to a power of two,
+  /// zero capacity disables caching.
+  size_t cache_shards = 16;
+  size_t cache_capacity_per_shard = 1 << 14;
+};
+
+/// Monotonic totals since construction (point-in-time copies).
+struct ServingCounters {
+  uint64_t queries_served = 0;
+  uint64_t micro_batches = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t updates_applied = 0;
+  uint64_t generations_published = 0;
+  uint64_t snapshots_reclaimed = 0;
+  uint64_t snapshots_retired_pending = 0;
+
+  std::string ToString() const;
+};
+
+class ServingEngine {
+ public:
+  /// Takes over `index`'s write path: from here on, all updates must
+  /// go through ApplyUpdate(s) and all queries through Submit*.
+  /// `index` must outlive the engine.
+  explicit ServingEngine(DynamicSpcIndex* index, ServingOptions options = {});
+
+  /// Stops (drains, joins workers) if Stop was not called explicitly.
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Enqueues one query. `s`, `t` must be < NumVertices(). Thread-safe.
+  std::future<SpcResult> Submit(VertexId s, VertexId t);
+
+  /// Enqueues a batch; the future completes when every query has been
+  /// answered (positionally matching `batch`). Thread-safe.
+  std::future<std::vector<SpcResult>> SubmitBatch(const QueryBatch& batch);
+
+  /// Applies updates to the index and publishes a new snapshot
+  /// generation (even on partial failure — applied prefixes become
+  /// visible). Serialized internally; thread-safe. Queries keep
+  /// flowing against the previous generation while this runs.
+  Status ApplyUpdates(const EdgeUpdateBatch& batch);
+  Status ApplyUpdate(const EdgeUpdate& update);
+
+  /// Generation readers are currently being served from.
+  uint64_t PublishedGeneration() const {
+    return snapshots_.PublishedGeneration();
+  }
+
+  VertexId NumVertices() const { return num_vertices_; }
+
+  /// Blocks until every previously submitted query has completed. With
+  /// no concurrent submitters/writers this is a quiesce point: answers
+  /// from here on reflect the current graph exactly.
+  void Drain();
+
+  /// Drains, closes the queue, joins the workers. Submitting after
+  /// Stop aborts. Idempotent.
+  void Stop();
+
+  ServingCounters Counters() const;
+
+ private:
+  void WorkerLoop();
+  bool Enqueue(ServeRequest request);
+  void FinishRequests(size_t n);
+
+  DynamicSpcIndex* index_;
+  ServingOptions options_;
+  VertexId num_vertices_;
+  size_t num_workers_;
+
+  SnapshotManager snapshots_;
+  RequestQueue queue_;
+  ResultCache cache_;
+  std::vector<std::thread> workers_;
+
+  // Write path (also guards the writer-side snapshot bookkeeping;
+  // mutable so const Counters() can read that bookkeeping safely).
+  mutable std::mutex writer_mu_;
+  uint64_t published_generation_;  // guarded by writer_mu_
+  uint64_t updates_applied_ = 0;   // guarded by writer_mu_
+  uint64_t publishes_ = 0;         // guarded by writer_mu_
+
+  // Completion tracking for Drain().
+  std::atomic<uint64_t> pending_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> micro_batches_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_SERVE_SERVING_ENGINE_H_

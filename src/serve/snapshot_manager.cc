@@ -1,0 +1,56 @@
+#include "src/serve/snapshot_manager.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pspc {
+
+SnapshotManager::SnapshotManager(std::unique_ptr<const IndexSnapshot> initial)
+    : current_(initial.release()) {
+  PSPC_CHECK(current_.load(std::memory_order_relaxed) != nullptr);
+}
+
+SnapshotManager::~SnapshotManager() {
+  PSPC_CHECK_MSG(epochs_.ActiveReaders() == 0,
+                 "SnapshotManager destroyed with pinned readers");
+  delete current_.load(std::memory_order_relaxed);
+  for (const Retired& r : retired_) delete r.snapshot;
+}
+
+SnapshotRef SnapshotManager::Acquire() const {
+  // Pin first, then load: with both operations seq_cst, a writer whose
+  // post-swap slot scan misses this pin is guaranteed the load below
+  // observed the post-swap pointer (see epoch_manager.h).
+  const size_t slot = epochs_.Enter();
+  const IndexSnapshot* snapshot = current_.load(std::memory_order_seq_cst);
+  return SnapshotRef(&epochs_, slot, snapshot);
+}
+
+void SnapshotManager::Publish(std::unique_ptr<const IndexSnapshot> next) {
+  PSPC_CHECK(next != nullptr);
+  const IndexSnapshot* old =
+      current_.exchange(next.release(), std::memory_order_seq_cst);
+  // Swap before advancing: any reader that still holds `old` pinned at
+  // an epoch read before this publish, i.e. strictly below the retire
+  // epoch recorded here.
+  const uint64_t retire_epoch = epochs_.AdvanceEpoch();
+  retired_.push_back({old, retire_epoch});
+  Reclaim();
+}
+
+void SnapshotManager::Reclaim() {
+  // kNoActiveReader compares greater than every retire epoch, so an
+  // idle reader side drains the whole list.
+  const uint64_t min_active = epochs_.MinActiveEpoch();
+  auto dead = std::partition(
+      retired_.begin(), retired_.end(),
+      [min_active](const Retired& r) { return r.epoch > min_active; });
+  for (auto it = dead; it != retired_.end(); ++it) {
+    delete it->snapshot;
+    ++reclaimed_;
+  }
+  retired_.erase(dead, retired_.end());
+}
+
+}  // namespace pspc

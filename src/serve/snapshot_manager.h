@@ -1,0 +1,119 @@
+#ifndef PSPC_SRC_SERVE_SNAPSHOT_MANAGER_H_
+#define PSPC_SRC_SERVE_SNAPSHOT_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/serve/epoch_manager.h"
+#include "src/serve/index_snapshot.h"
+
+/// RCU-style publication of `IndexSnapshot` generations.
+///
+/// The writer swaps a new snapshot into an atomic pointer, retires the
+/// old one tagged with the post-swap epoch, and reclaims retired
+/// generations once every pinned reader has drained past them (see
+/// epoch_manager.h for the safety argument). Readers Acquire() a
+/// `SnapshotRef` — an epoch pin plus the pointer — and query the
+/// immutable view for as long as they hold the ref, entirely
+/// independent of any concurrently publishing writer.
+namespace pspc {
+
+class SnapshotManager;
+
+/// Epoch-pinned reference to a published snapshot. Movable, not
+/// copyable; the pointee stays valid (and immutable) until the ref is
+/// destroyed. Hold it for a micro-batch of queries, not indefinitely —
+/// a pinned epoch delays reclamation of every later generation.
+class SnapshotRef {
+ public:
+  SnapshotRef(SnapshotRef&& other) noexcept
+      : epochs_(std::exchange(other.epochs_, nullptr)),
+        slot_(other.slot_),
+        snapshot_(other.snapshot_) {}
+  SnapshotRef& operator=(SnapshotRef&& other) noexcept {
+    if (this != &other) {
+      Release();
+      epochs_ = std::exchange(other.epochs_, nullptr);
+      slot_ = other.slot_;
+      snapshot_ = other.snapshot_;
+    }
+    return *this;
+  }
+  SnapshotRef(const SnapshotRef&) = delete;
+  SnapshotRef& operator=(const SnapshotRef&) = delete;
+  ~SnapshotRef() { Release(); }
+
+  const IndexSnapshot* get() const { return snapshot_; }
+  const IndexSnapshot* operator->() const { return snapshot_; }
+  const IndexSnapshot& operator*() const { return *snapshot_; }
+
+ private:
+  friend class SnapshotManager;
+  SnapshotRef(EpochManager* epochs, size_t slot,
+              const IndexSnapshot* snapshot)
+      : epochs_(epochs), slot_(slot), snapshot_(snapshot) {}
+
+  void Release() {
+    if (epochs_ != nullptr) {
+      epochs_->Exit(slot_);
+      epochs_ = nullptr;
+    }
+  }
+
+  EpochManager* epochs_ = nullptr;
+  size_t slot_ = 0;
+  const IndexSnapshot* snapshot_ = nullptr;
+};
+
+class SnapshotManager {
+ public:
+  explicit SnapshotManager(std::unique_ptr<const IndexSnapshot> initial);
+
+  /// Requires no reader still pinned (the owning engine joins its
+  /// workers first); frees the current and all retired snapshots.
+  ~SnapshotManager();
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// Reader-side: pins the current epoch and returns the snapshot that
+  /// was current at the pin. Never blocks and takes no locks.
+  SnapshotRef Acquire() const;
+
+  /// Writer-side (externally serialized): makes `next` the current
+  /// snapshot, retires the previous one, and reclaims every retired
+  /// generation no pinned reader can still see.
+  void Publish(std::unique_ptr<const IndexSnapshot> next);
+
+  /// Generation of the currently published snapshot.
+  uint64_t PublishedGeneration() const { return Acquire()->Generation(); }
+
+  /// Retired-but-not-yet-reclaimed generations (writer thread only).
+  size_t RetiredCount() const { return retired_.size(); }
+
+  /// Generations freed so far (writer thread only).
+  size_t ReclaimedCount() const { return reclaimed_; }
+
+  /// Currently pinned readers (diagnostics).
+  size_t ActiveReaders() const { return epochs_.ActiveReaders(); }
+
+ private:
+  struct Retired {
+    const IndexSnapshot* snapshot;
+    uint64_t epoch;  // reclaim once min(active) >= this
+  };
+
+  void Reclaim();
+
+  mutable EpochManager epochs_;
+  std::atomic<const IndexSnapshot*> current_;
+  std::vector<Retired> retired_;  // writer thread only
+  size_t reclaimed_ = 0;          // writer thread only
+};
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_SERVE_SNAPSHOT_MANAGER_H_

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/baseline/bfs_spc.h"
+#include "src/core/builder_facade.h"
+#include "src/dynamic/dynamic_spc_index.h"
+#include "src/graph/generators.h"
+#include "src/label/query_engine.h"
+#include "src/serve/epoch_manager.h"
+#include "src/serve/index_snapshot.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/result_cache.h"
+#include "src/serve/serving_engine.h"
+#include "src/serve/snapshot_manager.h"
+#include "tests/test_util.h"
+
+namespace pspc {
+namespace {
+
+// Single-threaded OpenMP everywhere so these tests stay signal-only
+// under ThreadSanitizer (libgomp worker teams are not TSan
+// instrumented; a team of one never spawns).
+BuildOptions SingleThreadBuild() {
+  BuildOptions options;
+  options.num_landmarks = 4;
+  options.num_threads = 1;
+  return options;
+}
+
+DynamicOptions RepairOnlyOptions() {
+  DynamicOptions options;
+  options.rebuild_threshold = 1e18;
+  options.rebuild_options = SingleThreadBuild();
+  options.num_threads = 1;
+  return options;
+}
+
+std::unique_ptr<DynamicSpcIndex> MakeIndex(const Graph& graph) {
+  return std::make_unique<DynamicSpcIndex>(graph, SingleThreadBuild(),
+                                           RepairOnlyOptions());
+}
+
+// ------------------------------------------------------------ satellites
+
+TEST(MakeRandomQueriesTest, EmptyUniverseYieldsEmptyBatch) {
+  EXPECT_TRUE(MakeRandomQueries(0, 10, 123).empty());
+  EXPECT_TRUE(MakeRandomQueries(0, 0, 123).empty());
+  EXPECT_EQ(MakeRandomQueries(5, 7, 123).size(), 7u);
+}
+
+// --------------------------------------------------------- IndexSnapshot
+
+TEST(IndexSnapshotTest, MatchesLiveIndex) {
+  const Graph graph = GenerateBarabasiAlbert(120, 3, 11);
+  auto index = MakeIndex(graph);
+  const auto snapshot = IndexSnapshot::Capture(*index);
+
+  EXPECT_EQ(snapshot->NumVertices(), index->NumVertices());
+  EXPECT_EQ(snapshot->NumEdges(), index->NumEdges());
+  EXPECT_EQ(snapshot->Generation(), index->Generation());
+  for (const auto& [s, t] : MakeRandomQueries(120, 200, 5)) {
+    EXPECT_EQ(snapshot->Query(s, t), index->Query(s, t));
+  }
+}
+
+TEST(IndexSnapshotTest, IsolatesRetiredGenerations) {
+  const Graph graph = GenerateBarabasiAlbert(120, 3, 12);
+  auto index = MakeIndex(graph);
+  const QueryBatch probes = MakeRandomQueries(120, 200, 6);
+
+  const auto before = IndexSnapshot::Capture(*index);
+  std::vector<SpcResult> old_answers;
+  for (const auto& [s, t] : probes) old_answers.push_back(before->Query(s, t));
+
+  // Churn the live index; the captured generation must not move.
+  Rng rng(99);
+  size_t applied = 0;
+  while (applied < 10) {
+    const auto u = static_cast<VertexId>(rng.NextBounded(120));
+    const auto v = static_cast<VertexId>(rng.NextBounded(120));
+    if (u == v || index->HasEdge(u, v)) continue;
+    ASSERT_TRUE(index->InsertEdge(u, v).ok());
+    ++applied;
+  }
+
+  const auto after = IndexSnapshot::Capture(*index);
+  EXPECT_GT(after->Generation(), before->Generation());
+  size_t changed = 0;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const auto [s, t] = probes[i];
+    EXPECT_EQ(before->Query(s, t), old_answers[i]);
+    EXPECT_EQ(after->Query(s, t), index->Query(s, t));
+    if (after->Query(s, t) != old_answers[i]) ++changed;
+  }
+  // 10 random inserts on 120 vertices must move some answers, or the
+  // isolation assertion above would be vacuous.
+  EXPECT_GT(changed, 0u);
+}
+
+TEST(IndexSnapshotTest, SurvivesIndexRebuild) {
+  const Graph graph = GenerateBarabasiAlbert(100, 3, 13);
+  auto index = MakeIndex(graph);
+  const auto snapshot = IndexSnapshot::Capture(*index);
+  const SpcResult old_answer = snapshot->Query(3, 77);
+
+  index->Rebuild();  // swaps the shared base out from under the capture
+  EXPECT_EQ(snapshot->Query(3, 77), old_answer);
+  EXPECT_EQ(IndexSnapshot::Capture(*index)->Query(3, 77),
+            index->Query(3, 77));
+}
+
+// ---------------------------------------------------------- EpochManager
+
+TEST(EpochManagerTest, PinAndRelease) {
+  EpochManager epochs;
+  EXPECT_EQ(epochs.ActiveReaders(), 0u);
+  EXPECT_EQ(epochs.MinActiveEpoch(), EpochManager::kNoActiveReader);
+
+  const uint64_t e0 = epochs.CurrentEpoch();
+  const size_t a = epochs.Enter();
+  EXPECT_EQ(epochs.ActiveReaders(), 1u);
+  EXPECT_EQ(epochs.MinActiveEpoch(), e0);
+
+  EXPECT_EQ(epochs.AdvanceEpoch(), e0 + 1);
+  const size_t b = epochs.Enter();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(epochs.ActiveReaders(), 2u);
+  EXPECT_EQ(epochs.MinActiveEpoch(), e0);  // oldest pin wins
+
+  epochs.Exit(a);
+  EXPECT_EQ(epochs.MinActiveEpoch(), e0 + 1);
+  epochs.Exit(b);
+  EXPECT_EQ(epochs.ActiveReaders(), 0u);
+}
+
+// ------------------------------------------------------- SnapshotManager
+
+TEST(SnapshotManagerTest, PublishRetiresAndReclaims) {
+  const Graph graph = GenerateBarabasiAlbert(80, 2, 21);
+  auto index = MakeIndex(graph);
+  SnapshotManager manager(IndexSnapshot::Capture(*index));
+  const uint64_t gen0 = manager.PublishedGeneration();
+
+  VertexId u = 0, v = 1;
+  while (index->HasEdge(u, v)) ++v;  // first absent edge from vertex 0
+
+  // A pinned reader keeps the retired generation alive.
+  {
+    SnapshotRef pinned = manager.Acquire();
+    ASSERT_TRUE(index->InsertEdge(u, v).ok());
+    manager.Publish(IndexSnapshot::Capture(*index));
+    EXPECT_EQ(manager.RetiredCount(), 1u);
+    EXPECT_EQ(manager.ReclaimedCount(), 0u);
+    EXPECT_EQ(pinned->Generation(), gen0);  // still readable
+    EXPECT_GT(manager.PublishedGeneration(), gen0);
+  }
+
+  // Pin released: the next publish drains the limbo list.
+  ASSERT_TRUE(index->DeleteEdge(u, v).ok());
+  manager.Publish(IndexSnapshot::Capture(*index));
+  EXPECT_EQ(manager.RetiredCount(), 0u);
+  EXPECT_EQ(manager.ReclaimedCount(), 2u);
+  EXPECT_EQ(manager.ActiveReaders(), 0u);
+}
+
+TEST(SnapshotManagerTest, AcquireSeesLatestPublish) {
+  const Graph graph = GenerateBarabasiAlbert(80, 2, 22);
+  auto index = MakeIndex(graph);
+  SnapshotManager manager(IndexSnapshot::Capture(*index));
+  VertexId u = 0, v = 1;
+  while (index->HasEdge(u, v)) ++v;  // first absent edge from vertex 0
+  ASSERT_TRUE(index->InsertEdge(u, v).ok());
+  manager.Publish(IndexSnapshot::Capture(*index));
+  EXPECT_EQ(manager.Acquire()->Generation(), index->Generation());
+}
+
+// ----------------------------------------------------------- ResultCache
+
+TEST(ResultCacheTest, HitMissAndSymmetry) {
+  ResultCache cache(4, 64);
+  SpcResult out;
+  EXPECT_FALSE(cache.Lookup(1, 3, 9, &out));
+  cache.Insert(1, 3, 9, {2, 5});
+  ASSERT_TRUE(cache.Lookup(1, 3, 9, &out));
+  EXPECT_EQ(out, (SpcResult{2, 5}));
+  // SPC is symmetric; the reversed pair must hit the same entry.
+  ASSERT_TRUE(cache.Lookup(1, 9, 3, &out));
+  EXPECT_EQ(out, (SpcResult{2, 5}));
+  EXPECT_EQ(cache.Hits(), 2u);
+  EXPECT_EQ(cache.Misses(), 1u);
+}
+
+TEST(ResultCacheTest, GenerationInvalidates) {
+  ResultCache cache(1, 64);
+  SpcResult out;
+  cache.Insert(1, 3, 9, {2, 5});
+  EXPECT_FALSE(cache.Lookup(2, 3, 9, &out));  // newer generation: dropped
+  // A stale insert from a worker still on generation 1 must not land.
+  cache.Insert(1, 3, 9, {2, 5});
+  EXPECT_FALSE(cache.Lookup(2, 3, 9, &out));
+  // The old generation can no longer hit either (shard moved on).
+  EXPECT_FALSE(cache.Lookup(1, 3, 9, &out));
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(4, 0);
+  SpcResult out;
+  cache.Insert(1, 3, 9, {2, 5});
+  EXPECT_FALSE(cache.Lookup(1, 3, 9, &out));
+}
+
+// ---------------------------------------------------------- RequestQueue
+
+TEST(RequestQueueTest, AdaptiveBatchSplitsBacklog) {
+  RequestQueue queue(64);
+  for (int i = 0; i < 10; ++i) {
+    ServeRequest request;
+    request.s = static_cast<VertexId>(i);
+    ASSERT_TRUE(queue.Push(std::move(request)));
+  }
+  std::vector<ServeRequest> out;
+  // 10 queued, 2 consumers -> fair share 5, capped at max_batch 4.
+  EXPECT_EQ(queue.PopBatch(&out, 4, 2), 4u);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].s, 0u);  // FIFO
+  EXPECT_EQ(out[3].s, 3u);
+  // 6 left, 2 consumers -> fair share 3 below the cap.
+  out.clear();
+  EXPECT_EQ(queue.PopBatch(&out, 4, 2), 3u);
+  EXPECT_EQ(queue.Size(), 3u);
+}
+
+TEST(RequestQueueTest, CloseDrainsThenStops) {
+  RequestQueue queue(8);
+  ServeRequest request;
+  ASSERT_TRUE(queue.Push(std::move(request)));
+  queue.Close();
+  ServeRequest rejected;
+  EXPECT_FALSE(queue.Push(std::move(rejected)));
+  std::vector<ServeRequest> out;
+  EXPECT_EQ(queue.PopBatch(&out, 4, 1), 1u);  // backlog still served
+  EXPECT_EQ(queue.PopBatch(&out, 4, 1), 0u);  // closed and drained
+}
+
+// --------------------------------------------------------- ServingEngine
+
+ServingOptions SmallEngineOptions() {
+  ServingOptions options;
+  options.num_workers = 2;
+  options.max_batch = 8;
+  return options;
+}
+
+TEST(ServingEngineTest, ServesExactAnswers) {
+  const Graph graph = GenerateBarabasiAlbert(60, 2, 31);
+  auto index = MakeIndex(graph);
+  ServingEngine engine(index.get(), SmallEngineOptions());
+
+  QueryBatch batch;
+  for (const auto& [s, t] : testing::AllPairs(60)) batch.emplace_back(s, t);
+  const std::vector<SpcResult> results = engine.SubmitBatch(batch).get();
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(results[i],
+              BfsSpcPair(graph, batch[i].first, batch[i].second));
+  }
+  EXPECT_EQ(engine.Submit(7, 7).get(), (SpcResult{0, 1}));
+  EXPECT_GE(engine.Counters().queries_served, batch.size() + 1);
+}
+
+TEST(ServingEngineTest, UpdatesBecomeVisibleAfterPublish) {
+  const Graph graph = GeneratePath(40);
+  auto index = MakeIndex(graph);
+  ServingEngine engine(index.get(), SmallEngineOptions());
+  const uint64_t gen0 = engine.PublishedGeneration();
+
+  EXPECT_EQ(engine.Submit(0, 39).get(), (SpcResult{39, 1}));
+
+  // Close the path into a cycle: 0 -> 39 becomes a single hop.
+  EdgeUpdateBatch updates;
+  updates.Insert(0, 39);
+  ASSERT_TRUE(engine.ApplyUpdates(updates).ok());
+  EXPECT_GT(engine.PublishedGeneration(), gen0);
+  EXPECT_EQ(engine.Submit(0, 39).get(), (SpcResult{1, 1}));
+
+  const ServingCounters counters = engine.Counters();
+  EXPECT_EQ(counters.updates_applied, 1u);
+  EXPECT_GE(counters.generations_published, 1u);
+}
+
+TEST(ServingEngineTest, FailedUpdateDoesNotPublish) {
+  const Graph graph = GeneratePath(10);
+  auto index = MakeIndex(graph);
+  ServingEngine engine(index.get(), SmallEngineOptions());
+  const uint64_t gen0 = engine.PublishedGeneration();
+
+  EXPECT_FALSE(engine.ApplyUpdate({0, 1, EdgeUpdateKind::kInsert}).ok());
+  EXPECT_EQ(engine.PublishedGeneration(), gen0);
+
+  // A failing batch still publishes its applied prefix.
+  EdgeUpdateBatch updates;
+  updates.Insert(0, 5);
+  updates.Insert(0, 1);  // duplicate: fails after the first applied
+  EXPECT_FALSE(engine.ApplyUpdates(updates).ok());
+  EXPECT_GT(engine.PublishedGeneration(), gen0);
+  EXPECT_EQ(engine.Submit(0, 5).get(), (SpcResult{1, 1}));
+}
+
+TEST(ServingEngineTest, RepeatedQueriesHitCache) {
+  const Graph graph = GenerateBarabasiAlbert(60, 2, 32);
+  auto index = MakeIndex(graph);
+  ServingEngine engine(index.get(), SmallEngineOptions());
+
+  const SpcResult first = engine.Submit(3, 41).get();
+  const SpcResult second = engine.Submit(3, 41).get();
+  const SpcResult mirrored = engine.Submit(41, 3).get();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, mirrored);
+  EXPECT_GE(engine.Counters().cache_hits, 2u);
+
+  // Publishing a generation invalidates: the next repeat misses again.
+  const uint64_t misses_before = engine.Counters().cache_misses;
+  VertexId u = 0, v = 1;
+  while (index->HasEdge(u, v)) ++v;  // first absent edge from vertex 0
+  ASSERT_TRUE(engine.ApplyUpdate({u, v, EdgeUpdateKind::kInsert}).ok());
+  engine.Submit(3, 41).get();
+  EXPECT_GT(engine.Counters().cache_misses, misses_before);
+}
+
+TEST(ServingEngineTest, CacheDisabledStillExact) {
+  const Graph graph = GenerateBarabasiAlbert(60, 2, 33);
+  auto index = MakeIndex(graph);
+  ServingOptions options = SmallEngineOptions();
+  options.cache_capacity_per_shard = 0;
+  ServingEngine engine(index.get(), options);
+  EXPECT_EQ(engine.Submit(5, 17).get(), BfsSpcPair(graph, 5, 17));
+  EXPECT_EQ(engine.Submit(5, 17).get(), BfsSpcPair(graph, 5, 17));
+  EXPECT_EQ(engine.Counters().cache_hits, 0u);
+}
+
+TEST(ServingEngineTest, DrainAndStopAreIdempotent) {
+  const Graph graph = GeneratePath(20);
+  auto index = MakeIndex(graph);
+  ServingEngine engine(index.get(), SmallEngineOptions());
+  engine.SubmitBatch(MakeRandomQueries(20, 100, 3)).get();
+  engine.Drain();
+  engine.Drain();
+  engine.Stop();
+  engine.Stop();  // destructor will Stop() a third time
+}
+
+}  // namespace
+}  // namespace pspc
