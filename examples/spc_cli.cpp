@@ -8,11 +8,16 @@
 //   ./spc_cli stats  <graph-or-dataset>
 //   ./spc_cli update <graph-or-dataset> <index.bin>
 //                    --update-stream <updates.txt>
-//                    [--rebuild-threshold R] [--save <out.bin>]
+//                    [--batch-size N] [--rebuild-threshold R]
+//                    [--save <out.bin>]
 //   ./spc_cli serve  <graph-or-dataset> <index.bin>
 //                    [--duration-seconds S] [--workers N] [--loaders N]
-//                    [--batch B] [--write-share P]
+//                    [--batch B] [--batch-size N] [--write-share P]
 //                    [--update-stream <updates.txt>] [--seed X] [--no-cache]
+//
+// `--batch-size N` groups writes: `update` replays the stream N
+// updates per atomic ApplyBatch (coalesced repair, one snapshot
+// generation per batch in `serve`); 1 = update-by-update.
 //
 // Examples:
 //   ./spc_cli build dataset:FB /tmp/fb.idx --order hybrid
@@ -56,11 +61,11 @@ int Usage() {
                "  spc_cli query <graph-or-dataset> <index.bin> <s> <t> ...\n"
                "  spc_cli stats <graph-or-dataset>\n"
                "  spc_cli update <graph-or-dataset> <index.bin> "
-               "--update-stream <updates.txt> [--rebuild-threshold R] "
-               "[--save <out.bin>]\n"
+               "--update-stream <updates.txt> [--batch-size N] "
+               "[--rebuild-threshold R] [--save <out.bin>]\n"
                "  spc_cli serve <graph-or-dataset> <index.bin> "
                "[--duration-seconds S] [--workers N] [--loaders N] "
-               "[--batch B] [--write-share P] "
+               "[--batch B] [--batch-size N] [--write-share P] "
                "[--update-stream <updates.txt>] [--seed X] [--no-cache]\n");
   return 2;
 }
@@ -208,12 +213,16 @@ int CmdUpdate(int argc, char** argv) {
 
   std::string stream_path, save_path;
   pspc::DynamicOptions options;
+  size_t batch_size = 1;
   for (int i = 4; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--update-stream" && i + 1 < argc) {
       stream_path = argv[++i];
     } else if (flag == "--rebuild-threshold" && i + 1 < argc) {
       options.rebuild_threshold = std::atof(argv[++i]);
+    } else if (flag == "--batch-size" && i + 1 < argc) {
+      const long long value = std::atoll(argv[++i]);
+      batch_size = value < 1 ? 1 : static_cast<size_t>(value);
     } else if (flag == "--save" && i + 1 < argc) {
       save_path = argv[++i];
     } else {
@@ -236,21 +245,39 @@ int CmdUpdate(int argc, char** argv) {
   }
   pspc::DynamicSpcIndex index(std::move(graph), std::move(loaded).value(),
                               options);
-  std::printf("replaying %zu updates against %u vertices / %llu edges\n",
+  std::printf("replaying %zu updates against %u vertices / %llu edges "
+              "(batch size %zu)\n",
               stream.value().Size(), index.NumVertices(),
-              static_cast<unsigned long long>(index.NumEdges()));
+              static_cast<unsigned long long>(index.NumEdges()), batch_size);
 
   pspc::WallTimer timer;
   size_t applied = 0;
-  for (const pspc::EdgeUpdate& up : stream.value()) {
-    const pspc::Status st = index.Apply(up);
-    if (!st.ok()) {
-      std::fprintf(stderr, "update %zu (%c %u %u) failed: %s\n", applied,
-                   up.kind == pspc::EdgeUpdateKind::kInsert ? 'i' : 'd',
-                   up.u, up.v, st.ToString().c_str());
-      return 1;
+  if (batch_size <= 1) {
+    for (const pspc::EdgeUpdate& up : stream.value()) {
+      const pspc::Status st = index.Apply(up);
+      if (!st.ok()) {
+        std::fprintf(stderr, "update %zu (%c %u %u) failed: %s\n", applied,
+                     up.kind == pspc::EdgeUpdateKind::kInsert ? 'i' : 'd',
+                     up.u, up.v, st.ToString().c_str());
+        return 1;
+      }
+      ++applied;
     }
-    ++applied;
+  } else {
+    // Atomic coalesced batches: a failure rejects its whole batch (and
+    // stops the replay) with the prior batches applied.
+    const auto& updates = stream.value().Updates();
+    for (size_t pos = 0; pos < updates.size(); pos += batch_size) {
+      pspc::EdgeUpdateBatch chunk;
+      const size_t end = std::min(pos + batch_size, updates.size());
+      for (size_t i = pos; i < end; ++i) chunk.Add(updates[i]);
+      if (const pspc::Status st = index.ApplyBatch(chunk); !st.ok()) {
+        std::fprintf(stderr, "batch at update %zu failed: %s\n", pos,
+                     st.ToString().c_str());
+        return 1;
+      }
+      applied = end;
+    }
   }
   const double total = timer.ElapsedSeconds();
 
@@ -303,6 +330,7 @@ int CmdServe(int argc, char** argv) {
   int workers = 0;
   int loaders = 2;
   size_t batch = 16;
+  size_t write_batch = 1;
   uint64_t seed = 42;
   bool no_cache = false;
   std::string stream_path;
@@ -320,6 +348,9 @@ int CmdServe(int argc, char** argv) {
       // Clamp like --loaders: a negative value must not wrap to 2^64.
       const long long value = std::atoll(argv[++i]);
       batch = value < 1 ? 1 : static_cast<size_t>(value);
+    } else if (flag == "--batch-size" && i + 1 < argc) {
+      const long long value = std::atoll(argv[++i]);
+      write_batch = value < 1 ? 1 : static_cast<size_t>(value);
     } else if (flag == "--seed" && i + 1 < argc) {
       seed = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (flag == "--update-stream" && i + 1 < argc) {
@@ -360,9 +391,9 @@ int CmdServe(int argc, char** argv) {
   pspc::ServingEngine engine(&index, serving_options);
 
   std::printf("serving %u vertices / %llu edges: %d loaders x batch %zu, "
-              "write share %.2f, %.1fs\n",
+              "write share %.2f (batch size %zu), %.1fs\n",
               n, static_cast<unsigned long long>(index.NumEdges()), loaders,
-              batch, write_share, duration_seconds);
+              batch, write_share, write_batch, duration_seconds);
 
   std::atomic<uint64_t> reads{0};
   std::atomic<bool> stop{false};
@@ -401,28 +432,31 @@ int CmdServe(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::microseconds(200));
       continue;
     }
-    pspc::EdgeUpdate update;
-    if (!stream.Empty()) {
-      if (stream_pos >= stream.Size()) {
-        // Stream exhausted: keep serving reads until the deadline.
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        continue;
+    // The writer consumes whole batches: up to `--batch-size` updates
+    // per atomic ApplyUpdates call, one published generation each.
+    pspc::EdgeUpdateBatch write_chunk;
+    while (write_chunk.Size() < write_batch) {
+      if (!stream.Empty()) {
+        if (stream_pos >= stream.Size()) break;  // stream exhausted
+        write_chunk.Add(stream.Updates()[stream_pos++]);
+      } else if (!churn.Empty()) {
+        write_chunk.Add(churn.Next(write_rng));
+      } else {
+        break;  // nothing to churn (edgeless graph)
       }
-      update = stream.Updates()[stream_pos++];
-    } else if (!churn.Empty()) {
-      update = churn.Next(write_rng);
-    } else {
-      // Nothing to churn (edgeless graph): keep serving reads.
+    }
+    if (write_chunk.Empty()) {
+      // Keep serving reads until the deadline.
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       continue;
     }
     pspc::WallTimer timer;
-    const pspc::Status st = engine.ApplyUpdate(update);
+    const pspc::Status st = engine.ApplyUpdates(write_chunk);
     update_ms.push_back(timer.ElapsedMillis());
     if (st.ok()) {
-      ++writes;
+      writes += write_chunk.Size();
     } else {
-      ++write_errors;
+      write_errors += write_chunk.Size();
     }
   }
   const double elapsed = wall.ElapsedSeconds();
@@ -442,7 +476,7 @@ int CmdServe(int argc, char** argv) {
   std::printf("        batch latency p50 %.3f ms, p99 %.3f ms (batch=%zu)\n",
               pspc::Percentile(all_batch_ms, 0.5), pspc::Percentile(all_batch_ms, 0.99),
               batch);
-  std::printf("writes: %llu updates (%llu rejected), p50 %.3f ms, "
+  std::printf("writes: %llu updates (%llu rejected), batch p50 %.3f ms, "
               "p99 %.3f ms -> achieved write share %.4f\n",
               static_cast<unsigned long long>(writes),
               static_cast<unsigned long long>(write_errors),

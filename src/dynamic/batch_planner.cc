@@ -1,0 +1,73 @@
+#include "src/dynamic/batch_planner.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace pspc {
+namespace {
+
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Result<BatchPlan> PlanBatch(
+    const EdgeUpdateBatch& batch,
+    const std::function<bool(VertexId, VertexId)>& has_edge) {
+  // Per touched edge: membership at batch start and in the running
+  // simulation. Start-state is queried lazily, once per distinct edge.
+  struct EdgeState {
+    bool start;
+    bool current;
+  };
+  std::unordered_map<uint64_t, EdgeState> touched;
+  touched.reserve(batch.Size());
+
+  BatchPlan plan;
+  size_t index = 0;
+  for (const EdgeUpdate& up : batch) {
+    const VertexId u = std::min(up.u, up.v);
+    const VertexId v = std::max(up.u, up.v);
+    auto [it, fresh] = touched.try_emplace(EdgeKey(u, v), EdgeState{});
+    if (fresh) {
+      it->second.start = has_edge(u, v);
+      it->second.current = it->second.start;
+    }
+    if (up.kind == EdgeUpdateKind::kInsert) {
+      // A redundant insert (duplicate, or the edge already exists) is a
+      // no-op, not an error: the intended post-state already holds.
+      it->second.current = true;
+    } else {
+      if (!it->second.current) {
+        return Status::NotFound(
+            "batch update " + std::to_string(index) + " deletes edge (" +
+            std::to_string(up.u) + ", " + std::to_string(up.v) +
+            ") which does not exist at that point; nothing was applied");
+      }
+      it->second.current = false;
+    }
+    ++index;
+  }
+
+  for (const auto& [key, state] : touched) {
+    if (state.start == state.current) continue;
+    const auto u = static_cast<VertexId>(key >> 32);
+    const auto v = static_cast<VertexId>(key & 0xffffffffu);
+    if (state.current) {
+      plan.net_insertions.push_back({u, v});
+    } else {
+      plan.net_deletions.push_back({u, v});
+    }
+  }
+  // Everything the net lists do not carry was coalesced away.
+  plan.coalesced_updates = batch.Size() - plan.NetSize();
+
+  // Deterministic repair order regardless of unordered_map iteration.
+  std::sort(plan.net_insertions.begin(), plan.net_insertions.end());
+  std::sort(plan.net_deletions.begin(), plan.net_deletions.end());
+  return plan;
+}
+
+}  // namespace pspc

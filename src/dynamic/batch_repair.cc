@@ -1,0 +1,556 @@
+// Coalesced-batch half of DynamicSpcIndex (see the class comment in
+// dynamic_spc_index.h): ApplyBatch planning, batch deletion repair
+// with per-hub task coalescing, and the disjoint-region parallel wave
+// runner. Split from dynamic_spc_index.cc so the single-update repair
+// machinery and the batch orchestration stay readable on their own.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/parallel.h"
+#include "src/common/saturating.h"
+#include "src/common/timer.h"
+#include "src/dynamic/batch_planner.h"
+#include "src/dynamic/dynamic_spc_index.h"
+
+namespace pspc {
+namespace {
+
+/// Folds the counters a hub repair can touch from a wave task's local
+/// stats into the index-wide stats.
+void MergeRepairStats(DynamicStats* into, const DynamicStats& from) {
+  into->affected_hubs += from.affected_hubs;
+  into->subtract_repairs += from.subtract_repairs;
+  into->entries_inserted += from.entries_inserted;
+  into->entries_renewed += from.entries_renewed;
+  into->entries_erased += from.entries_erased;
+}
+
+}  // namespace
+
+/// Planning artifact of one net-deleted edge: the two compressed
+/// affected regions, detected against the pre-batch graph and index.
+struct DynamicSpcIndex::DeletedEdgePlan {
+  VertexId a = 0;
+  VertexId b = 0;
+  SparseSide sides[2];  // [0] detected from a, [1] detected from b
+};
+
+Status DynamicSpcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
+  PSPC_RETURN_IF_ERROR(batch.Validate(NumVertices()));
+  auto planned = PlanBatch(batch, [this](VertexId u, VertexId v) {
+    return graph_.HasEdge(u, v);
+  });
+  PSPC_RETURN_IF_ERROR(planned.status());
+  const BatchPlan& plan = planned.value();
+  ++stats_.batches_applied;
+  stats_.updates_coalesced += plan.coalesced_updates;
+  if (plan.Empty()) return Status::OK();
+  if (plan.NetSize() == 1) {
+    // One net update: the tuned single-update path (its deletion
+    // classification is strictly sharper than the batch one).
+    return plan.net_deletions.empty()
+               ? InsertEdge(plan.net_insertions[0].first,
+                            plan.net_insertions[0].second)
+               : DeleteEdge(plan.net_deletions[0].first,
+                            plan.net_deletions[0].second);
+  }
+
+  {
+    ScopedTimer timer(&stats_.repair_seconds);
+    // Deletions first: their detection needs the pre-batch exact
+    // index, and insertion seeds need labels exact for the deleted
+    // graph. Each phase leaves the index exact for its own graph, so
+    // the phases compose. A single net deletion has no cross-edge
+    // entanglement, so it keeps the sharper single-update classifier
+    // (which also removes the edge itself).
+    if (plan.net_deletions.size() == 1) {
+      RepairDeletion(plan.net_deletions[0].first,
+                     plan.net_deletions[0].second);
+    } else if (!plan.net_deletions.empty()) {
+      RepairDeletionsBatch(plan.net_deletions);
+    }
+    if (!plan.net_insertions.empty()) {
+      for (const auto& [u, v] : plan.net_insertions) {
+        PSPC_CHECK(graph_.AddEdge(u, v).ok());
+      }
+      RepairInsertions(plan.net_insertions);
+    }
+  }
+  stats_.insertions_applied += plan.net_insertions.size();
+  stats_.deletions_applied += plan.net_deletions.size();
+  ++generation_;  // one published generation per batch
+  MaybeRebuild();
+  return Status::OK();
+}
+
+void DynamicSpcIndex::RepairDeletionsBatch(
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  const VertexId n = base_graph_.NumVertices();
+  const size_t k = edges.size();
+
+  // ---- Planning, against the pre-batch graph and still-exact index.
+  std::vector<DeletedEdgePlan> plans(k);
+  std::vector<uint8_t> seed_ok(n, 0);
+  std::vector<uint32_t> seed_dist(n, 0);
+  std::vector<Count> seed_count(n, 0);
+  std::vector<VertexId> seed_far(n, 0);
+  // Per edge: whether each side's full senders get the exact
+  // distance-change filter, and the pre-deletion endpoint distances
+  // the filter's through-edge formula needs.
+  constexpr size_t kDistanceFilterCap = 256;
+  std::vector<std::array<bool, 2>> filter(k);
+  {
+    AffectedSide side;  // dense detection scratch, reused per side
+    std::vector<uint8_t> hub_of_a(n, 0), hub_of_b(n, 0);
+    for (size_t i = 0; i < k; ++i) {
+      const auto [a, b] = edges[i];
+      plans[i].a = a;
+      plans[i].b = b;
+      for (const LabelEntry& e : Labels(a)) hub_of_a[e.hub_rank] = 1;
+      for (const LabelEntry& e : Labels(b)) hub_of_b[e.hub_rank] = 1;
+
+      for (int s = 0; s < 2; ++s) {
+        const VertexId near = s == 0 ? a : b;
+        const VertexId far = s == 0 ? b : a;
+        DetectAffectedSide(near, far, hub_of_a, hub_of_b, &side);
+        SparseSide& sparse = plans[i].sides[s];
+        sparse.touched = std::move(side.touched);
+        sparse.full_ranks = std::move(side.full_ranks);
+        sparse.subtract_ranks = std::move(side.subtract_ranks);
+        sparse.flags.reserve(sparse.touched.size());
+        for (const VertexId v : sparse.touched) {
+          sparse.flags.push_back(side.flags[v]);
+        }
+      }
+      filter[i] = {plans[i].sides[1].full_ranks.size() <= kDistanceFilterCap,
+                   plans[i].sides[0].full_ranks.size() <= kDistanceFilterCap};
+
+      for (const LabelEntry& e : Labels(a)) hub_of_a[e.hub_rank] = 0;
+      for (const LabelEntry& e : Labels(b)) hub_of_b[e.hub_rank] = 0;
+    }
+  }
+
+  // ---- Per-hub coalescing: every region membership of every edge
+  // (full, subtractive, *and* receiver — see SparseSide) grouped by
+  // rank. One involvement keeps the sharp single-edge classification;
+  // two or more escalate to a single conservative full re-run over the
+  // union of the opposite regions — the coalescing win: the hub runs
+  // once instead of once per edge, and cross-edge entanglement (count
+  // algebra and distance growth no single-edge certificate covers) is
+  // recomputed from scratch exactly.
+  struct Involvement {
+    Rank rank;
+    uint32_t edge;
+    uint8_t side;
+    int8_t cls;  // AffectedSide flag value: 1 full, 2 subtract, -1 receiver
+  };
+  std::vector<Involvement> involvements;
+  for (size_t i = 0; i < k; ++i) {
+    for (int s = 0; s < 2; ++s) {
+      const SparseSide& side = plans[i].sides[s];
+      for (size_t t = 0; t < side.touched.size(); ++t) {
+        involvements.push_back({order_.RankOf(side.touched[t]),
+                                static_cast<uint32_t>(i),
+                                static_cast<uint8_t>(s), side.flags[t]});
+      }
+    }
+  }
+  std::sort(involvements.begin(), involvements.end(),
+            [](const Involvement& x, const Involvement& y) {
+              return x.rank < y.rank;
+            });
+
+  // ---- Adaptive cutover. A multi-region hub costs the batch one
+  // conservative full re-run; sequential application pays one (often
+  // cheaper) run per *sender* involvement — or nothing at all for
+  // receiver-only overlap and for full senders its distance filter
+  // proves untouched. Coalescing deletions only wins when the shared
+  // hubs really concentrate sender work, so proceed only when
+  // multi-region hubs average at least two sender involvements;
+  // otherwise replay the deletions through the sharp single-edge path
+  // (decided before any topology change, so each RepairDeletion still
+  // detects against an exact index). Insertion coalescing is
+  // unaffected either way.
+  {
+    size_t multi_hubs = 0, multi_senders = 0;
+    for (size_t i = 0; i < involvements.size();) {
+      size_t j = i;
+      size_t senders = 0;
+      while (j < involvements.size() &&
+             involvements[j].rank == involvements[i].rank) {
+        if (involvements[j].cls != -1) ++senders;
+        ++j;
+      }
+      if (j - i >= 2) {
+        ++multi_hubs;
+        multi_senders += senders;
+      }
+      i = j;
+    }
+    if (2 * multi_hubs > multi_senders) {
+      for (const auto& [a, b] : edges) {
+        RepairDeletion(a, b);
+      }
+      return;
+    }
+  }
+
+  // ---- Subtraction seeds, validated per edge against the still-exact
+  // pre-deletion index (batched path only — the fallback re-validates
+  // through RepairDeletion itself). A rank's seed is only consumed
+  // when its sole involvement is that edge, so the rank-indexed
+  // arrays cannot clash across edges.
+  {
+    std::vector<uint8_t> hub_of_a(n, 0), hub_of_b(n, 0);
+    for (size_t i = 0; i < k; ++i) {
+      const VertexId a = plans[i].a;
+      const VertexId b = plans[i].b;
+      for (const LabelEntry& e : Labels(a)) hub_of_a[e.hub_rank] = 1;
+      for (const LabelEntry& e : Labels(b)) hub_of_b[e.hub_rank] = 1;
+      for (int s = 0; s < 2; ++s) {
+        const VertexId near = s == 0 ? a : b;
+        const VertexId far = s == 0 ? b : a;
+        ValidateDeletionSeeds(plans[i].sides[s].full_ranks,
+                              plans[i].sides[s].subtract_ranks, Labels(near),
+                              near, far, hub_of_a, hub_of_b, &seed_ok,
+                              &seed_dist, &seed_count, &seed_far);
+      }
+      for (const LabelEntry& e : Labels(a)) hub_of_a[e.hub_rank] = 0;
+      for (const LabelEntry& e : Labels(b)) hub_of_b[e.hub_rank] = 0;
+    }
+  }
+
+  // ---- Pre-deletion endpoint distances for the distance-change
+  // filter, captured while the edges still exist (batched path only —
+  // the fallback above must not pay for them). Only the full senders'
+  // distances are ever read, so each side keeps a compact array
+  // parallel to its full_ranks; the n-sized BFS buffer is transient.
+  for (size_t i = 0; i < k; ++i) {
+    const bool need_pre =
+        (filter[i][0] && !plans[i].sides[0].full_ranks.empty()) ||
+        (filter[i][1] && !plans[i].sides[1].full_ranks.empty());
+    if (!need_pre) continue;
+    for (int s = 0; s < 2; ++s) {
+      const std::vector<uint32_t> dense =
+          BfsDistances(s == 0 ? plans[i].a : plans[i].b);
+      SparseSide& side = plans[i].sides[s];
+      side.full_pre.reserve(side.full_ranks.size());
+      for (const Rank r : side.full_ranks) {
+        side.full_pre.push_back(dense[order_.VertexAt(r)]);
+      }
+    }
+  }
+
+  // ---- Topology: the final deletion state every re-run repairs
+  // against (the planner guarantees the edges exist).
+  for (const auto& [a, b] : edges) {
+    PSPC_CHECK(graph_.RemoveEdge(a, b).ok());
+  }
+
+  // ---- Exact distance-change filter per edge (post-deletion graph).
+  // Sound for single-involvement hubs only: a pair involving a hub of
+  // one region changes through that region's edge alone, so the
+  // single-edge certificates carry over verbatim (multi-region hubs
+  // escalate below and ignore the filter verdict).
+  std::vector<uint8_t> needs_full(n, 0);
+  for (size_t i = 0; i < k; ++i) {
+    if (filter[i][0] && !plans[i].sides[0].full_ranks.empty()) {
+      MarkDistanceChanges(plans[i].sides[0].full_ranks,
+                          plans[i].sides[0].full_pre,
+                          plans[i].sides[1].full_ranks,
+                          plans[i].sides[1].full_pre, &needs_full);
+    }
+    if (filter[i][1] && !plans[i].sides[1].full_ranks.empty()) {
+      MarkDistanceChanges(plans[i].sides[1].full_ranks,
+                          plans[i].sides[1].full_pre,
+                          plans[i].sides[0].full_ranks,
+                          plans[i].sides[0].full_pre, &needs_full);
+    }
+  }
+
+  std::vector<DeletionTask> tasks;
+  for (size_t i = 0; i < involvements.size();) {
+    size_t j = i;
+    while (j < involvements.size() && involvements[j].rank == involvements[i].rank) {
+      ++j;
+    }
+    const Rank rank = involvements[i].rank;
+    if (j - i == 1) {
+      const Involvement& item = involvements[i];
+      const auto opp = static_cast<uint8_t>(1 - item.side);
+      if (item.cls == 1 &&
+          (!filter[item.edge][item.side] || needs_full[rank] != 0)) {
+        DeletionTask task;
+        task.rank = rank;
+        task.regions.push_back({item.edge, opp});
+        tasks.push_back(std::move(task));
+      } else if (item.cls != -1 && seed_ok[rank] != 0) {
+        // Subtractive sender, or a full sender the filter downgraded.
+        DeletionTask task;
+        task.rank = rank;
+        task.subtract = true;
+        task.start = seed_far[rank];
+        task.seed_dist = seed_dist[rank];
+        task.seed_count = seed_count[rank];
+        task.regions.push_back({item.edge, opp});
+        tasks.push_back(std::move(task));
+      }
+      // else: receiver, or a sender with provably nothing to re-run.
+    } else {
+      DeletionTask task;
+      task.rank = rank;
+      for (size_t t = i; t < j; ++t) {
+        task.regions.push_back(
+            {involvements[t].edge,
+             static_cast<uint8_t>(1 - involvements[t].side)});
+      }
+      tasks.push_back(std::move(task));
+    }
+    i = j;
+  }
+
+  // ---- Depth caps for subtractive tasks: per edge, the farthest
+  // entry distance any opposite-region vertex stores for the hub
+  // (pre-repair labels, as in the single-update path). Tasks whose cap
+  // cannot reach the seed depth provably have nothing to fix.
+  std::vector<std::vector<size_t>> subtract_by_edge(k);
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    if (tasks[t].subtract) {
+      subtract_by_edge[tasks[t].regions[0].first].push_back(t);
+    }
+  }
+  for (size_t e = 0; e < k; ++e) {
+    if (subtract_by_edge[e].empty()) continue;
+    for (const size_t t : subtract_by_edge[e]) {
+      // 1 = hub on the a-side (targets the b-side), 2 = the reverse.
+      subtract_side_[tasks[t].rank] = tasks[t].regions[0].second == 1 ? 1 : 2;
+    }
+    for (const VertexId v : plans[e].sides[1].touched) {
+      for (const LabelEntry& le : Labels(v)) {
+        if (subtract_side_[le.hub_rank] == 1) {
+          bucket_max_[le.hub_rank] =
+              std::max<uint32_t>(bucket_max_[le.hub_rank], le.dist);
+        }
+      }
+    }
+    for (const VertexId v : plans[e].sides[0].touched) {
+      for (const LabelEntry& le : Labels(v)) {
+        if (subtract_side_[le.hub_rank] == 2) {
+          bucket_max_[le.hub_rank] =
+              std::max<uint32_t>(bucket_max_[le.hub_rank], le.dist);
+        }
+      }
+    }
+    for (const size_t t : subtract_by_edge[e]) {
+      tasks[t].depth_cap = bucket_max_[tasks[t].rank];
+      subtract_side_[tasks[t].rank] = 0;
+      bucket_max_[tasks[t].rank] = 0;
+    }
+  }
+  std::erase_if(tasks, [](const DeletionTask& t) {
+    return t.subtract && t.depth_cap < t.seed_dist;
+  });
+
+  ExecuteDeletionTasks(tasks, plans);
+}
+
+void DynamicSpcIndex::MaterializeTaskRegion(
+    const DeletionTask& task, const std::vector<DeletedEdgePlan>& plans,
+    RepairScratch& s) const {
+  for (const VertexId v : s.region_touched) s.region_flags[v] = 0;
+  s.region_touched.clear();
+  for (const auto& [edge, side] : task.regions) {
+    for (const VertexId v : plans[edge].sides[side].touched) {
+      if (s.region_flags[v] == 0) {
+        s.region_flags[v] = 1;
+        s.region_touched.push_back(v);
+      }
+    }
+  }
+}
+
+void DynamicSpcIndex::RunDeletionTaskLive(
+    const DeletionTask& task, const std::vector<DeletedEdgePlan>& plans,
+    RepairScratch& s, bool force_full) {
+  MaterializeTaskRegion(task, plans, s);
+  const RegionView region{s.region_flags.data(), &s.region_touched};
+  LabelWriteSink sink(&overlay_);
+  if (task.subtract && !force_full) {
+    if (!SubtractiveDeleteRepair(task.rank, task.start, task.seed_dist,
+                                 task.seed_count, task.depth_cap, region, s,
+                                 sink, &stats_)) {
+      RepairHubAfterDeletion(task.rank, region, s, sink, &stats_);
+    }
+  } else {
+    RepairHubAfterDeletion(task.rank, region, s, sink, &stats_);
+  }
+}
+
+void DynamicSpcIndex::CommitStagedOps(std::span<const StagedLabelOp> ops) {
+  for (const StagedLabelOp& op : ops) {
+    std::vector<LabelEntry>& mv = overlay_.Mutable(op.v);
+    const auto it =
+        std::lower_bound(mv.begin(), mv.end(), op.entry, ByHubRank);
+    const bool present = it != mv.end() && it->hub_rank == op.entry.hub_rank;
+    if (op.erase) {
+      if (present) mv.erase(it);
+    } else if (present) {
+      *it = op.entry;
+    } else {
+      mv.insert(it, op.entry);
+    }
+  }
+}
+
+void DynamicSpcIndex::ExecuteDeletionTasks(
+    std::vector<DeletionTask>& tasks,
+    const std::vector<DeletedEdgePlan>& plans) {
+  // Ascending global rank keeps pruning sound: a re-run consults
+  // higher-ranked labels, which must already be repaired.
+  std::sort(tasks.begin(), tasks.end(),
+            [](const DeletionTask& x, const DeletionTask& y) {
+              return x.rank < y.rank;
+            });
+  const int threads = ResolvedThreads();
+  if (!options_.parallel_batch_repair || threads <= 1 || tasks.size() < 2) {
+    for (const DeletionTask& task : tasks) {
+      RunDeletionTaskLive(task, plans, scratch_);
+    }
+    return;
+  }
+
+  // One disjoint-region wave over the whole task list. Every task
+  // whose claimed footprint (hub + write regions) is free of earlier
+  // claims joins the wave; a conflicting task *defers* to the
+  // sequential fixup but still claims the unowned part of its region
+  // as a barrier. Wave members write through staged ops against frozen
+  // labels, so members never race; the two cross-task dependencies
+  // left are both handled by the visit-time abort in
+  // RepairHubAfterDeletion:
+  //
+  //  * a member whose BFS traverses a lower-index member's region
+  //    could need that member's not-yet-committed entries for its
+  //    pruning certificates — it aborts and re-runs sequentially;
+  //  * a member whose BFS traverses a lower-index *deferred* task's
+  //    barrier would read entries the fixup has yet to write — same
+  //    abort.
+  //
+  // Claims are taken in ascending rank order, so "lower index" is
+  // "lower rank": the committed result is exactly the sequential
+  // ascending-rank result, independent of thread timing.
+  const VertexId n = base_graph_.NumVertices();
+  const size_t count = tasks.size();
+  std::vector<int32_t> claim(n, -1);
+  std::vector<uint8_t> in_wave(count, 0);
+  std::vector<VertexId> probe;
+  size_t wave_members = 0;
+  for (size_t j = 0; j < count; ++j) {
+    probe.clear();
+    probe.push_back(order_.VertexAt(tasks[j].rank));
+    for (const auto& [edge, side] : tasks[j].regions) {
+      for (const VertexId v : plans[edge].sides[side].touched) {
+        probe.push_back(v);
+      }
+    }
+    const auto self = static_cast<int32_t>(j);
+    bool conflict = false;
+    for (const VertexId v : probe) {
+      if (claim[v] != -1 && claim[v] != self) {
+        conflict = true;
+        break;
+      }
+    }
+    for (const VertexId v : probe) {
+      if (claim[v] == -1) claim[v] = self;
+    }
+    if (!conflict) {
+      in_wave[j] = 1;
+      ++wave_members;
+    }
+  }
+
+  if (wave_members < 2) {
+    for (const DeletionTask& task : tasks) {
+      RunDeletionTaskLive(task, plans, scratch_);
+    }
+    return;
+  }
+
+  struct WaveSlot {
+    std::vector<StagedLabelOp> staged;
+    DynamicStats local;
+    bool ok = false;
+  };
+  std::vector<WaveSlot> slots(count);
+  const size_t num_workers =
+      std::min<size_t>(static_cast<size_t>(threads), wave_members);
+  if (scratch_pool_.size() < num_workers) {
+    const size_t old = scratch_pool_.size();
+    scratch_pool_.resize(num_workers);
+    for (size_t w = old; w < num_workers; ++w) {
+      scratch_pool_[w].Init(n);
+    }
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    pool.emplace_back([&, w] {
+      RepairScratch& s = scratch_pool_[w];
+      for (;;) {
+        const size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+        if (idx >= count) return;
+        if (in_wave[idx] == 0) continue;  // deferred: sequential fixup
+        const DeletionTask& task = tasks[idx];
+        WaveSlot& slot = slots[idx];
+        MaterializeTaskRegion(task, plans, s);
+        const RegionView region{s.region_flags.data(), &s.region_touched};
+        LabelWriteSink sink(&slot.staged);
+        if (task.subtract) {
+          // Subtraction reads only its own rank's entries, which no
+          // other task writes — it cannot depend on in-flight work.
+          // Escalation (saturated counts) defers to the fixup, which
+          // re-runs the full repair live.
+          slot.ok = SubtractiveDeleteRepair(
+              task.rank, task.start, task.seed_dist, task.seed_count,
+              task.depth_cap, region, s, sink, &slot.local);
+        } else {
+          slot.ok = RepairHubAfterDeletion(
+              task.rank, region, s, sink, &slot.local, claim.data(),
+              static_cast<int32_t>(idx));
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  ++stats_.parallel_waves;
+
+  // Commit completed members in rank order, then run everything else
+  // (deferred tasks, aborted members, escalated subtractions) live in
+  // rank order. A committed member provably never visited any
+  // lower-rank uncommitted work's region, so the interleaving is
+  // equivalent to the fully sequential order.
+  for (size_t idx = 0; idx < count; ++idx) {
+    if (in_wave[idx] == 0 || !slots[idx].ok) continue;
+    CommitStagedOps(slots[idx].staged);
+    MergeRepairStats(&stats_, slots[idx].local);
+    ++stats_.parallel_hub_runs;
+  }
+  for (size_t idx = 0; idx < count; ++idx) {
+    if (in_wave[idx] != 0 && slots[idx].ok) continue;
+    // A wave attempt that escalated a subtraction already proved it
+    // impossible (saturation depends only on inputs no other task
+    // writes), so the fixup goes straight to the full repair.
+    const bool force_full = in_wave[idx] != 0 && tasks[idx].subtract;
+    RunDeletionTaskLive(tasks[idx], plans, scratch_, force_full);
+    ++stats_.deferred_hub_runs;
+  }
+}
+
+}  // namespace pspc

@@ -15,17 +15,6 @@
 namespace pspc {
 namespace {
 
-/// Index of the entry with `hub_rank` in a rank-sorted list, or
-/// `list.size()` if absent.
-size_t FindHubEntry(std::span<const LabelEntry> list, Rank hub_rank) {
-  const auto it = std::lower_bound(
-      list.begin(), list.end(), LabelEntry{hub_rank, 0, 0}, ByHubRank);
-  if (it != list.end() && it->hub_rank == hub_rank) {
-    return static_cast<size_t>(it - list.begin());
-  }
-  return list.size();
-}
-
 Distance ToLabelDistance(uint32_t d) {
   PSPC_CHECK_MSG(d < kInfDistance, "distance " << d << " overflows Distance");
   return static_cast<Distance>(d);
@@ -36,10 +25,13 @@ Distance ToLabelDistance(uint32_t d) {
 std::string DynamicStats::ToString() const {
   std::ostringstream oss;
   oss << "updates: " << insertions_applied << " insert / "
-      << deletions_applied << " delete\n"
+      << deletions_applied << " delete (" << batches_applied << " batches, "
+      << updates_coalesced << " coalesced)\n"
       << "repair:  " << resumed_bfs_runs << " resumed BFS, "
       << affected_hubs << " hubs fully re-run, " << subtract_repairs
       << " hubs count-subtracted\n"
+      << "waves:   " << parallel_waves << " parallel, " << parallel_hub_runs
+      << " hub runs committed, " << deferred_hub_runs << " deferred\n"
       << "labels:  " << entries_inserted << " inserted, " << entries_renewed
       << " renewed, " << entries_erased << " erased\n"
       << "rebuilds: " << rebuilds << "\n"
@@ -68,16 +60,29 @@ DynamicSpcIndex::DynamicSpcIndex(Graph graph,
     : DynamicSpcIndex(graph, BuildIndex(graph, build_options).index,
                       options) {}
 
+void DynamicSpcIndex::RepairScratch::Init(VertexId n) {
+  hub_dist.assign(n, kInfSpcDistance);
+  bfs_dist.assign(n, kInfSpcDistance);
+  bfs_count.assign(n, 0);
+  updated.assign(n, 0);
+  region_flags.assign(n, 0);
+  bfs_touched.clear();
+  bfs_queue.clear();
+  frontier.clear();
+  next_frontier.clear();
+  region_touched.clear();
+}
+
 void DynamicSpcIndex::InitScratch() {
   const VertexId n = base_graph_.NumVertices();
-  hub_dist_.assign(n, kInfSpcDistance);
-  bfs_dist_.assign(n, kInfSpcDistance);
-  bfs_count_.assign(n, 0);
-  updated_.assign(n, 0);
+  scratch_.Init(n);
+  scratch_pool_.clear();
   subtract_side_.assign(n, 0);
   bucket_max_.assign(n, 0);
-  bfs_touched_.clear();
-  bfs_queue_.clear();
+}
+
+int DynamicSpcIndex::ResolvedThreads() const {
+  return options_.num_threads > 0 ? options_.num_threads : MaxThreads();
 }
 
 SpcResult DynamicSpcIndex::Query(VertexId s, VertexId t) const {
@@ -118,7 +123,8 @@ Status DynamicSpcIndex::InsertEdge(VertexId u, VertexId v) {
   PSPC_RETURN_IF_ERROR(graph_.AddEdge(u, v));
   {
     ScopedTimer timer(&stats_.repair_seconds);
-    RepairInsertion(u, v);
+    const std::pair<VertexId, VertexId> edge{u, v};
+    RepairInsertions({&edge, 1});
   }
   ++stats_.insertions_applied;
   ++generation_;
@@ -148,139 +154,179 @@ Status DynamicSpcIndex::Apply(const EdgeUpdate& update) {
              : DeleteEdge(update.u, update.v);
 }
 
-Status DynamicSpcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
-  PSPC_RETURN_IF_ERROR(batch.Validate(NumVertices()));
-  for (const EdgeUpdate& update : batch) {
-    PSPC_RETURN_IF_ERROR(Apply(update));
-  }
-  return Status::OK();
+void DynamicSpcIndex::LoadHubDist(VertexId hub, RepairScratch& s) const {
+  for (const LabelEntry& e : Labels(hub)) s.hub_dist[e.hub_rank] = e.dist;
 }
 
-void DynamicSpcIndex::LoadHubDist(VertexId hub) {
-  for (const LabelEntry& e : Labels(hub)) hub_dist_[e.hub_rank] = e.dist;
-}
-
-void DynamicSpcIndex::ResetHubDist(VertexId hub) {
+void DynamicSpcIndex::ResetHubDist(VertexId hub, RepairScratch& s) const {
   for (const LabelEntry& e : Labels(hub)) {
-    hub_dist_[e.hub_rank] = kInfSpcDistance;
+    s.hub_dist[e.hub_rank] = kInfSpcDistance;
   }
 }
 
 // ------------------------------------------------------------- insertion
 
-void DynamicSpcIndex::RepairInsertion(VertexId a, VertexId b) {
-  // Snapshots: every resumed BFS must seed from the *pre-insertion*
-  // trough counts, and repairs mutate the live lists as they go.
-  const auto la_span = Labels(a);
-  const auto lb_span = Labels(b);
-  const std::vector<LabelEntry> la(la_span.begin(), la_span.end());
-  const std::vector<LabelEntry> lb(lb_span.begin(), lb_span.end());
-  const Rank ra = order_.RankOf(a);
-  const Rank rb = order_.RankOf(b);
-
-  // Ascending hub rank across both lists, so that each hub's resumed
-  // BFS prunes against already-repaired higher-ranked labels (the same
-  // order dependency as HP-SPC construction, Lemma 1). On a shared hub
-  // the a-side runs first; both seeds still read snapshot counts.
-  size_t i = 0, j = 0;
-  while (i < la.size() || j < lb.size()) {
-    const bool take_a =
-        j == lb.size() ||
-        (i < la.size() && la[i].hub_rank <= lb[j].hub_rank);
-    const bool take_b =
-        i == la.size() ||
-        (j < lb.size() && lb[j].hub_rank <= la[i].hub_rank);
-    if (take_a) {
+void DynamicSpcIndex::RepairInsertions(
+    std::span<const std::pair<VertexId, VertexId>> edges) {
+  // Seeds snapshot the *pre-repair* endpoint labels across every new
+  // edge: each hub of an endpoint label may start new trough paths
+  // crossing that edge, seeded at the opposite endpoint with the
+  // recorded distance + 1 and trough count. Gathering all seeds before
+  // any repair runs keeps the snapshot semantics of the single-edge
+  // scheme (repairs only ever rewrite a hub's own entries, so a later
+  // hub's seeds are never invalidated by an earlier hub's run).
+  std::vector<std::pair<Rank, InsertSeed>> seeds;
+  for (const auto& [a, b] : edges) {
+    const Rank ra = order_.RankOf(a);
+    const Rank rb = order_.RankOf(b);
+    for (const LabelEntry& e : Labels(a)) {
       // New trough paths h ... a -> b ...: only possible if b may
       // appear below h in the order.
-      if (la[i].hub_rank < rb) {
-        ResumedInsertBfs(la[i].hub_rank, b,
-                         static_cast<uint32_t>(la[i].dist) + 1, la[i].count);
+      if (e.hub_rank < rb) {
+        seeds.push_back({e.hub_rank,
+                         {b, static_cast<uint32_t>(e.dist) + 1, e.count}});
       }
-      ++i;
     }
-    if (take_b) {
-      if (lb[j].hub_rank < ra) {
-        ResumedInsertBfs(lb[j].hub_rank, a,
-                         static_cast<uint32_t>(lb[j].dist) + 1, lb[j].count);
+    for (const LabelEntry& e : Labels(b)) {
+      if (e.hub_rank < ra) {
+        seeds.push_back({e.hub_rank,
+                         {a, static_cast<uint32_t>(e.dist) + 1, e.count}});
       }
-      ++j;
     }
+  }
+
+  // One multi-source resumed BFS per distinct hub, in ascending rank
+  // order so each run prunes against already-repaired higher-ranked
+  // labels (the HP-SPC order dependency, Lemma 1). Seeds of the same
+  // hub sort by depth for level-synchronous injection.
+  std::sort(seeds.begin(), seeds.end(),
+            [](const auto& x, const auto& y) {
+              return x.first != y.first ? x.first < y.first
+                                        : x.second.dist < y.second.dist;
+            });
+  std::vector<InsertSeed> hub_seeds;
+  for (size_t i = 0; i < seeds.size();) {
+    const Rank rank = seeds[i].first;
+    hub_seeds.clear();
+    for (; i < seeds.size() && seeds[i].first == rank; ++i) {
+      hub_seeds.push_back(seeds[i].second);
+    }
+    ResumedInsertBfs(rank, hub_seeds, scratch_);
   }
 }
 
-void DynamicSpcIndex::ResumedInsertBfs(Rank hub_rank, VertexId start,
-                                       uint32_t seed_dist, Count seed_count) {
+void DynamicSpcIndex::ResumedInsertBfs(Rank hub_rank,
+                                       std::span<const InsertSeed> seeds,
+                                       RepairScratch& s) {
+  if (seeds.empty()) return;
   const VertexId hub = order_.VertexAt(hub_rank);
-  LoadHubDist(hub);
+  LoadHubDist(hub, s);
 
-  bfs_queue_.clear();
-  bfs_touched_.clear();
-  bfs_dist_[start] = seed_dist;
-  bfs_count_[start] = seed_count;
-  bfs_queue_.push_back(start);
-  bfs_touched_.push_back(start);
-
-  for (size_t head = 0; head < bfs_queue_.size(); ++head) {
-    const VertexId v = bfs_queue_[head];
-    const uint32_t dv = bfs_dist_[v];
-
-    // One walk over L(v) up to the hub's rank: the 2-hop distance
-    // certificate over hubs ranked >= hub_rank (the hub's own old
-    // entry participates via hub_dist_[hub_rank] == 0), plus the
-    // position of the hub's entry if present.
-    const auto lv = Labels(v);
-    uint32_t certified = kInfSpcDistance;
-    size_t pos = 0;
-    bool has_hub = false;
-    LabelEntry old_entry{};
-    for (; pos < lv.size() && lv[pos].hub_rank <= hub_rank; ++pos) {
-      const uint32_t hd = hub_dist_[lv[pos].hub_rank];
-      if (hd != kInfSpcDistance) {
-        certified = std::min(certified, hd + lv[pos].dist);
+  // Level-synchronous multi-source BFS: seeds are injected when the
+  // wavefront reaches their depth, so a seed made obsolete by a
+  // shorter route through another inserted edge (discovered earlier)
+  // is dropped, and seeds tying the wavefront merge counts. Each new
+  // shortest trough path crosses a unique *first* inserted edge whose
+  // seed accounts for it, so no path is double counted.
+  s.bfs_touched.clear();
+  s.frontier.clear();
+  size_t si = 0;  // seeds consumed so far (sorted by dist)
+  auto inject = [&](uint32_t level) {
+    for (; si < seeds.size() && seeds[si].dist == level; ++si) {
+      const InsertSeed& seed = seeds[si];
+      if (s.bfs_dist[seed.start] == kInfSpcDistance) {
+        s.bfs_dist[seed.start] = level;
+        s.bfs_count[seed.start] = seed.count;
+        s.bfs_touched.push_back(seed.start);
+        s.frontier.push_back(seed.start);
+      } else if (s.bfs_dist[seed.start] == level) {
+        s.bfs_count[seed.start] = SatAdd(s.bfs_count[seed.start], seed.count);
       }
-      if (lv[pos].hub_rank == hub_rank) {
-        has_hub = true;
-        old_entry = lv[pos];
-        break;
-      }
+      // else: discovered strictly shorter through another inserted
+      // edge; the seed's paths are not shortest.
     }
-    if (dv > certified) continue;  // covered strictly shorter: prune
+  };
+  uint32_t d = seeds.front().dist;
+  inject(d);
 
-    Count total = bfs_count_[v];
-    if (has_hub && old_entry.dist == dv) {
-      total = SatAdd(total, old_entry.count);  // pre-existing trough paths
-    }
-    if (has_hub) {
-      if (old_entry.dist != dv || old_entry.count != total) {
-        overlay_.Mutable(v)[pos] = {hub_rank, ToLabelDistance(dv), total};
-        ++stats_.entries_renewed;
-      }
-    } else {
-      std::vector<LabelEntry>& mv = overlay_.Mutable(v);
-      mv.insert(mv.begin() + static_cast<ptrdiff_t>(pos),
-                {hub_rank, ToLabelDistance(dv), total});
-      ++stats_.entries_inserted;
+  while (!s.frontier.empty() || si < seeds.size()) {
+    if (s.frontier.empty()) {
+      // Gap between seed depths with an exhausted wavefront.
+      d = seeds[si].dist;
+      inject(d);
+      continue;
     }
 
-    graph_.ForEachNeighbor(v, [&](VertexId w) {
-      if (order_.RankOf(w) <= hub_rank) return;
-      if (bfs_dist_[w] == kInfSpcDistance) {
-        bfs_dist_[w] = dv + 1;
-        bfs_count_[w] = bfs_count_[v];
-        bfs_queue_.push_back(w);
-        bfs_touched_.push_back(w);
-      } else if (bfs_dist_[w] == dv + 1) {
-        bfs_count_[w] = SatAdd(bfs_count_[w], bfs_count_[v]);
+    // Label phase: one walk over L(v) up to the hub's rank gives the
+    // 2-hop distance certificate over hubs ranked >= hub_rank (the
+    // hub's own old entry participates via hub_dist[hub_rank] == 0),
+    // plus the position of the hub's entry if present. Pruned vertices
+    // leave the frontier and do not expand.
+    size_t keep = 0;
+    for (const VertexId v : s.frontier) {
+      const uint32_t dv = d;
+      const auto lv = Labels(v);
+      uint32_t certified = kInfSpcDistance;
+      size_t pos = 0;
+      bool has_hub = false;
+      LabelEntry old_entry{};
+      for (; pos < lv.size() && lv[pos].hub_rank <= hub_rank; ++pos) {
+        const uint32_t hd = s.hub_dist[lv[pos].hub_rank];
+        if (hd != kInfSpcDistance) {
+          certified = std::min(certified, hd + lv[pos].dist);
+        }
+        if (lv[pos].hub_rank == hub_rank) {
+          has_hub = true;
+          old_entry = lv[pos];
+          break;
+        }
       }
-    });
+      if (dv > certified) continue;  // covered strictly shorter: prune
+
+      Count total = s.bfs_count[v];
+      if (has_hub && old_entry.dist == dv) {
+        total = SatAdd(total, old_entry.count);  // pre-existing troughs
+      }
+      if (has_hub) {
+        if (old_entry.dist != dv || old_entry.count != total) {
+          overlay_.Mutable(v)[pos] = {hub_rank, ToLabelDistance(dv), total};
+          ++stats_.entries_renewed;
+        }
+      } else {
+        std::vector<LabelEntry>& mv = overlay_.Mutable(v);
+        mv.insert(mv.begin() + static_cast<ptrdiff_t>(pos),
+                  {hub_rank, ToLabelDistance(dv), total});
+        ++stats_.entries_inserted;
+      }
+      s.frontier[keep++] = v;
+    }
+    s.frontier.resize(keep);
+
+    // Expansion phase into level d + 1.
+    s.next_frontier.clear();
+    for (const VertexId v : s.frontier) {
+      graph_.ForEachNeighbor(v, [&](VertexId w) {
+        if (order_.RankOf(w) <= hub_rank) return;
+        if (s.bfs_dist[w] == kInfSpcDistance) {
+          s.bfs_dist[w] = d + 1;
+          s.bfs_count[w] = s.bfs_count[v];
+          s.next_frontier.push_back(w);
+          s.bfs_touched.push_back(w);
+        } else if (s.bfs_dist[w] == d + 1) {
+          s.bfs_count[w] = SatAdd(s.bfs_count[w], s.bfs_count[v]);
+        }
+      });
+    }
+    s.frontier.swap(s.next_frontier);
+    ++d;
+    inject(d);
   }
 
   ++stats_.resumed_bfs_runs;
-  ResetHubDist(hub);
-  for (const VertexId v : bfs_touched_) {
-    bfs_dist_[v] = kInfSpcDistance;
-    bfs_count_[v] = 0;
+  ResetHubDist(hub, s);
+  for (const VertexId v : s.bfs_touched) {
+    s.bfs_dist[v] = kInfSpcDistance;
+    s.bfs_count[v] = 0;
   }
 }
 
@@ -362,6 +408,104 @@ void DynamicSpcIndex::DetectAffectedSide(
   }
 }
 
+void DynamicSpcIndex::ValidateDeletionSeeds(
+    const std::vector<Rank>& full_ranks,
+    const std::vector<Rank>& subtract_ranks,
+    std::span<const LabelEntry> near_labels, VertexId near, VertexId far,
+    const std::vector<uint8_t>& hub_of_a,
+    const std::vector<uint8_t>& hub_of_b, std::vector<uint8_t>* seed_ok,
+    std::vector<uint32_t>* seed_dist, std::vector<Count>* seed_count,
+    std::vector<VertexId>* seed_far) const {
+  // Seed validation must query the still-exact pre-deletion index: a
+  // stale entry of the hub at its own endpoint means no trough path
+  // crosses the edge at all.
+  auto validate = [&](Rank r) {
+    if (hub_of_a[r] == 0 || hub_of_b[r] == 0) return;
+    const size_t pos = FindHubEntry(near_labels, r);
+    if (pos == near_labels.size()) return;
+    const LabelEntry& seed = near_labels[pos];
+    if (Query(near, order_.VertexAt(r)).distance != seed.dist) return;
+    (*seed_ok)[r] = 1;
+    (*seed_dist)[r] = static_cast<uint32_t>(seed.dist) + 1;
+    (*seed_count)[r] = seed.count;
+    if (seed_far != nullptr) (*seed_far)[r] = far;
+  };
+  for (const Rank r : full_ranks) validate(r);
+  for (const Rank r : subtract_ranks) validate(r);
+}
+
+void DynamicSpcIndex::MarkDistanceChanges(
+    const std::vector<Rank>& sender_ranks,
+    std::span<const uint32_t> sender_pre,
+    const std::vector<Rank>& opposite_full_ranks,
+    std::span<const uint32_t> opposite_pre,
+    std::vector<uint8_t>* needs_full) const {
+  // Exact distance-change detection (post-deletion): hub u's distance
+  // to opposite full sender x grew iff every old shortest route used
+  // the edge, i.e. the through-edge length beat today's BFS distance.
+  // Each BFS also runs a bottleneck-rank DP over its shortest-path
+  // DAG: C(u) = the best (numerically largest) over shortest x-u paths
+  // of the smallest rank on the path excluding u. A new trough entry
+  // for the pair exists iff C(u) > rank(u) — some shortest path stays
+  // entirely below u — which decides *exactly* whether a hub whose
+  // distance grew without any pre-existing entry must re-run.
+  // A hub must fully re-run iff some pair distance to an opposite full
+  // sender x grew AND that pair matters: x still has a trough shortest
+  // path below the hub (a new or renewed entry is due), or x holds an
+  // entry for the hub — possibly a stale leftover of an earlier
+  // insertion whose recorded distance the growth just reached, which
+  // must be erased or renewed. Pairs that grew with neither leave
+  // nothing to store, and a hub with only such pairs can still repair
+  // its count-only pairs by subtraction.
+  if (sender_ranks.empty()) return;
+  const VertexId n = base_graph_.NumVertices();
+  const Rank min_sender =
+      *std::min_element(sender_ranks.begin(), sender_ranks.end());
+  std::vector<uint32_t> now(n), bottleneck(n);
+  std::vector<VertexId> queue;
+  const std::vector<Rank>& rank_of = order_.VertexToRank();
+  for (size_t xi = 0; xi < opposite_full_ranks.size(); ++xi) {
+    const Rank rx = opposite_full_ranks[xi];
+    if (rx <= min_sender) continue;  // no sender can hold an entry at x
+    const VertexId x = order_.VertexAt(rx);
+    const uint32_t x_pre = opposite_pre[xi];
+    if (x_pre == kInfSpcDistance) continue;
+    now.assign(n, kInfSpcDistance);
+    bottleneck.assign(n, 0);
+    queue.clear();
+    now[x] = 0;
+    bottleneck[x] = kInfSpcDistance;  // empty prefix: no bottleneck yet
+    queue.push_back(x);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const VertexId p = queue[head];
+      const uint32_t via = std::min(bottleneck[p], uint32_t{rank_of[p]});
+      graph_.ForEachNeighbor(p, [&](VertexId w) {
+        if (now[w] == kInfSpcDistance) {
+          now[w] = now[p] + 1;
+          bottleneck[w] = via;
+          queue.push_back(w);
+        } else if (now[w] == now[p] + 1) {
+          bottleneck[w] = std::max(bottleneck[w], via);
+        }
+      });
+    }
+    const auto lx = Labels(x);
+    for (size_t ui = 0; ui < sender_ranks.size(); ++ui) {
+      const Rank r = sender_ranks[ui];
+      if (r >= rx || (*needs_full)[r] != 0) continue;
+      const VertexId u = order_.VertexAt(r);
+      if (sender_pre[ui] == kInfSpcDistance) continue;
+      const uint64_t through = uint64_t{x_pre} + 1 + uint64_t{sender_pre[ui]};
+      if (through < now[u]) {
+        if ((now[u] != kInfSpcDistance && bottleneck[u] > r) ||
+            FindHubEntry(lx, r) < lx.size()) {
+          (*needs_full)[r] = 1;
+        }
+      }
+    }
+  }
+}
+
 void DynamicSpcIndex::RepairDeletion(VertexId a, VertexId b) {
   const VertexId n = base_graph_.NumVertices();
 
@@ -412,29 +556,17 @@ void DynamicSpcIndex::RepairDeletion(VertexId a, VertexId b) {
   tasks.reserve(side_a.full_ranks.size() + side_a.subtract_ranks.size() +
                 side_b.full_ranks.size() + side_b.subtract_ranks.size());
 
-  // Seed validation must query the still-exact pre-deletion index.
   std::vector<uint8_t> seed_ok(n, 0);
   std::vector<uint32_t> seed_dist(n, 0);
   std::vector<Count> seed_count(n, 0);
-  auto validate_seeds = [&](const AffectedSide& side,
-                            const std::vector<LabelEntry>& near_labels,
-                            VertexId near) {
-    auto validate = [&](Rank r) {
-      if (hub_of_a[r] == 0 || hub_of_b[r] == 0) return;
-      const size_t pos =
-          FindHubEntry({near_labels.data(), near_labels.size()}, r);
-      if (pos == near_labels.size()) return;
-      const LabelEntry& seed = near_labels[pos];
-      if (Query(near, order_.VertexAt(r)).distance != seed.dist) return;
-      seed_ok[r] = 1;
-      seed_dist[r] = static_cast<uint32_t>(seed.dist) + 1;
-      seed_count[r] = seed.count;
-    };
-    for (const Rank r : side.full_ranks) validate(r);
-    for (const Rank r : side.subtract_ranks) validate(r);
-  };
-  validate_seeds(side_a, la, a);
-  validate_seeds(side_b, lb, b);
+  // The single-edge path knows each side's far endpoint directly, so
+  // it skips the seed_far bookkeeping the batched path needs.
+  ValidateDeletionSeeds(side_a.full_ranks, side_a.subtract_ranks,
+                        {la.data(), la.size()}, a, b, hub_of_a, hub_of_b,
+                        &seed_ok, &seed_dist, &seed_count, nullptr);
+  ValidateDeletionSeeds(side_b.full_ranks, side_b.subtract_ranks,
+                        {lb.data(), lb.size()}, b, a, hub_of_a, hub_of_b,
+                        &seed_ok, &seed_dist, &seed_count, nullptr);
 
   // The exact distance-change filter costs one plain BFS per opposite
   // full sender; past a few hundred the blanket re-run is cheaper.
@@ -453,78 +585,32 @@ void DynamicSpcIndex::RepairDeletion(VertexId a, VertexId b) {
 
   PSPC_CHECK(graph_.RemoveEdge(a, b).ok());
 
-  // Exact distance-change detection (post-deletion): hub u's distance
-  // to opposite full sender x grew iff every old shortest route used
-  // the edge, i.e. the through-edge length beat today's BFS distance.
-  // Each BFS also runs a bottleneck-rank DP over its shortest-path
-  // DAG: C(u) = the best (numerically largest) over shortest x-u paths
-  // of the smallest rank on the path excluding u. A new trough entry
-  // for the pair exists iff C(u) > rank(u) — some shortest path stays
-  // entirely below u — which decides *exactly* whether a hub whose
-  // distance grew without any pre-existing entry must re-run.
-  // A hub must fully re-run iff some pair distance to an opposite full
-  // sender x grew AND that pair matters: x still has a trough shortest
-  // path below the hub (a new or renewed entry is due), or x holds an
-  // entry for the hub — possibly a stale leftover of an earlier
-  // insertion whose recorded distance the growth just reached, which
-  // must be erased or renewed. Pairs that grew with neither leave
-  // nothing to store, and a hub with only such pairs can still repair
-  // its count-only pairs by subtraction.
-  std::vector<uint8_t> needs_full(n, 0);
-  auto mark_distance_changes = [&](const std::vector<Rank>& sender_ranks,
-                                   const std::vector<uint32_t>& pre_near,
-                                   const std::vector<uint32_t>& pre_far,
-                                   const AffectedSide& opposite) {
-    if (sender_ranks.empty()) return;
-    const Rank min_sender =
-        *std::min_element(sender_ranks.begin(), sender_ranks.end());
-    std::vector<uint32_t> now(n), bottleneck(n);
-    std::vector<VertexId> queue;
-    const std::vector<Rank>& rank_of = order_.VertexToRank();
-    for (const Rank rx : opposite.full_ranks) {
-      if (rx <= min_sender) continue;  // no sender can hold an entry at x
-      const VertexId x = order_.VertexAt(rx);
-      if (pre_far[x] == kInfSpcDistance) continue;
-      now.assign(n, kInfSpcDistance);
-      bottleneck.assign(n, 0);
-      queue.clear();
-      now[x] = 0;
-      bottleneck[x] = kInfSpcDistance;  // empty prefix: no bottleneck yet
-      queue.push_back(x);
-      for (size_t head = 0; head < queue.size(); ++head) {
-        const VertexId p = queue[head];
-        const uint32_t via = std::min(bottleneck[p], uint32_t{rank_of[p]});
-        graph_.ForEachNeighbor(p, [&](VertexId w) {
-          if (now[w] == kInfSpcDistance) {
-            now[w] = now[p] + 1;
-            bottleneck[w] = via;
-            queue.push_back(w);
-          } else if (now[w] == now[p] + 1) {
-            bottleneck[w] = std::max(bottleneck[w], via);
-          }
-        });
-      }
-      const auto lx = Labels(x);
-      for (const Rank r : sender_ranks) {
-        if (r >= rx || needs_full[r] != 0) continue;
-        const VertexId u = order_.VertexAt(r);
-        if (pre_near[u] == kInfSpcDistance) continue;
-        const uint64_t through =
-            uint64_t{pre_far[x]} + 1 + uint64_t{pre_near[u]};
-        if (through < now[u]) {
-          if ((now[u] != kInfSpcDistance && bottleneck[u] > r) ||
-              FindHubEntry(lx, r) < lx.size()) {
-            needs_full[r] = 1;
-          }
-        }
-      }
+  // The filter reads pre-deletion distances only at full senders;
+  // extract them parallel to the rank lists (empty dense arrays mean
+  // the corresponding call never fires, but guard anyway).
+  auto extract_pre = [&](const std::vector<Rank>& ranks,
+                         const std::vector<uint32_t>& dense) {
+    std::vector<uint32_t> pre;
+    pre.reserve(ranks.size());
+    for (const Rank r : ranks) {
+      pre.push_back(dense.empty() ? kInfSpcDistance
+                                  : dense[order_.VertexAt(r)]);
     }
+    return pre;
   };
+  const std::vector<uint32_t> full_pre_a =
+      extract_pre(side_a.full_ranks, pre_dist_a);
+  const std::vector<uint32_t> full_pre_b =
+      extract_pre(side_b.full_ranks, pre_dist_b);
+
+  std::vector<uint8_t> needs_full(n, 0);
   if (filter_a) {
-    mark_distance_changes(side_a.full_ranks, pre_dist_a, pre_dist_b, side_b);
+    MarkDistanceChanges(side_a.full_ranks, full_pre_a, side_b.full_ranks,
+                        full_pre_b, &needs_full);
   }
   if (filter_b) {
-    mark_distance_changes(side_b.full_ranks, pre_dist_b, pre_dist_a, side_a);
+    MarkDistanceChanges(side_b.full_ranks, full_pre_b, side_a.full_ranks,
+                        full_pre_a, &needs_full);
   }
 
   auto assemble = [&](const AffectedSide& side, bool filtered, VertexId far,
@@ -580,13 +666,18 @@ void DynamicSpcIndex::RepairDeletion(VertexId a, VertexId b) {
   // higher-ranked labels, which are already repaired).
   std::sort(tasks.begin(), tasks.end(),
             [](const HubTask& x, const HubTask& y) { return x.rank < y.rank; });
+  LabelWriteSink sink(&overlay_);
   for (const HubTask& task : tasks) {
+    const RegionView region{task.opposite->flags.data(),
+                            &task.opposite->touched};
     if (!task.subtract) {
-      RepairHubAfterDeletion(task.rank, *task.opposite);
+      RepairHubAfterDeletion(task.rank, region, scratch_, sink, &stats_);
     } else if (bucket_max_[task.rank] >= task.seed_dist) {
-      SubtractiveDeleteRepair(task.rank, task.start, task.seed_dist,
-                              task.seed_count, bucket_max_[task.rank],
-                              *task.opposite);
+      if (!SubtractiveDeleteRepair(task.rank, task.start, task.seed_dist,
+                                   task.seed_count, bucket_max_[task.rank],
+                                   region, scratch_, sink, &stats_)) {
+        RepairHubAfterDeletion(task.rank, region, scratch_, sink, &stats_);
+      }
     }
   }
 
@@ -596,11 +687,10 @@ void DynamicSpcIndex::RepairDeletion(VertexId a, VertexId b) {
   }
 }
 
-void DynamicSpcIndex::SubtractiveDeleteRepair(Rank hub_rank, VertexId start,
-                                              uint32_t seed_dist,
-                                              Count seed_count,
-                                              uint32_t depth_cap,
-                                              const AffectedSide& opposite) {
+bool DynamicSpcIndex::SubtractiveDeleteRepair(
+    Rank hub_rank, VertexId start, uint32_t seed_dist, Count seed_count,
+    uint32_t depth_cap, RegionView region, RepairScratch& s,
+    LabelWriteSink& sink, DynamicStats* stats) {
   // Every trough path this hub loses crosses the deleted edge once and
   // continues into the opposite region, so propagating the through-edge
   // count from the far endpoint (restricted below the hub, over the
@@ -608,44 +698,46 @@ void DynamicSpcIndex::SubtractiveDeleteRepair(Rank hub_rank, VertexId start,
   // edge) visits only the blast radius instead of the hub's whole
   // coverage. No pruning certificates are needed: a restricted path
   // through a covered vertex is provably longer than the entry distance
-  // it would have to match. Saturated counts cannot be subtracted and
-  // escalate to the full re-run, which recomputes everything this pass
-  // may already have touched.
+  // it would have to match. Saturated counts cannot be subtracted; the
+  // caller escalates to the full re-run, which recomputes everything
+  // this pass may already have touched (live mode) or discards the
+  // staged ops (wave mode).
   bool escalate = seed_count == kSaturatedCount;
   if (!escalate) {
-    bfs_queue_.clear();
-    bfs_touched_.clear();
-    bfs_dist_[start] = seed_dist;
-    bfs_count_[start] = seed_count;
-    bfs_queue_.push_back(start);
-    bfs_touched_.push_back(start);
+    s.bfs_queue.clear();
+    s.bfs_touched.clear();
+    s.bfs_dist[start] = seed_dist;
+    s.bfs_count[start] = seed_count;
+    s.bfs_queue.push_back(start);
+    s.bfs_touched.push_back(start);
 
-    for (size_t head = 0; head < bfs_queue_.size(); ++head) {
-      const VertexId v = bfs_queue_[head];
-      const uint32_t dv = bfs_dist_[v];
+    for (size_t head = 0; head < s.bfs_queue.size(); ++head) {
+      const VertexId v = s.bfs_queue[head];
+      const uint32_t dv = s.bfs_dist[v];
 
-      if (opposite.flags[v] != 0) {
+      if (region.flags[v] != 0) {
         const auto lv = Labels(v);
         const size_t pos = FindHubEntry(lv, hub_rank);
         if (pos < lv.size() && lv[pos].dist == dv) {
           const LabelEntry old_entry = lv[pos];
           if (old_entry.count == kSaturatedCount ||
-              bfs_count_[v] >= old_entry.count) {
+              s.bfs_count[v] >= old_entry.count) {
             // Saturation, or subtracting the last trough paths: the
             // entry must go, but `== 0` with surviving alternatives is
             // the only provable case — anything else escalates.
             if (old_entry.count != kSaturatedCount &&
-                bfs_count_[v] == old_entry.count) {
-              std::vector<LabelEntry>& mv = overlay_.Mutable(v);
-              mv.erase(mv.begin() + static_cast<ptrdiff_t>(pos));
-              ++stats_.entries_erased;
+                s.bfs_count[v] == old_entry.count) {
+              sink.Erase(v, pos, hub_rank);
+              ++stats->entries_erased;
             } else {
               escalate = true;
               break;
             }
           } else {
-            overlay_.Mutable(v)[pos].count = old_entry.count - bfs_count_[v];
-            ++stats_.entries_renewed;
+            sink.Renew(v, pos,
+                       {hub_rank, old_entry.dist,
+                        old_entry.count - s.bfs_count[v]});
+            ++stats->entries_renewed;
           }
         }
       }
@@ -653,54 +745,66 @@ void DynamicSpcIndex::SubtractiveDeleteRepair(Rank hub_rank, VertexId start,
       if (dv < depth_cap) {
         graph_.ForEachNeighbor(v, [&](VertexId w) {
           if (order_.RankOf(w) <= hub_rank) return;
-          if (bfs_dist_[w] == kInfSpcDistance) {
-            bfs_dist_[w] = dv + 1;
-            bfs_count_[w] = bfs_count_[v];
-            bfs_queue_.push_back(w);
-            bfs_touched_.push_back(w);
-          } else if (bfs_dist_[w] == dv + 1) {
-            bfs_count_[w] = SatAdd(bfs_count_[w], bfs_count_[v]);
+          if (s.bfs_dist[w] == kInfSpcDistance) {
+            s.bfs_dist[w] = dv + 1;
+            s.bfs_count[w] = s.bfs_count[v];
+            s.bfs_queue.push_back(w);
+            s.bfs_touched.push_back(w);
+          } else if (s.bfs_dist[w] == dv + 1) {
+            s.bfs_count[w] = SatAdd(s.bfs_count[w], s.bfs_count[v]);
           }
         });
       }
     }
 
-    for (const VertexId v : bfs_touched_) {
-      bfs_dist_[v] = kInfSpcDistance;
-      bfs_count_[v] = 0;
+    for (const VertexId v : s.bfs_touched) {
+      s.bfs_dist[v] = kInfSpcDistance;
+      s.bfs_count[v] = 0;
     }
-    if (!escalate) ++stats_.subtract_repairs;
+    if (!escalate) ++stats->subtract_repairs;
   }
 
-  if (escalate) {
-    RepairHubAfterDeletion(hub_rank, opposite);
-  }
+  return !escalate;
 }
 
-void DynamicSpcIndex::RepairHubAfterDeletion(Rank hub_rank,
-                                             const AffectedSide& opposite) {
+bool DynamicSpcIndex::RepairHubAfterDeletion(
+    Rank hub_rank, RegionView region, RepairScratch& s, LabelWriteSink& sink,
+    DynamicStats* stats, const int32_t* claim_owner, int32_t claim_self) {
   const VertexId hub = order_.VertexAt(hub_rank);
-  LoadHubDist(hub);
+  LoadHubDist(hub, s);
 
   // Full pruned restricted BFS from the hub over the post-deletion
   // graph — the same discipline as HP-SPC's per-hub iteration, except
-  // that entries are only written at opposite-side affected vertices
+  // that entries are only written at affected region vertices
   // (everything else is provably unchanged and is used for pruning and
   // count propagation only).
-  bfs_queue_.clear();
-  bfs_touched_.clear();
-  bfs_dist_[hub] = 0;
-  bfs_count_[hub] = 1;
-  bfs_queue_.push_back(hub);
-  bfs_touched_.push_back(hub);
+  s.bfs_queue.clear();
+  s.bfs_touched.clear();
+  s.bfs_dist[hub] = 0;
+  s.bfs_count[hub] = 1;
+  s.bfs_queue.push_back(hub);
+  s.bfs_touched.push_back(hub);
+  bool aborted = false;
 
-  for (size_t head = 0; head < bfs_queue_.size(); ++head) {
-    const VertexId v = bfs_queue_[head];
-    const uint32_t dv = bfs_dist_[v];
+  for (size_t head = 0; head < s.bfs_queue.size(); ++head) {
+    const VertexId v = s.bfs_queue[head];
+    const uint32_t dv = s.bfs_dist[v];
+
+    // Wave-mode dependency check: visiting a vertex claimed by a
+    // lower-rank in-flight task means this run could read that task's
+    // not-yet-committed entries — bail out, the caller re-runs this
+    // hub sequentially after the wave commits.
+    if (claim_owner != nullptr) {
+      const int32_t owner = claim_owner[v];
+      if (owner >= 0 && owner < claim_self) {
+        aborted = true;
+        break;
+      }
+    }
 
     if (v != hub) {
       const auto lv = Labels(v);
-      uint32_t over = kInfSpcDistance;  // certificate via strictly higher hubs
+      uint32_t over = kInfSpcDistance;  // certificate via strictly higher
       size_t pos = 0;
       bool has_hub = false;
       LabelEntry old_entry{};
@@ -710,13 +814,13 @@ void DynamicSpcIndex::RepairHubAfterDeletion(Rank hub_rank,
           old_entry = lv[pos];
           break;
         }
-        const uint32_t hd = hub_dist_[lv[pos].hub_rank];
+        const uint32_t hd = s.hub_dist[lv[pos].hub_rank];
         if (hd != kInfSpcDistance) {
           over = std::min(over, hd + lv[pos].dist);
         }
       }
 
-      if (opposite.flags[v] == 0) {
+      if (region.flags[v] == 0) {
         // Unaffected pair: the existing entry (if any) is still exact,
         // so the full certificate may include it.
         uint32_t certified = over;
@@ -730,75 +834,93 @@ void DynamicSpcIndex::RepairHubAfterDeletion(Rank hub_rank,
         // via strictly higher hubs, then renew/insert.
         if (dv > over) continue;
         if (!has_hub) {
-          std::vector<LabelEntry>& mv = overlay_.Mutable(v);
-          mv.insert(mv.begin() + static_cast<ptrdiff_t>(pos),
-                    {hub_rank, ToLabelDistance(dv), bfs_count_[v]});
-          ++stats_.entries_inserted;
-        } else if (old_entry.dist != dv || old_entry.count != bfs_count_[v]) {
-          overlay_.Mutable(v)[pos] = {hub_rank, ToLabelDistance(dv),
-                                      bfs_count_[v]};
-          ++stats_.entries_renewed;
+          sink.Insert(v, pos, {hub_rank, ToLabelDistance(dv), s.bfs_count[v]});
+          ++stats->entries_inserted;
+        } else if (old_entry.dist != dv || old_entry.count != s.bfs_count[v]) {
+          sink.Renew(v, pos, {hub_rank, ToLabelDistance(dv), s.bfs_count[v]});
+          ++stats->entries_renewed;
         }
-        updated_[v] = 1;
+        s.updated[v] = 1;
       }
     }
 
     graph_.ForEachNeighbor(v, [&](VertexId w) {
       if (order_.RankOf(w) <= hub_rank) return;
-      if (bfs_dist_[w] == kInfSpcDistance) {
-        bfs_dist_[w] = dv + 1;
-        bfs_count_[w] = bfs_count_[v];
-        bfs_queue_.push_back(w);
-        bfs_touched_.push_back(w);
-      } else if (bfs_dist_[w] == dv + 1) {
-        bfs_count_[w] = SatAdd(bfs_count_[w], bfs_count_[v]);
+      if (s.bfs_dist[w] == kInfSpcDistance) {
+        s.bfs_dist[w] = dv + 1;
+        s.bfs_count[w] = s.bfs_count[v];
+        s.bfs_queue.push_back(w);
+        s.bfs_touched.push_back(w);
+      } else if (s.bfs_dist[w] == dv + 1) {
+        s.bfs_count[w] = SatAdd(s.bfs_count[w], s.bfs_count[v]);
       }
     });
   }
 
-  // Erasure sweep: an opposite-side vertex the re-run did not confirm
-  // has lost its trough paths to this hub — its entry (when present)
-  // is stale and must go. Per-vertex erases are independent, so the
-  // sweep is planned cost-aware (label sizes vary wildly) and runs
-  // through the shared parallel-for.
-  std::vector<VertexId> to_erase;
-  for (const VertexId v : opposite.touched) {
-    if (order_.RankOf(v) <= hub_rank || updated_[v] != 0) continue;
-    const auto lv = Labels(v);
-    if (FindHubEntry(lv, hub_rank) < lv.size()) to_erase.push_back(v);
-  }
-  if (!to_erase.empty()) {
-    std::vector<uint64_t> costs;
-    costs.reserve(to_erase.size());
-    for (const VertexId v : to_erase) costs.push_back(Labels(v).size());
-    const SchedulePlan plan = PlanIteration(ScheduleKind::kCostAware, to_erase,
-                                            costs, order_.VertexToRank());
-    // Copy-on-write materialization touches the overlay map and stays
-    // sequential; the erases themselves are per-vertex independent.
-    std::vector<std::vector<LabelEntry>*> lists;
-    lists.reserve(plan.sequence.size());
-    for (const VertexId v : plan.sequence) {
-      lists.push_back(&overlay_.Mutable(v));
+  // Erasure sweep: a region vertex the re-run did not confirm has lost
+  // its trough paths to this hub — its entry (when present) is stale
+  // and must go.
+  if (!aborted) {
+    if (sink.staged()) {
+      for (const VertexId v : *region.touched) {
+        if (order_.RankOf(v) <= hub_rank || s.updated[v] != 0) continue;
+        const auto lv = Labels(v);
+        const size_t pos = FindHubEntry(lv, hub_rank);
+        if (pos < lv.size()) {
+          sink.Erase(v, pos, hub_rank);
+          ++stats->entries_erased;
+        }
+      }
+    } else {
+      // Per-vertex erases are independent, so the sweep is planned
+      // cost-aware (label sizes vary wildly) and runs through the
+      // shared parallel-for.
+      std::vector<VertexId> to_erase;
+      for (const VertexId v : *region.touched) {
+        if (order_.RankOf(v) <= hub_rank || s.updated[v] != 0) continue;
+        const auto lv = Labels(v);
+        if (FindHubEntry(lv, hub_rank) < lv.size()) to_erase.push_back(v);
+      }
+      if (!to_erase.empty()) {
+        std::vector<uint64_t> costs;
+        costs.reserve(to_erase.size());
+        for (const VertexId v : to_erase) costs.push_back(Labels(v).size());
+        const SchedulePlan plan = PlanIteration(
+            ScheduleKind::kCostAware, to_erase, costs, order_.VertexToRank());
+        // Copy-on-write materialization touches the overlay map and
+        // stays sequential; the erases themselves are independent.
+        std::vector<std::vector<LabelEntry>*> lists;
+        lists.reserve(plan.sequence.size());
+        for (const VertexId v : plan.sequence) {
+          lists.push_back(&overlay_.Mutable(v));
+        }
+        // Capped by the OpenMP environment (OMP_NUM_THREADS): the TSan
+        // job pins teams to one thread because libgomp is not
+        // instrumented, and an explicit num_threads must not undo that.
+        const int sweep_threads = std::min(ResolvedThreads(), MaxThreads());
+        ParallelForDynamic(lists.size(), sweep_threads, plan.chunk,
+                           [&](size_t i) {
+                             std::vector<LabelEntry>& mv = *lists[i];
+                             const size_t pos = FindHubEntry(
+                                 {mv.data(), mv.size()}, hub_rank);
+                             if (pos < mv.size()) {
+                               mv.erase(mv.begin() +
+                                        static_cast<ptrdiff_t>(pos));
+                             }
+                           });
+        stats->entries_erased += lists.size();
+      }
     }
-    ParallelForDynamic(lists.size(), options_.num_threads, plan.chunk,
-                       [&](size_t i) {
-                         std::vector<LabelEntry>& mv = *lists[i];
-                         const size_t pos = FindHubEntry(
-                             {mv.data(), mv.size()}, hub_rank);
-                         if (pos < mv.size()) {
-                           mv.erase(mv.begin() + static_cast<ptrdiff_t>(pos));
-                         }
-                       });
-    stats_.entries_erased += lists.size();
+    ++stats->affected_hubs;
   }
 
-  ++stats_.affected_hubs;
-  ResetHubDist(hub);
-  for (const VertexId v : bfs_touched_) {
-    bfs_dist_[v] = kInfSpcDistance;
-    bfs_count_[v] = 0;
-    updated_[v] = 0;
+  ResetHubDist(hub, s);
+  for (const VertexId v : s.bfs_touched) {
+    s.bfs_dist[v] = kInfSpcDistance;
+    s.bfs_count[v] = 0;
+    s.updated[v] = 0;
   }
+  return !aborted;
 }
 
 }  // namespace pspc

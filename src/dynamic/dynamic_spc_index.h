@@ -5,6 +5,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -49,6 +50,27 @@
 ///    *receiver* (only entries stored at it change). Saturated counts
 ///    cannot be subtracted, so those hubs escalate to a full re-run.
 ///
+///  * **Batches** — `ApplyBatch` is atomic: the batch planner
+///    (`batch_planner.h`) validates the whole batch against the
+///    pre-batch graph up front (a bad update rejects the batch with
+///    nothing applied), coalesces canceling pairs and redundant
+///    inserts to no-ops, and reduces the rest to its net effect.
+///    Deletion repair then coalesces across the net-deleted edges:
+///    affected regions are detected per edge against the still-exact
+///    pre-batch index, all edges are removed at once, and each
+///    affected hub repairs **once** — a hub shared by several regions
+///    escalates to a single full re-run over the union of the opposite
+///    regions instead of one run per edge. Insertions coalesce the
+///    same way: endpoint-hub seeds are gathered across all net-new
+///    edges and each hub runs one *multi-source* resumed BFS instead
+///    of one per (edge, endpoint-entry). Hubs repair in ascending rank
+///    order (the construction-order dependency); runs whose claimed
+///    regions are disjoint execute in parallel on a `std::thread` pool
+///    with per-thread BFS scratch, writing through staged label ops
+///    that commit in rank order — a task that would read another
+///    in-flight task's region aborts and re-runs sequentially, so the
+///    result is deterministic and identical to the sequential order.
+///
 /// Between rebuilds the maintained labels satisfy: every pair with a
 /// positive trough count at the true shortest distance has a correct
 /// entry, and any extra (stale) entry records a distance strictly
@@ -67,10 +89,11 @@
 /// `[0, n)`; saturated counts remain saturating (as everywhere in the
 /// library).
 ///
-/// Threading: the index itself is single-threaded (one thread of
-/// control for reads and writes). Concurrent serving goes through
-/// `src/serve/`: a writer thread applies updates here and publishes
-/// immutable `IndexSnapshot` generations (captured via `Generation()`,
+/// Threading: the index itself is externally single-threaded (one
+/// thread of control for reads and writes); the parallel phases above
+/// are internal. Concurrent serving goes through `src/serve/`: a
+/// writer thread applies updates here and publishes immutable
+/// `IndexSnapshot` generations (captured via `Generation()`,
 /// `SharedBaseIndex()` and `Overlay()`), which readers query without
 /// ever touching this object.
 namespace pspc {
@@ -86,6 +109,9 @@ struct DynamicOptions {
   BuildOptions rebuild_options;
   /// Threads for the parallel repair phases (<= 0: all cores).
   int num_threads = 0;
+  /// Run disjoint-region hub repairs of a coalesced batch on a thread
+  /// pool (`num_threads` wide). Off = identical plan, sequential run.
+  bool parallel_batch_repair = true;
 };
 
 struct DynamicStats {
@@ -98,8 +124,20 @@ struct DynamicStats {
   size_t entries_renewed = 0;
   size_t entries_erased = 0;
   size_t rebuilds = 0;
+  size_t batches_applied = 0;    ///< ApplyBatch calls that validated
+  size_t updates_coalesced = 0;  ///< batch updates dropped as no-ops
+  size_t parallel_waves = 0;     ///< thread-pool waves launched
+  size_t parallel_hub_runs = 0;  ///< hub repairs committed off a wave
+  size_t deferred_hub_runs = 0;  ///< wave aborts re-run sequentially
   double repair_seconds = 0.0;
   double rebuild_seconds = 0.0;
+
+  /// Every per-hub repair launch, the unit `ApplyBatch` coalescing
+  /// amortizes (bench_dynamic_updates reports the batched-vs-
+  /// sequential difference as "hub runs saved").
+  size_t TotalHubRuns() const {
+    return resumed_bfs_runs + affected_hubs + subtract_repairs;
+  }
 
   std::string ToString() const;
 };
@@ -128,8 +166,15 @@ class DynamicSpcIndex {
   Status DeleteEdge(VertexId u, VertexId v);
   Status Apply(const EdgeUpdate& update);
 
-  /// Applies updates in order, stopping at the first failure (already
-  /// applied updates stay applied; the index remains consistent).
+  /// Applies the batch *atomically* with coalesced repair. The whole
+  /// batch is validated against the pre-batch graph up front — on any
+  /// error (out-of-range endpoint, self-loop, delete of a missing
+  /// edge) nothing is applied and the index is untouched. Canceling
+  /// pairs (`i u v` then `d u v`), redundant inserts (duplicates, or
+  /// an edge the graph already has) and delete+reinsert round trips
+  /// coalesce to no-ops; the net updates repair with one run per
+  /// affected hub (see the class comment). Publishes one generation
+  /// bump for the whole batch.
   Status ApplyBatch(const EdgeUpdateBatch& batch);
 
   /// Overlay entries relative to base entries — what the staleness
@@ -153,10 +198,11 @@ class DynamicSpcIndex {
   /// CSR snapshot of the current graph.
   Graph MaterializeGraph() const { return graph_.Materialize(); }
 
-  /// Monotone label-state version: bumped by every applied update and
-  /// every rebuild. `IndexSnapshot::Capture` tags snapshots with it so
-  /// the serving layer can tell whether anything changed since the
-  /// last published generation.
+  /// Monotone label-state version: bumped by every applied update
+  /// (once per coalesced batch) and every rebuild.
+  /// `IndexSnapshot::Capture` tags snapshots with it so the serving
+  /// layer can tell whether anything changed since the last published
+  /// generation.
   uint64_t Generation() const { return generation_; }
 
   /// Shared ownership of the current immutable base. Snapshots hold
@@ -173,12 +219,87 @@ class DynamicSpcIndex {
   const DynamicOptions& Options() const { return options_; }
 
  private:
-  void InitScratch();
-  void MaybeRebuild();
+  /// Reusable n-sized BFS scratch. One instance backs the sequential
+  /// paths; parallel waves draw from a per-thread pool (repair BFS
+  /// state must never be shared across concurrently running hubs).
+  struct RepairScratch {
+    std::vector<uint32_t> hub_dist;   // by rank; kInfSpcDistance = unset
+    std::vector<uint32_t> bfs_dist;   // by vertex; kInfSpcDistance = unset
+    std::vector<Count> bfs_count;     // by vertex
+    std::vector<VertexId> bfs_touched;
+    std::vector<VertexId> bfs_queue;
+    std::vector<VertexId> frontier;       // insertion level-sync BFS
+    std::vector<VertexId> next_frontier;
+    std::vector<uint8_t> updated;     // by vertex; deletion repair marks
+    std::vector<int8_t> region_flags;     // materialized task region
+    std::vector<VertexId> region_touched;
 
-  void RepairInsertion(VertexId a, VertexId b);
-  void ResumedInsertBfs(Rank hub_rank, VertexId start, uint32_t seed_dist,
-                        Count seed_count);
+    void Init(VertexId n);
+  };
+
+  /// Write destination for one hub repair: the live overlay
+  /// (sequential paths), or a staged op list a parallel wave commits
+  /// in rank order after every task of the wave finished. A hub task
+  /// touches each vertex's own-rank entry at most once, so one staged
+  /// op per (task, vertex) suffices and commit can re-find positions.
+  struct StagedLabelOp {
+    VertexId v = 0;
+    LabelEntry entry{};  // carries the hub rank; payload unused on erase
+    bool erase = false;
+  };
+  class LabelWriteSink {
+   public:
+    explicit LabelWriteSink(LabelOverlay* live) : live_(live) {}
+    explicit LabelWriteSink(std::vector<StagedLabelOp>* staged)
+        : staged_(staged) {}
+
+    bool staged() const { return staged_ != nullptr; }
+
+    /// Replaces the entry at `pos` (present) of v's list.
+    void Renew(VertexId v, size_t pos, const LabelEntry& e) {
+      if (staged_ != nullptr) {
+        staged_->push_back({v, e, false});
+      } else {
+        live_->Mutable(v)[pos] = e;
+      }
+    }
+    /// Inserts `e` at rank position `pos` of v's list.
+    void Insert(VertexId v, size_t pos, const LabelEntry& e) {
+      if (staged_ != nullptr) {
+        staged_->push_back({v, e, false});
+      } else {
+        std::vector<LabelEntry>& mv = live_->Mutable(v);
+        mv.insert(mv.begin() + static_cast<ptrdiff_t>(pos), e);
+      }
+    }
+    /// Erases the entry for `hub_rank` sitting at `pos` of v's list.
+    void Erase(VertexId v, size_t pos, Rank hub_rank) {
+      if (staged_ != nullptr) {
+        staged_->push_back({v, LabelEntry{hub_rank, 0, 0}, true});
+      } else {
+        std::vector<LabelEntry>& mv = live_->Mutable(v);
+        mv.erase(mv.begin() + static_cast<ptrdiff_t>(pos));
+      }
+    }
+
+   private:
+    LabelOverlay* live_ = nullptr;
+    std::vector<StagedLabelOp>* staged_ = nullptr;
+  };
+
+  /// A hub repair's write region: non-zero `flags[v]` marks membership,
+  /// `touched` enumerates it.
+  struct RegionView {
+    const int8_t* flags = nullptr;
+    const std::vector<VertexId>* touched = nullptr;
+  };
+
+  /// One multi-source seed of an insertion repair BFS.
+  struct InsertSeed {
+    VertexId start = 0;
+    uint32_t dist = 0;
+    Count count = 0;
+  };
 
   // Deletion machinery. `side` buffers are per-endpoint; flags hold 0
   // (untouched), 1 (full sender), 2 (subtractive sender) or -1
@@ -189,25 +310,119 @@ class DynamicSpcIndex {
     std::vector<Rank> subtract_ranks;  // hubs repairable by subtraction
     std::vector<VertexId> touched;     // everything in the region
   };
+
+  /// Compressed per-(edge, side) region of a coalesced deletion batch.
+  /// `flags` parallels `touched` (values as in AffectedSide): the batch
+  /// classifier needs *every* membership — a hub that is merely a
+  /// receiver for two different edges can still see entangled distance
+  /// growth no single-edge certificate covers, so multi-region
+  /// membership of any class escalates to a full re-run. `full_pre`
+  /// parallels `full_ranks` with the pre-deletion distance from the
+  /// side's endpoint to each full sender — all the distance-change
+  /// filter ever reads, so nothing n-sized outlives planning.
+  struct SparseSide {
+    std::vector<VertexId> touched;
+    std::vector<int8_t> flags;
+    std::vector<Rank> full_ranks;
+    std::vector<Rank> subtract_ranks;
+    std::vector<uint32_t> full_pre;
+  };
+
+  /// One repair obligation of a coalesced deletion batch: a hub that
+  /// re-runs fully or subtracts, writing into the union of the listed
+  /// (edge, side) regions.
+  struct DeletionTask {
+    Rank rank = 0;
+    bool subtract = false;
+    VertexId start = 0;       // subtract: far endpoint the BFS seeds from
+    uint32_t seed_dist = 0;   // subtract: entry dist + 1 across the edge
+    Count seed_count = 0;     // subtract: through-edge trough count
+    uint32_t depth_cap = 0;   // subtract: farthest entry dist to fix
+    // (edge index, side index) write regions; opposite the hub's side.
+    std::vector<std::pair<uint32_t, uint8_t>> regions;
+  };
+  struct DeletedEdgePlan;
+
+  void InitScratch();
+  void MaybeRebuild();
+  int ResolvedThreads() const;
+
+  // ------------------------------------------------------- insertion
+  void RepairInsertions(
+      std::span<const std::pair<VertexId, VertexId>> edges);
+  void ResumedInsertBfs(Rank hub_rank, std::span<const InsertSeed> seeds,
+                        RepairScratch& scratch);
+
+  // -------------------------------------------------------- deletion
   void RepairDeletion(VertexId a, VertexId b);
+  void RepairDeletionsBatch(
+      const std::vector<std::pair<VertexId, VertexId>>& edges);
   void DetectAffectedSide(VertexId from, VertexId to,
                           const std::vector<uint8_t>& hub_of_a,
                           const std::vector<uint8_t>& hub_of_b,
                           AffectedSide* side) const;
   // Plain BFS distances from `source` over the current graph view.
   std::vector<uint32_t> BfsDistances(VertexId source) const;
-  void RepairHubAfterDeletion(Rank hub_rank, const AffectedSide& opposite);
-  // Depth-capped count subtraction for a shared hub; escalates to
-  // RepairHubAfterDeletion itself when saturation blocks subtraction.
-  void SubtractiveDeleteRepair(Rank hub_rank, VertexId start,
-                               uint32_t seed_dist, Count seed_count,
-                               uint32_t depth_cap,
-                               const AffectedSide& opposite);
+  // Exact distance-change detection for full-sender downgrades (see
+  // RepairDeletion); runs on the post-deletion graph. `sender_pre` /
+  // `opposite_pre` parallel the rank lists with each vertex's
+  // pre-deletion distance from its own side's endpoint.
+  void MarkDistanceChanges(const std::vector<Rank>& sender_ranks,
+                           std::span<const uint32_t> sender_pre,
+                           const std::vector<Rank>& opposite_full_ranks,
+                           std::span<const uint32_t> opposite_pre,
+                           std::vector<uint8_t>* needs_full) const;
+  // Validates subtraction seeds of one side's sender hubs against the
+  // still-exact pre-deletion index; fills the rank-indexed seed arrays.
+  void ValidateDeletionSeeds(const std::vector<Rank>& full_ranks,
+                             const std::vector<Rank>& subtract_ranks,
+                             std::span<const LabelEntry> near_labels,
+                             VertexId near, VertexId far,
+                             const std::vector<uint8_t>& hub_of_a,
+                             const std::vector<uint8_t>& hub_of_b,
+                             std::vector<uint8_t>* seed_ok,
+                             std::vector<uint32_t>* seed_dist,
+                             std::vector<Count>* seed_count,
+                             std::vector<VertexId>* seed_far) const;
 
-  // Scratch: loads `hub_dist_[rank] = dist` for the hub's current
+  /// Full pruned restricted BFS re-run of one hub, writing (and
+  /// erasing) only inside `region`. Returns false iff the task aborted
+  /// because it visited a vertex claimed by a lower-rank in-flight
+  /// task (`claim_owner`, parallel waves only) — the caller re-runs it
+  /// sequentially after the wave commits.
+  bool RepairHubAfterDeletion(Rank hub_rank, RegionView region,
+                              RepairScratch& scratch, LabelWriteSink& sink,
+                              DynamicStats* stats,
+                              const int32_t* claim_owner = nullptr,
+                              int32_t claim_self = -1);
+  /// Depth-capped count subtraction for a shared hub. Returns false
+  /// when saturation blocks subtraction — the caller escalates to
+  /// RepairHubAfterDeletion (which recomputes anything this pass may
+  /// already have written in live mode).
+  bool SubtractiveDeleteRepair(Rank hub_rank, VertexId start,
+                               uint32_t seed_dist, Count seed_count,
+                               uint32_t depth_cap, RegionView region,
+                               RepairScratch& scratch, LabelWriteSink& sink,
+                               DynamicStats* stats);
+
+  // Coalesced-batch execution: ascending-rank task run with
+  // disjoint-region waves on a thread pool (batch_repair.cc).
+  void ExecuteDeletionTasks(std::vector<DeletionTask>& tasks,
+                            const std::vector<DeletedEdgePlan>& plans);
+  // `force_full` skips a subtract task's subtraction attempt (used
+  // when a wave run already proved it must escalate).
+  void RunDeletionTaskLive(const DeletionTask& task,
+                           const std::vector<DeletedEdgePlan>& plans,
+                           RepairScratch& scratch, bool force_full = false);
+  void MaterializeTaskRegion(const DeletionTask& task,
+                             const std::vector<DeletedEdgePlan>& plans,
+                             RepairScratch& scratch) const;
+  void CommitStagedOps(std::span<const StagedLabelOp> ops);
+
+  // Scratch: loads `hub_dist[rank] = dist` for the hub's current
   // labels; ResetHubDist undoes exactly those writes.
-  void LoadHubDist(VertexId hub);
-  void ResetHubDist(VertexId hub);
+  void LoadHubDist(VertexId hub, RepairScratch& scratch) const;
+  void ResetHubDist(VertexId hub, RepairScratch& scratch) const;
 
   Graph base_graph_;
   std::shared_ptr<const SpcIndex> base_;
@@ -218,13 +433,8 @@ class DynamicSpcIndex {
   DynamicStats stats_;
   uint64_t generation_ = 0;
 
-  // Reusable n-sized scratch (reset via touched lists after each use).
-  std::vector<uint32_t> hub_dist_;   // by rank; kInfSpcDistance = unset
-  std::vector<uint32_t> bfs_dist_;   // by vertex; kInfSpcDistance = unset
-  std::vector<Count> bfs_count_;     // by vertex
-  std::vector<VertexId> bfs_touched_;
-  std::vector<VertexId> bfs_queue_;
-  std::vector<uint8_t> updated_;     // by vertex; deletion repair marks
+  RepairScratch scratch_;                    // sequential paths
+  std::vector<RepairScratch> scratch_pool_;  // parallel waves (lazy)
   std::vector<uint8_t> subtract_side_;  // by rank; 1 = a-side, 2 = b-side
   std::vector<uint32_t> bucket_max_;    // by rank; max target entry dist
 };

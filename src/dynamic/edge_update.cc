@@ -33,9 +33,11 @@ Result<EdgeUpdateBatch> ParseUpdateLines(std::istream& in) {
     ++line_no;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ls(line);
-    std::string op;
+    std::string op, extra;
     uint64_t u = 0, v = 0;
-    if (!(ls >> op >> u >> v) || (op != "i" && op != "d")) {
+    // `ls >> extra` must fail: trailing garbage (`i 1 2 junk`) means the
+    // line is not what the writer intended, not a valid update.
+    if (!(ls >> op >> u >> v) || (op != "i" && op != "d") || (ls >> extra)) {
       return Status::Corruption("bad update at line " +
                                 std::to_string(line_no) + ": '" + line + "'");
     }

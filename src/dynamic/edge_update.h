@@ -33,10 +33,11 @@ struct EdgeUpdate {
   friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
 };
 
-/// Ordered sequence of edge updates. Purely a container; structural
-/// checks against a concrete graph happen when the batch is applied
-/// (an insert of an existing edge or delete of a missing one is only
-/// detectable against the evolving graph state).
+/// Ordered sequence of edge updates. Purely a container; checks
+/// against a concrete graph happen when the batch is applied —
+/// `PlanBatch` (batch_planner.h) simulates the sequence over the
+/// current edge set up front, coalescing redundant work and rejecting
+/// the whole batch on a delete of a missing edge.
 class EdgeUpdateBatch {
  public:
   EdgeUpdateBatch() = default;

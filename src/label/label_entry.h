@@ -1,6 +1,9 @@
 #ifndef PSPC_SRC_LABEL_LABEL_ENTRY_H_
 #define PSPC_SRC_LABEL_LABEL_ENTRY_H_
 
+#include <algorithm>
+#include <span>
+
 #include "src/common/types.h"
 
 /// One hub-label entry (paper §II-A): for a vertex `v`, the entry
@@ -23,6 +26,17 @@ struct LabelEntry {
 /// finalized index.
 inline bool ByHubRank(const LabelEntry& a, const LabelEntry& b) {
   return a.hub_rank < b.hub_rank;
+}
+
+/// Index of the entry with `hub_rank` in a rank-sorted list, or
+/// `list.size()` if absent.
+inline size_t FindHubEntry(std::span<const LabelEntry> list, Rank hub_rank) {
+  const auto it = std::lower_bound(list.begin(), list.end(),
+                                   LabelEntry{hub_rank, 0, 0}, ByHubRank);
+  if (it != list.end() && it->hub_rank == hub_rank) {
+    return static_cast<size_t>(it - list.begin());
+  }
+  return list.size();
 }
 
 }  // namespace pspc

@@ -108,9 +108,9 @@ Status ServingEngine::ApplyUpdates(const EdgeUpdateBatch& batch) {
   const Status status = index_->ApplyBatch(batch);
   updates_applied_ +=
       stats.insertions_applied + stats.deletions_applied - applied_before;
-  // Publish whatever actually applied — on a mid-batch failure the
-  // prefix is in the index and must become visible, not linger as an
-  // unpublished divergence between index and snapshot.
+  // ApplyBatch is atomic and bumps the generation once per batch, so
+  // this publishes exactly one snapshot for a batch that changed
+  // anything and none for a rejected or fully coalesced one.
   if (index_->Generation() != published_generation_) {
     snapshots_.Publish(IndexSnapshot::Capture(*index_));
     published_generation_ = index_->Generation();

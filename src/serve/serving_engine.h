@@ -85,10 +85,12 @@ class ServingEngine {
   /// answered (positionally matching `batch`). Thread-safe.
   std::future<std::vector<SpcResult>> SubmitBatch(const QueryBatch& batch);
 
-  /// Applies updates to the index and publishes a new snapshot
-  /// generation (even on partial failure — applied prefixes become
-  /// visible). Serialized internally; thread-safe. Queries keep
-  /// flowing against the previous generation while this runs.
+  /// Applies the batch *atomically* to the index (coalesced repair,
+  /// see DynamicSpcIndex::ApplyBatch) and publishes at most one
+  /// snapshot generation for it. On a validation error nothing applies
+  /// and nothing publishes; a batch that coalesces to a net no-op also
+  /// publishes nothing. Serialized internally; thread-safe. Queries
+  /// keep flowing against the previous generation while this runs.
   Status ApplyUpdates(const EdgeUpdateBatch& batch);
   Status ApplyUpdate(const EdgeUpdate& update);
 

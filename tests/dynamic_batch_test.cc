@@ -1,0 +1,374 @@
+// Coalesced ApplyBatch: planner semantics (atomic validation,
+// canceling-pair coalescing), the batched ≡ sequential ≡ BFS-oracle
+// equivalence across randomized mixed batches with overlapping
+// affected hubs, and the disjoint-region parallel wave runner (the
+// TSan target for the concurrent hub re-run path).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/baseline/bfs_spc.h"
+#include "src/common/random.h"
+#include "src/core/builder_facade.h"
+#include "src/dynamic/batch_planner.h"
+#include "src/dynamic/dynamic_spc_index.h"
+#include "src/dynamic/edge_update.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_builder.h"
+#include "tests/test_util.h"
+
+namespace pspc {
+namespace {
+
+BuildOptions SmallBuildOptions() {
+  BuildOptions options;
+  options.num_landmarks = 4;
+  return options;
+}
+
+DynamicOptions NoRebuildOptions(int num_threads = 0,
+                                bool parallel = true) {
+  DynamicOptions options;
+  options.rebuild_threshold = 1e18;  // repair-only
+  options.rebuild_options = SmallBuildOptions();
+  options.num_threads = num_threads;
+  options.parallel_batch_repair = parallel;
+  return options;
+}
+
+/// Mirror of the evolving edge set, for oracles and batch sampling.
+class EdgeMirror {
+ public:
+  explicit EdgeMirror(const Graph& g) : n_(g.NumVertices()) {
+    for (VertexId u = 0; u < n_; ++u) {
+      for (const VertexId v : g.Neighbors(u)) {
+        if (u < v) edges_.insert({u, v});
+      }
+    }
+  }
+
+  void Apply(const EdgeUpdate& up) {
+    const auto key = std::minmax(up.u, up.v);
+    if (up.kind == EdgeUpdateKind::kInsert) {
+      edges_.insert(key);
+    } else {
+      edges_.erase(key);
+    }
+  }
+
+  Graph Materialize() const {
+    GraphBuilder builder(n_);
+    for (const auto& [u, v] : edges_) builder.AddEdge(u, v);
+    return builder.Build();
+  }
+
+  /// Random mixed batch, valid against the mirrored state (and applied
+  /// to it): `deletes` existing edges and `inserts` absent pairs,
+  /// interleaved. Deleting near-random edges of one graph produces
+  /// heavily overlapping affected regions by construction.
+  EdgeUpdateBatch SampleBatch(Rng& rng, size_t size) {
+    EdgeUpdateBatch batch;
+    for (size_t i = 0; i < size; ++i) {
+      const bool remove = !edges_.empty() && rng.NextBool(0.5);
+      EdgeUpdate up;
+      if (remove) {
+        auto it = edges_.begin();
+        std::advance(it, static_cast<long>(rng.NextBounded(edges_.size())));
+        up = {it->first, it->second, EdgeUpdateKind::kDelete};
+      } else {
+        while (true) {
+          const auto u = static_cast<VertexId>(rng.NextBounded(n_));
+          const auto v = static_cast<VertexId>(rng.NextBounded(n_));
+          if (u != v && !edges_.contains(std::minmax(u, v))) {
+            up = {std::min(u, v), std::max(u, v), EdgeUpdateKind::kInsert};
+            break;
+          }
+        }
+      }
+      batch.Add(up);
+      Apply(up);
+    }
+    return batch;
+  }
+
+  size_t NumEdges() const { return edges_.size(); }
+
+ private:
+  VertexId n_;
+  std::set<std::pair<VertexId, VertexId>> edges_;
+};
+
+// --------------------------------------------------------- planner
+
+bool NeverCalled(VertexId, VertexId) {
+  ADD_FAILURE() << "membership oracle queried unexpectedly";
+  return false;
+}
+
+TEST(BatchPlannerTest, CoalescesCancelingPairs) {
+  EdgeUpdateBatch batch;
+  batch.Insert(1, 2);
+  batch.Delete(2, 1);  // cancels the insert (order-normalized)
+  batch.Insert(3, 4);
+  batch.Insert(3, 4);  // duplicate: redundant, not an error
+  batch.Delete(5, 6);
+  batch.Insert(5, 6);  // delete + reinsert: round trip, no net change
+  const auto plan = PlanBatch(batch, [](VertexId u, VertexId v) {
+    return u == 5 && v == 6;  // only {5,6} exists up front
+  });
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value().net_insertions,
+            (std::vector<std::pair<VertexId, VertexId>>{{3, 4}}));
+  EXPECT_TRUE(plan.value().net_deletions.empty());
+  EXPECT_EQ(plan.value().coalesced_updates, 5u);
+}
+
+TEST(BatchPlannerTest, RejectsMissingDeleteUpFront) {
+  EdgeUpdateBatch batch;
+  batch.Insert(0, 1);
+  batch.Delete(2, 3);  // never existed
+  const auto plan =
+      PlanBatch(batch, [](VertexId, VertexId) { return false; });
+  EXPECT_EQ(plan.status().code(), Status::Code::kNotFound);
+  // The message names the offending update so callers can pinpoint it.
+  EXPECT_NE(plan.status().ToString().find("update 1"), std::string::npos);
+
+  // A delete is valid when an earlier insert of the batch created the
+  // edge; a second delete of it is not.
+  EdgeUpdateBatch redelete;
+  redelete.Insert(2, 3);
+  redelete.Delete(2, 3);
+  redelete.Delete(2, 3);
+  EXPECT_EQ(PlanBatch(redelete, [](VertexId, VertexId) { return false; })
+                .status()
+                .code(),
+            Status::Code::kNotFound);
+}
+
+TEST(BatchPlannerTest, EmptyBatchNeverTouchesTheOracle) {
+  const auto plan = PlanBatch(EdgeUpdateBatch{}, NeverCalled);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().Empty());
+}
+
+// ------------------------------------------------- index batch semantics
+
+TEST(ApplyBatchTest, AtomicOnMissingDelete) {
+  const Graph g = GenerateCycle(8);
+  DynamicSpcIndex index(g, SmallBuildOptions(), NoRebuildOptions());
+  const uint64_t gen0 = index.Generation();
+
+  EdgeUpdateBatch bad;
+  bad.Insert(0, 4);
+  bad.Delete(1, 5);  // missing: the whole batch must reject up front
+  EXPECT_EQ(index.ApplyBatch(bad).code(), Status::Code::kNotFound);
+  EXPECT_EQ(index.NumEdges(), 8u);
+  EXPECT_FALSE(index.HasEdge(0, 4));
+  EXPECT_EQ(index.Generation(), gen0);
+  for (const auto& [s, t] : testing::AllPairs(8)) {
+    EXPECT_EQ(index.Query(s, t), BfsSpcPair(g, s, t));
+  }
+}
+
+TEST(ApplyBatchTest, CancelingPairsAreNoOps) {
+  const Graph g = GenerateCycle(8);
+  DynamicSpcIndex index(g, SmallBuildOptions(), NoRebuildOptions());
+  const uint64_t gen0 = index.Generation();
+
+  EdgeUpdateBatch noop;
+  noop.Insert(0, 4);
+  noop.Delete(0, 4);   // cancels
+  noop.Insert(0, 1);   // redundant: the cycle already has it
+  noop.Delete(2, 3);
+  noop.Insert(2, 3);   // round trip
+  ASSERT_TRUE(index.ApplyBatch(noop).ok());
+  EXPECT_EQ(index.Generation(), gen0);  // nothing net: nothing published
+  EXPECT_EQ(index.NumEdges(), 8u);
+  EXPECT_EQ(index.Stats().updates_coalesced, 5u);
+  EXPECT_EQ(index.Stats().TotalHubRuns(), 0u);  // the planner saw through it
+  for (const auto& [s, t] : testing::AllPairs(8)) {
+    EXPECT_EQ(index.Query(s, t), BfsSpcPair(g, s, t));
+  }
+}
+
+TEST(ApplyBatchTest, OneGenerationBumpPerBatch) {
+  const Graph g = GenerateErdosRenyi(32, 70, 7);
+  DynamicSpcIndex index(g, SmallBuildOptions(), NoRebuildOptions());
+  EdgeMirror mirror(g);
+  Rng rng(99);
+  const uint64_t gen0 = index.Generation();
+  const EdgeUpdateBatch batch = mirror.SampleBatch(rng, 12);
+  ASSERT_TRUE(index.ApplyBatch(batch).ok());
+  EXPECT_EQ(index.Generation(), gen0 + 1);
+}
+
+// ------------------------------------------------- oracle equivalence
+
+struct BatchCase {
+  std::string name;
+  Graph (*make)();
+  uint64_t seed;
+  int num_threads;      // for the batched index
+  bool parallel;
+};
+
+Graph MakeEr() { return GenerateErdosRenyi(48, 110, 21); }
+Graph MakeBa() { return GenerateBarabasiAlbert(48, 3, 22); }
+Graph MakeGrid() { return GenerateRoadGrid(7, 7, 0.9, 0.1, 23); }
+Graph MakeSparse() { return GenerateErdosRenyi(48, 40, 24); }  // fragmented
+Graph MakeLadder() { return GenerateDiamondLadder(5, 3); }     // tie-heavy
+
+const BatchCase kBatchCases[] = {
+    {"erdos_renyi_seq", &MakeEr, 601, 1, false},
+    {"erdos_renyi_par", &MakeEr, 601, 4, true},
+    {"barabasi_albert_seq", &MakeBa, 602, 1, false},
+    {"barabasi_albert_par", &MakeBa, 602, 4, true},
+    {"road_grid_par", &MakeGrid, 603, 4, true},
+    {"sparse_fragmented_par", &MakeSparse, 604, 4, true},
+    {"diamond_ladder_par", &MakeLadder, 605, 4, true},
+};
+
+class BatchOracleTest : public ::testing::TestWithParam<int> {
+ protected:
+  const BatchCase& Case() const { return kBatchCases[GetParam()]; }
+};
+
+// The central acceptance property of the coalesced path: applying a
+// mixed batch at once answers exactly like applying it update by
+// update, and both match a BFS on the final graph — across graph
+// families, with the parallel wave runner on and off. Regions of the
+// batch's deletions overlap heavily (they come from one 48-vertex
+// graph), so hub coalescing and multi-region escalation are exercised,
+// not just the disjoint fast path.
+TEST_P(BatchOracleTest, BatchedEqualsSequentialEqualsOracle) {
+  const Graph start = Case().make();
+  DynamicSpcIndex batched(start, SmallBuildOptions(),
+                          NoRebuildOptions(Case().num_threads,
+                                           Case().parallel));
+  DynamicSpcIndex sequential(start, SmallBuildOptions(), NoRebuildOptions());
+  EdgeMirror mirror(start);
+  Rng rng(Case().seed);
+
+  for (int round = 0; round < 6; ++round) {
+    const size_t size = round < 3 ? 8 : 20;  // small and larger batches
+    const EdgeUpdateBatch batch = mirror.SampleBatch(rng, size);
+    ASSERT_TRUE(batched.ApplyBatch(batch).ok())
+        << Case().name << " round " << round;
+    for (const EdgeUpdate& up : batch) {
+      // Sequential reference: strict single-update semantics, which
+      // SampleBatch guarantees are valid.
+      ASSERT_TRUE(sequential.Apply(up).ok())
+          << Case().name << " round " << round;
+    }
+    const Graph current = mirror.Materialize();
+    ASSERT_EQ(batched.NumEdges(), mirror.NumEdges());
+    for (const auto& [s, t] : testing::AllPairs(current.NumVertices())) {
+      const SpcResult oracle = BfsSpcPair(current, s, t);
+      ASSERT_EQ(batched.Query(s, t), oracle)
+          << Case().name << " round " << round << " batched pair (" << s
+          << "," << t << ")";
+      ASSERT_EQ(sequential.Query(s, t), oracle)
+          << Case().name << " round " << round << " sequential pair (" << s
+          << "," << t << ")";
+    }
+  }
+  EXPECT_EQ(batched.Stats().rebuilds, 0u);
+  // The point of coalescing: the batched index never launches more
+  // per-hub repairs than update-by-update application.
+  EXPECT_LE(batched.Stats().TotalHubRuns(),
+            sequential.Stats().TotalHubRuns());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, BatchOracleTest,
+    ::testing::Range(0, static_cast<int>(std::size(kBatchCases))),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return kBatchCases[info.param].name;
+    });
+
+// ------------------------------------------------- parallel wave path
+
+/// Several disconnected communities: deletions in different
+/// communities have disjoint affected regions, so the wave runner
+/// executes them concurrently (the TSan target — run with
+/// OMP_NUM_THREADS=1 under `-fsanitize=thread`, the std::thread pool
+/// is fully instrumented).
+Graph MakeCommunities(VertexId communities, VertexId size, EdgeId edges,
+                      uint64_t seed) {
+  GraphBuilder builder(communities * size);
+  for (VertexId c = 0; c < communities; ++c) {
+    const Graph part = GenerateErdosRenyi(size, edges, seed + c);
+    for (VertexId u = 0; u < size; ++u) {
+      for (const VertexId v : part.Neighbors(u)) {
+        if (u < v) builder.AddEdge(c * size + u, c * size + v);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+TEST(ParallelWaveTest, DisjointRegionsRepairConcurrently) {
+  const Graph start = MakeCommunities(6, 16, 34, 41);
+  DynamicSpcIndex index(start, SmallBuildOptions(),
+                        NoRebuildOptions(/*num_threads=*/4));
+  EdgeMirror mirror(start);
+  Rng rng(4242);
+
+  for (int round = 0; round < 4; ++round) {
+    // One deletion per community: pairwise disjoint affected regions.
+    EdgeUpdateBatch batch;
+    std::vector<std::pair<VertexId, VertexId>> live;
+    const Graph current = mirror.Materialize();
+    for (VertexId c = 0; c < 6; ++c) {
+      live.clear();
+      for (VertexId u = c * 16; u < (c + 1) * 16; ++u) {
+        for (const VertexId v : current.Neighbors(u)) {
+          if (u < v) live.push_back({u, v});
+        }
+      }
+      ASSERT_FALSE(live.empty());
+      const auto [u, v] = live[rng.NextBounded(live.size())];
+      batch.Delete(u, v);
+      mirror.Apply({u, v, EdgeUpdateKind::kDelete});
+    }
+    ASSERT_TRUE(index.ApplyBatch(batch).ok()) << "round " << round;
+
+    const Graph now = mirror.Materialize();
+    for (const auto& [s, t] : testing::AllPairs(now.NumVertices())) {
+      ASSERT_EQ(index.Query(s, t), BfsSpcPair(now, s, t))
+          << "round " << round << " pair (" << s << "," << t << ")";
+    }
+  }
+  // The disjoint communities must actually have exercised the
+  // staged-write wave path, not just the sequential fallback.
+  EXPECT_GT(index.Stats().parallel_waves, 0u);
+  EXPECT_GT(index.Stats().parallel_hub_runs, 0u);
+}
+
+TEST(ParallelWaveTest, OverlappingRegionsStayExact) {
+  // The adversarial counterpart: deletions clustered in one dense
+  // graph, so waves are short, claims collide, and the abort/defer
+  // fixup runs. Exactness must be independent of thread timing.
+  const Graph start = GenerateWattsStrogatz(64, 4, 0.3, 51);
+  DynamicSpcIndex index(start, SmallBuildOptions(),
+                        NoRebuildOptions(/*num_threads=*/4));
+  EdgeMirror mirror(start);
+  Rng rng(5151);
+
+  for (int round = 0; round < 5; ++round) {
+    const EdgeUpdateBatch batch = mirror.SampleBatch(rng, 14);
+    ASSERT_TRUE(index.ApplyBatch(batch).ok());
+    const Graph now = mirror.Materialize();
+    for (const auto& [s, t] : testing::AllPairs(now.NumVertices())) {
+      ASSERT_EQ(index.Query(s, t), BfsSpcPair(now, s, t))
+          << "round " << round << " pair (" << s << "," << t << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pspc

@@ -388,6 +388,11 @@ TEST(EdgeUpdateTest, ParseRejectsGarbage) {
             Status::Code::kCorruption);
   EXPECT_EQ(ParseUpdateStream("i 1\n").status().code(),
             Status::Code::kCorruption);
+  // Trailing garbage is corruption, not a silently accepted update.
+  EXPECT_EQ(ParseUpdateStream("i 1 2 junk\n").status().code(),
+            Status::Code::kCorruption);
+  EXPECT_EQ(ParseUpdateStream("d 3 4 5\n").status().code(),
+            Status::Code::kCorruption);
   EXPECT_EQ(LoadUpdateStream("/nonexistent/updates.txt").status().code(),
             Status::Code::kIOError);
 }

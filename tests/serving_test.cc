@@ -297,15 +297,27 @@ TEST(ServingEngineTest, FailedUpdateDoesNotPublish) {
   ServingEngine engine(index.get(), SmallEngineOptions());
   const uint64_t gen0 = engine.PublishedGeneration();
 
-  EXPECT_FALSE(engine.ApplyUpdate({0, 1, EdgeUpdateKind::kInsert}).ok());
+  // A redundant insert coalesces to a no-op batch: nothing changes,
+  // so nothing publishes.
+  EXPECT_TRUE(engine.ApplyUpdate({0, 1, EdgeUpdateKind::kInsert}).ok());
   EXPECT_EQ(engine.PublishedGeneration(), gen0);
 
-  // A failing batch still publishes its applied prefix.
+  // Batches are atomic: a delete of a missing edge rejects the whole
+  // batch up front — the valid insert before it must NOT apply, and
+  // no generation publishes.
   EdgeUpdateBatch updates;
   updates.Insert(0, 5);
-  updates.Insert(0, 1);  // duplicate: fails after the first applied
+  updates.Delete(0, 7);  // missing edge: the batch fails up front
   EXPECT_FALSE(engine.ApplyUpdates(updates).ok());
-  EXPECT_GT(engine.PublishedGeneration(), gen0);
+  EXPECT_EQ(engine.PublishedGeneration(), gen0);
+  EXPECT_EQ(engine.Submit(0, 5).get(), (SpcResult{5, 1}));
+
+  // The repaired batch applies and publishes exactly one generation.
+  EdgeUpdateBatch good;
+  good.Insert(0, 5);
+  good.Insert(0, 9);
+  EXPECT_TRUE(engine.ApplyUpdates(good).ok());
+  EXPECT_EQ(engine.PublishedGeneration(), gen0 + 1);
   EXPECT_EQ(engine.Submit(0, 5).get(), (SpcResult{1, 1}));
 }
 
