@@ -14,6 +14,17 @@
 // check is the ISSUE-2 acceptance bar — at 95/5 the engine must
 // sustain >= 5x the baseline's query throughput.
 //
+// After the mixed runs, a **publish-cost phase** drives an insert-heavy
+// batch stream through the real publish path (`SnapshotManager` +
+// `IndexSnapshot::Capture`) and reports, per publish, how many label
+// chunks had to be copied under the persistent chunked overlay versus
+// the map-copy baseline (which re-copied the whole overlay — exactly
+// `overlaid vertices` — every publish). The p50 copied count must stay
+// at the batch delta while the overlay keeps growing; the phase exits
+// non-zero if the p50 publish copies more than half the final overlay
+// (with enough batches for the comparison to mean anything) — the
+// bound the CI smoke asserts.
+//
 // Self-contained (WallTimer-based) so it builds without the
 // google-benchmark dependency the figure benches use:
 //
@@ -43,7 +54,9 @@
 #include "src/dynamic/dynamic_spc_index.h"
 #include "src/graph/generators.h"
 #include "src/label/query_engine.h"
+#include "src/serve/index_snapshot.h"
 #include "src/serve/serving_engine.h"
+#include "src/serve/snapshot_manager.h"
 
 namespace {
 
@@ -202,6 +215,95 @@ Row RunGlobalLock(const pspc::Graph& graph, const pspc::SpcIndex& index,
   return {"lock  ", write_share, loaders, result, mismatches};
 }
 
+// Insert-heavy publish-cost phase: `batches` atomic batches of
+// `batch_size` fresh edges each, one Publish per batch through the
+// real retire/reclaim path. Returns false when the p50 publish copies
+// more than half the final overlay — publish cost tracking the
+// *overlay* instead of the *batch delta* is the regression this
+// guards against.
+bool RunPublishCostPhase(const pspc::Graph& graph,
+                         const pspc::SpcIndex& index, size_t batches,
+                         size_t batch_size) {
+  pspc::DynamicOptions options;
+  options.rebuild_threshold = 1e18;  // repair-only: the overlay only grows
+  pspc::DynamicSpcIndex dynamic(graph, index, options);
+  pspc::SnapshotManager manager(pspc::IndexSnapshot::Capture(dynamic));
+
+  const pspc::VertexId n = graph.NumVertices();
+  pspc::Rng rng(0xdeed);
+  std::vector<double> copied, publish_ms;
+  size_t map_copy_cost = 0;  // sum of per-publish whole-overlay copies
+  for (size_t b = 0; b < batches; ++b) {
+    pspc::EdgeUpdateBatch batch;
+    while (batch.Size() < batch_size) {
+      const auto u = static_cast<pspc::VertexId>(rng.NextBounded(n));
+      const auto v = static_cast<pspc::VertexId>(rng.NextBounded(n));
+      if (u == v || dynamic.HasEdge(u, v)) continue;
+      batch.Insert(u, v);
+    }
+    if (!dynamic.ApplyBatch(batch).ok()) {
+      std::printf("publish-cost phase: ApplyBatch FAILED\n");
+      return false;
+    }
+    pspc::WallTimer timer;
+    manager.Publish(pspc::IndexSnapshot::Capture(dynamic));
+    publish_ms.push_back(timer.ElapsedMillis());
+    copied.push_back(
+        static_cast<double>(manager.LastPublishCopiedVertices()));
+    map_copy_cost += dynamic.Overlay().OverlaidVertices();
+  }
+
+  const size_t final_overlaid = dynamic.Overlay().OverlaidVertices();
+  const double p50_copied = pspc::Percentile(copied, 0.5);
+  const double p95_copied = pspc::Percentile(copied, 0.95);
+  std::printf(
+      "\npublish cost, insert-heavy (%zu batches x %zu inserts):\n"
+      "  copied vertices/publish: p50 %.0f, p95 %.0f  "
+      "(publish p50 %.3f ms)\n"
+      "  map-copy baseline would have copied %zu vertices total; the "
+      "chunked overlay copied %zu (%.1fx less)\n"
+      "  final overlay: %zu vertices\n",
+      batches, batch_size, p50_copied, p95_copied,
+      pspc::Percentile(publish_ms, 0.5), map_copy_cost,
+      manager.TotalPublishCopiedVertices(),
+      manager.TotalPublishCopiedVertices() == 0
+          ? 0.0
+          : static_cast<double>(map_copy_cost) /
+                static_cast<double>(manager.TotalPublishCopiedVertices()),
+      final_overlaid);
+
+  // Quiesce oracle on the final published generation.
+  const pspc::Graph current = dynamic.MaterializeGraph();
+  size_t mismatches = 0;
+  {
+    const pspc::SnapshotRef snapshot = manager.Acquire();
+    for (const auto& [s, t] : pspc::MakeRandomQueries(n, 16, 0x0c2e)) {
+      if (snapshot->Query(s, t) != pspc::BfsSpcPair(current, s, t)) {
+        ++mismatches;
+      }
+    }
+  }
+  if (mismatches != 0) {
+    std::printf("  oracle: %zu mismatches  <-- CORRECTNESS BUG\n",
+                mismatches);
+    return false;
+  }
+
+  // The bound: per-publish cost must track the batch delta, not the
+  // accumulated overlay. Enforced only once the overlay is large
+  // enough that the distinction exists.
+  if (batches >= 16 && final_overlaid >= 64 &&
+      2.0 * p50_copied > static_cast<double>(final_overlaid)) {
+    std::printf("  p50 publish copied %.0f of %zu overlaid vertices "
+                "(NOT O(batch delta)!)\n",
+                p50_copied, final_overlaid);
+    return false;
+  }
+  std::printf("  p50 publish copies the batch delta (bound met), "
+              "oracle exact\n");
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -270,10 +372,18 @@ int main(int argc, char** argv) {
                                   : "(BELOW the 5x target!)");
   std::printf("oracle: %zu mismatches%s\n", total_mismatches,
               total_mismatches == 0 ? "" : "  <-- CORRECTNESS BUG");
+
+  // Publish-cost phase: insert-heavy, enough batches that the overlay
+  // dwarfs a single batch's blast radius; always enforced (the bound
+  // is scale-independent — it compares the delta to the overlay).
+  const bool publish_ok =
+      RunPublishCostPhase(graph, built.index, /*batches=*/24,
+                          /*batch_size=*/8);
+
   // The third argument makes the speedup bar enforceable where the
   // configuration warrants it (the CI smoke passes 5); unconditional
   // enforcement would false-fail tiny scales, where repairs are too
   // fast for the lock baseline to collapse.
   if (required_speedup > 0.0 && best_speedup < required_speedup) return 1;
-  return total_mismatches == 0 ? 0 : 1;
+  return total_mismatches == 0 && publish_ok ? 0 : 1;
 }

@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -70,6 +71,37 @@ int Usage() {
   return 2;
 }
 
+// Strict numeric flag parsing: `--batch-size 0`, `--workers x`, or a
+// trailing-garbage value like `--loaders 2q` is a usage error, not a
+// silently clamped (or zero) configuration.
+bool ParseIntFlag(const char* flag, const char* text, long long min_value,
+                  long long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || value < min_value) {
+    std::fprintf(stderr, "%s expects an integer >= %lld (got '%s')\n", flag,
+                 min_value, text);
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const char* text, double min_value,
+                     double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0' || !(value >= min_value)) {
+    std::fprintf(stderr, "%s expects a number >= %g (got '%s')\n", flag,
+                 min_value, text);
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
 bool LoadGraphArg(const std::string& arg, pspc::Graph* out) {
   if (arg.rfind("dataset:", 0) == 0) {
     *out = pspc::DatasetByCode(arg.substr(8)).build(1);
@@ -109,7 +141,10 @@ int CmdBuild(int argc, char** argv) {
         return Usage();
       }
     } else if (flag == "--threads" && i + 1 < argc) {
-      options.num_threads = std::atoi(argv[++i]);
+      // 0 = all cores (the BuildOptions default).
+      long long threads = 0;
+      if (!ParseIntFlag("--threads", argv[++i], 0, &threads)) return Usage();
+      options.num_threads = static_cast<int>(threads);
     } else {
       return Usage();
     }
@@ -219,10 +254,14 @@ int CmdUpdate(int argc, char** argv) {
     if (flag == "--update-stream" && i + 1 < argc) {
       stream_path = argv[++i];
     } else if (flag == "--rebuild-threshold" && i + 1 < argc) {
-      options.rebuild_threshold = std::atof(argv[++i]);
+      if (!ParseDoubleFlag("--rebuild-threshold", argv[++i], 0.0,
+                           &options.rebuild_threshold)) {
+        return Usage();
+      }
     } else if (flag == "--batch-size" && i + 1 < argc) {
-      const long long value = std::atoll(argv[++i]);
-      batch_size = value < 1 ? 1 : static_cast<size_t>(value);
+      long long value = 0;
+      if (!ParseIntFlag("--batch-size", argv[++i], 1, &value)) return Usage();
+      batch_size = static_cast<size_t>(value);
     } else if (flag == "--save" && i + 1 < argc) {
       save_path = argv[++i];
     } else {
@@ -337,22 +376,35 @@ int CmdServe(int argc, char** argv) {
   for (int i = 4; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--duration-seconds" && i + 1 < argc) {
-      duration_seconds = std::atof(argv[++i]);
+      if (!ParseDoubleFlag("--duration-seconds", argv[++i], 0.0,
+                           &duration_seconds)) {
+        return Usage();
+      }
     } else if (flag == "--write-share" && i + 1 < argc) {
-      write_share = std::atof(argv[++i]);
+      if (!ParseDoubleFlag("--write-share", argv[++i], 0.0, &write_share)) {
+        return Usage();
+      }
     } else if (flag == "--workers" && i + 1 < argc) {
-      workers = std::atoi(argv[++i]);
+      // 0 = one worker per core (the ServingOptions default).
+      long long value = 0;
+      if (!ParseIntFlag("--workers", argv[++i], 0, &value)) return Usage();
+      workers = static_cast<int>(value);
     } else if (flag == "--loaders" && i + 1 < argc) {
-      loaders = std::atoi(argv[++i]);
+      long long value = 0;
+      if (!ParseIntFlag("--loaders", argv[++i], 1, &value)) return Usage();
+      loaders = static_cast<int>(value);
     } else if (flag == "--batch" && i + 1 < argc) {
-      // Clamp like --loaders: a negative value must not wrap to 2^64.
-      const long long value = std::atoll(argv[++i]);
-      batch = value < 1 ? 1 : static_cast<size_t>(value);
+      long long value = 0;
+      if (!ParseIntFlag("--batch", argv[++i], 1, &value)) return Usage();
+      batch = static_cast<size_t>(value);
     } else if (flag == "--batch-size" && i + 1 < argc) {
-      const long long value = std::atoll(argv[++i]);
-      write_batch = value < 1 ? 1 : static_cast<size_t>(value);
+      long long value = 0;
+      if (!ParseIntFlag("--batch-size", argv[++i], 1, &value)) return Usage();
+      write_batch = static_cast<size_t>(value);
     } else if (flag == "--seed" && i + 1 < argc) {
-      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+      long long value = 0;
+      if (!ParseIntFlag("--seed", argv[++i], 0, &value)) return Usage();
+      seed = static_cast<uint64_t>(value);
     } else if (flag == "--update-stream" && i + 1 < argc) {
       stream_path = argv[++i];
     } else if (flag == "--no-cache") {
@@ -361,8 +413,6 @@ int CmdServe(int argc, char** argv) {
       return Usage();
     }
   }
-  if (loaders < 1) loaders = 1;
-  if (write_share < 0.0) write_share = 0.0;
   if (write_share > 0.95) write_share = 0.95;
 
   pspc::EdgeUpdateBatch stream;

@@ -887,8 +887,9 @@ bool DynamicSpcIndex::RepairHubAfterDeletion(
         for (const VertexId v : to_erase) costs.push_back(Labels(v).size());
         const SchedulePlan plan = PlanIteration(
             ScheduleKind::kCostAware, to_erase, costs, order_.VertexToRank());
-        // Copy-on-write materialization touches the overlay map and
-        // stays sequential; the erases themselves are independent.
+        // Copy-on-write materialization touches the overlay's shared
+        // spine (root/page/chunk unsharing) and stays sequential; the
+        // erases themselves hit disjoint private chunks.
         std::vector<std::vector<LabelEntry>*> lists;
         lists.reserve(plan.sequence.size());
         for (const VertexId v : plan.sequence) {

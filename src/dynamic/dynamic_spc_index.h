@@ -11,9 +11,9 @@
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/core/build_options.h"
+#include "src/dynamic/chunked_overlay.h"
 #include "src/dynamic/dynamic_graph.h"
 #include "src/dynamic/edge_update.h"
-#include "src/dynamic/label_overlay.h"
 #include "src/graph/graph.h"
 #include "src/label/spc_index.h"
 #include "src/order/vertex_order.h"
@@ -21,8 +21,8 @@
 /// Incremental maintenance of the ESPC 2-hop index under edge churn.
 ///
 /// `DynamicSpcIndex` wraps an immutable CSR `SpcIndex` with a
-/// copy-on-write label overlay and repairs labels in place of the
-/// full-rebuild the static pipeline would need:
+/// persistent chunked label overlay (`chunked_overlay.h`) and repairs
+/// labels in place of the full-rebuild the static pipeline would need:
 ///
 ///  * **Insertion** `{a, b}` — every changed label pair `(v, h)` gains
 ///    a new shortest trough path crossing the edge, whose hub-side
@@ -94,8 +94,10 @@
 /// are internal. Concurrent serving goes through `src/serve/`: a
 /// writer thread applies updates here and publishes immutable
 /// `IndexSnapshot` generations (captured via `Generation()`,
-/// `SharedBaseIndex()` and `Overlay()`), which readers query without
-/// ever touching this object.
+/// `SharedBaseIndex()` and `CaptureOverlay()`), which readers query
+/// without ever touching this object. Capture is O(delta since the
+/// previous capture): it freezes the chunked overlay by structural
+/// sharing instead of deep-copying it.
 namespace pspc {
 
 struct DynamicOptions {
@@ -210,8 +212,13 @@ class DynamicSpcIndex {
   /// an epoch still reading them.
   std::shared_ptr<const SpcIndex> SharedBaseIndex() const { return base_; }
 
-  /// The copy-on-write overlay (snapshot capture copies its map).
-  const LabelOverlay& Overlay() const { return overlay_; }
+  /// Freezes the overlay into a structurally shared view and advances
+  /// its capture boundary (`ChunkedOverlay::Capture`). Writer thread
+  /// only — `IndexSnapshot::Capture` is the one intended caller.
+  OverlayView CaptureOverlay() { return overlay_.Capture(); }
+
+  /// The live chunked overlay (diagnostics: overlaid/copied counts).
+  const ChunkedOverlay& Overlay() const { return overlay_; }
 
   const SpcIndex& BaseIndex() const { return *base_; }
   const VertexOrder& Order() const { return order_; }
@@ -249,7 +256,7 @@ class DynamicSpcIndex {
   };
   class LabelWriteSink {
    public:
-    explicit LabelWriteSink(LabelOverlay* live) : live_(live) {}
+    explicit LabelWriteSink(ChunkedOverlay* live) : live_(live) {}
     explicit LabelWriteSink(std::vector<StagedLabelOp>* staged)
         : staged_(staged) {}
 
@@ -283,7 +290,7 @@ class DynamicSpcIndex {
     }
 
    private:
-    LabelOverlay* live_ = nullptr;
+    ChunkedOverlay* live_ = nullptr;
     std::vector<StagedLabelOp>* staged_ = nullptr;
   };
 
@@ -428,7 +435,7 @@ class DynamicSpcIndex {
   std::shared_ptr<const SpcIndex> base_;
   VertexOrder order_;
   DynamicGraph graph_;
-  LabelOverlay overlay_;
+  ChunkedOverlay overlay_;
   DynamicOptions options_;
   DynamicStats stats_;
   uint64_t generation_ = 0;

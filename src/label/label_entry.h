@@ -2,7 +2,9 @@
 #define PSPC_SRC_LABEL_LABEL_ENTRY_H_
 
 #include <algorithm>
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "src/common/types.h"
 
@@ -37,6 +39,34 @@ inline size_t FindHubEntry(std::span<const LabelEntry> list, Rank hub_rank) {
     return static_cast<size_t>(it - list.begin());
   }
   return list.size();
+}
+
+/// One vertex's rank-sorted label list as a shareable unit — the
+/// building block of the persistent chunked overlay (see
+/// `src/dynamic/chunked_overlay.h`). A chunk is mutable only while its
+/// single writer privately owns it; once a snapshot capture aliases it
+/// the writer clones before the next write, so every chunk a reader
+/// can reach is frozen. `shared_ptr` ownership is what makes snapshot
+/// publication O(delta): unchanged vertices alias the previous
+/// generation's chunk instead of being re-copied.
+struct LabelChunk {
+  std::vector<LabelEntry> entries;
+};
+
+using LabelChunkPtr = std::shared_ptr<LabelChunk>;
+
+/// A fresh chunk holding a copy of `entries` (typically a base-index
+/// CSR span being pulled out-of-line on first repair touch).
+inline LabelChunkPtr MakeLabelChunk(std::span<const LabelEntry> entries) {
+  auto chunk = std::make_shared<LabelChunk>();
+  chunk->entries.assign(entries.begin(), entries.end());
+  return chunk;
+}
+
+/// Read-only view of a chunk's entries, the same shape every other
+/// label container exposes.
+inline std::span<const LabelEntry> ChunkSpan(const LabelChunk& chunk) {
+  return {chunk.entries.data(), chunk.entries.size()};
 }
 
 }  // namespace pspc

@@ -18,15 +18,53 @@ size_t EpochManager::Enter() {
       return i;
     }
   }
-  PSPC_CHECK_MSG(false, "all " << kMaxSlots
-                               << " epoch slots pinned simultaneously");
-  return 0;  // unreachable
+  // Every lock-free slot is pinned: take an overflow pin rather than
+  // abort. Each overflow reader records its own entry epoch so the
+  // reclaimer's minimum keeps advancing as old readers leave, even
+  // under sustained oversubscription. Recording `epoch` (loaded before
+  // the sweep) is sound even if the global epoch has advanced since —
+  // an older pin only makes reclamation more conservative, never less.
+  std::lock_guard<std::mutex> lock(overflow_mu_);
+  size_t idx = overflow_epochs_.size();
+  for (size_t i = 0; i < overflow_epochs_.size(); ++i) {
+    if (overflow_epochs_[i] == 0) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == overflow_epochs_.size()) overflow_epochs_.push_back(0);
+  overflow_epochs_[idx] = epoch;
+  overflow_pins_.fetch_add(1, std::memory_order_relaxed);
+  RefreshOverflowMin();
+  return kMaxSlots + idx;
 }
 
 void EpochManager::Exit(size_t slot) {
+  if (IsOverflowSlot(slot)) {
+    const size_t idx = slot - kMaxSlots;
+    std::lock_guard<std::mutex> lock(overflow_mu_);
+    PSPC_CHECK(idx < overflow_epochs_.size() &&
+               overflow_epochs_[idx] != 0);
+    overflow_epochs_[idx] = 0;
+    overflow_pins_.fetch_sub(1, std::memory_order_relaxed);
+    RefreshOverflowMin();
+    return;
+  }
   PSPC_CHECK(slot < kMaxSlots);
   PSPC_CHECK(slots_[slot].value.load(std::memory_order_relaxed) != 0);
   slots_[slot].value.store(0, std::memory_order_seq_cst);
+}
+
+void EpochManager::RefreshOverflowMin() {
+  uint64_t min = 0;
+  for (const uint64_t e : overflow_epochs_) {
+    if (e != 0 && (min == 0 || e < min)) min = e;
+  }
+  // seq_cst for the writer-scan argument: if the post-swap scan read 0
+  // here, every overflow reader's epoch store (this refresh, under the
+  // entering reader's lock) came after it, so that reader's snapshot
+  // load saw the post-swap pointer.
+  overflow_min_.store(min, std::memory_order_seq_cst);
 }
 
 uint64_t EpochManager::AdvanceEpoch() {
@@ -35,6 +73,8 @@ uint64_t EpochManager::AdvanceEpoch() {
 
 uint64_t EpochManager::MinActiveEpoch() const {
   uint64_t min = kNoActiveReader;
+  const uint64_t overflow = overflow_min_.load(std::memory_order_seq_cst);
+  if (overflow != 0) min = overflow;
   for (const Slot& slot : slots_) {
     const uint64_t value = slot.value.load(std::memory_order_seq_cst);
     if (value != 0 && value < min) min = value;
@@ -43,7 +83,7 @@ uint64_t EpochManager::MinActiveEpoch() const {
 }
 
 size_t EpochManager::ActiveReaders() const {
-  size_t active = 0;
+  size_t active = overflow_pins_.load(std::memory_order_seq_cst);
   for (const Slot& slot : slots_) {
     if (slot.value.load(std::memory_order_seq_cst) != 0) ++active;
   }

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 /// Epoch-based reclamation for the serving subsystem.
 ///
@@ -17,21 +19,40 @@
 /// swap that retired it, so its slot records an epoch `< e` — once
 /// `min(active slots) >= e`, nobody can be reading the pointee.
 ///
-/// Readers take no locks and never wait: Enter is one load plus a CAS
-/// on a free slot (first-fit from a per-thread hint, so steady-state
-/// re-entry is a single CAS), Exit is one store. All cross-thread
-/// operations are seq_cst — the slot-scan soundness argument ("if the
-/// writer's scan saw the slot empty, the reader's snapshot load
-/// happened after the writer's swap") needs a total order, and the
-/// cost is irrelevant next to the micro-batch of queries each pin
-/// amortizes over.
+/// Readers take no locks and never wait on the fast path: Enter is one
+/// load plus a CAS on a free slot (first-fit from a per-thread hint,
+/// so steady-state re-entry is a single CAS), Exit is one store. All
+/// cross-thread operations are seq_cst — the slot-scan soundness
+/// argument ("if the writer's scan saw the slot empty, the reader's
+/// snapshot load happened after the writer's swap") needs a total
+/// order, and the cost is irrelevant next to the micro-batch of
+/// queries each pin amortizes over.
+///
+/// When every lock-free slot is simultaneously pinned (pins, not
+/// threads — one thread holding many refs occupies many slots), Enter
+/// falls back to mutex-guarded *overflow pins* instead of aborting:
+/// each excess reader records its own entry epoch in an overflow
+/// table, and the cached minimum over the table is what the reclaimer
+/// sees. Tracking epochs per overflow reader (rather than one shared
+/// pin) keeps reclamation live under sustained oversubscription — the
+/// minimum advances as old overflow readers leave, even if the table
+/// never empties. The seq_cst publication of that minimum gives the
+/// writer's post-swap scan the same guarantee as a regular slot. The
+/// overflow path serializes on its mutex, so it is a graceful-
+/// degradation valve, not extra capacity; kMaxSlots is sized so real
+/// workloads never reach it.
 namespace pspc {
 
 class EpochManager {
  public:
-  /// Upper bound on simultaneously pinned readers, not threads: a
-  /// thread occupies a slot only between Enter and Exit.
+  /// Lock-free reader slots; pins beyond this go to the overflow
+  /// table and get slot tokens >= kMaxSlots.
   static constexpr size_t kMaxSlots = 512;
+
+  /// True iff `slot` (a token Enter returned) is an overflow pin.
+  static constexpr bool IsOverflowSlot(size_t slot) {
+    return slot >= kMaxSlots;
+  }
 
   /// MinActiveEpoch() when no reader is pinned.
   static constexpr uint64_t kNoActiveReader = UINT64_MAX;
@@ -45,7 +66,8 @@ class EpochManager {
   }
 
   /// Pins the calling thread at the current epoch; returns the slot to
-  /// pass to Exit. Aborts if kMaxSlots readers are already pinned.
+  /// pass to Exit. Never fails: with all kMaxSlots lock-free slots
+  /// pinned it degrades to a mutex-guarded overflow pin (see above).
   size_t Enter();
 
   /// Releases a slot returned by Enter.
@@ -67,8 +89,21 @@ class EpochManager {
     std::atomic<uint64_t> value{0};  // 0 = free, else pinned epoch
   };
 
+  // Recomputes overflow_min_ from the table. Call under overflow_mu_.
+  void RefreshOverflowMin();
+
   std::atomic<uint64_t> epoch_{1};
   std::array<Slot, kMaxSlots> slots_{};
+
+  // Overflow pins: entry i of the table holds overflow reader
+  // (kMaxSlots + i)'s entry epoch, 0 = free. `overflow_min_` caches
+  // the minimum non-zero entry (0 = table empty) so MinActiveEpoch
+  // can read it from the writer without the lock; the mutex
+  // serializes table updates against that cache refresh.
+  std::mutex overflow_mu_;
+  std::vector<uint64_t> overflow_epochs_;  // guarded by overflow_mu_
+  std::atomic<size_t> overflow_pins_{0};   // mutated under overflow_mu_
+  std::atomic<uint64_t> overflow_min_{0};  // mutated under overflow_mu_
 };
 
 }  // namespace pspc

@@ -7,10 +7,10 @@
 namespace pspc {
 
 std::unique_ptr<const IndexSnapshot> IndexSnapshot::Capture(
-    const DynamicSpcIndex& index) {
+    DynamicSpcIndex& index) {
   auto snapshot = std::unique_ptr<IndexSnapshot>(new IndexSnapshot());
   snapshot->base_ = index.SharedBaseIndex();
-  snapshot->overlay_ = index.Overlay().Map();
+  snapshot->overlay_ = index.CaptureOverlay();
   snapshot->generation_ = index.Generation();
   snapshot->num_vertices_ = index.NumVertices();
   snapshot->num_edges_ = index.NumEdges();

@@ -4,33 +4,40 @@
 #include <cstdint>
 #include <memory>
 #include <span>
-#include <unordered_map>
-#include <vector>
 
 #include "src/common/types.h"
+#include "src/dynamic/chunked_overlay.h"
 #include "src/label/label_entry.h"
 #include "src/label/spc_index.h"
 
 /// An immutable, queryable freeze of a `DynamicSpcIndex` generation.
 ///
 /// Capture shares the base CSR (a `shared_ptr`, so a later staleness
-/// rebuild cannot free it while an epoch still reads it) and deep-copies
-/// the copy-on-write overlay — only the vertices repairs have touched,
-/// which is exactly the part of the label state the writer keeps
-/// mutating. After construction a snapshot is never written again, so
-/// any number of reader threads may query it without synchronization;
-/// answers are exact for the graph as of the captured generation.
+/// rebuild cannot free it while an epoch still reads it) and freezes
+/// the persistent chunked overlay into an `OverlayView`: one
+/// `shared_ptr` copy of the page directory, under which every vertex
+/// untouched since the previous capture aliases the prior snapshot's
+/// label chunk. Capture cost is therefore O(vertices repaired since
+/// the last capture), not O(overlay) — the map-copy design this
+/// replaced deep-copied every overlaid vertex on every publish. After
+/// construction a snapshot is never written again (the writer unshares
+/// chunks before mutating them), so any number of reader threads may
+/// query it without synchronization; answers are exact for the graph
+/// as of the captured generation. Destroying a snapshot releases its
+/// page and chunk references, which is how retired generations give
+/// their memory back (see `SnapshotManager::Reclaim`).
 namespace pspc {
 
 class DynamicSpcIndex;
 
 class IndexSnapshot {
  public:
-  /// Freezes the current labels of `index`. Must be called from the
-  /// thread that owns the index's write path (the same thread of
-  /// control that applies updates).
+  /// Freezes the current labels of `index` and advances the overlay's
+  /// capture boundary. Must be called from the thread that owns the
+  /// index's write path (the same thread of control that applies
+  /// updates).
   static std::unique_ptr<const IndexSnapshot> Capture(
-      const DynamicSpcIndex& index);
+      DynamicSpcIndex& index);
 
   /// Distance and exact shortest-path count on the captured graph
   /// generation — the same merge kernel as every other label container.
@@ -38,9 +45,8 @@ class IndexSnapshot {
 
   /// Labels of `v` as of the capture, rank-sorted.
   std::span<const LabelEntry> Labels(VertexId v) const {
-    const auto it = overlay_.find(v);
-    if (it == overlay_.end()) return base_->Labels(v);
-    return {it->second.data(), it->second.size()};
+    const LabelChunk* chunk = overlay_.Chunk(v);
+    return chunk != nullptr ? ChunkSpan(*chunk) : base_->Labels(v);
   }
 
   /// Generation counter of the captured index state.
@@ -49,14 +55,19 @@ class IndexSnapshot {
   VertexId NumVertices() const { return num_vertices_; }
   EdgeId NumEdges() const { return num_edges_; }
 
-  /// Vertices held out-of-line (capture cost diagnostic).
-  size_t OverlaidVertices() const { return overlay_.size(); }
+  /// Vertices held out-of-line as of the capture.
+  size_t OverlaidVertices() const { return overlay_.OverlaidVertices(); }
+
+  /// Vertices whose label chunk was (re)copied since the previous
+  /// capture — the publish-cost delta this snapshot actually paid.
+  /// Everything else aliases the prior snapshot's chunks.
+  size_t CopiedVertices() const { return overlay_.CopiedVertices(); }
 
  private:
   IndexSnapshot() = default;
 
   std::shared_ptr<const SpcIndex> base_;
-  std::unordered_map<VertexId, std::vector<LabelEntry>> overlay_;
+  OverlayView overlay_;
   uint64_t generation_ = 0;
   VertexId num_vertices_ = 0;
   EdgeId num_edges_ = 0;

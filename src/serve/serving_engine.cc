@@ -17,7 +17,10 @@ std::string ServingCounters::ToString() const {
       << "writes:  " << updates_applied << " updates, "
       << generations_published << " generations published\n"
       << "epochs:  " << snapshots_reclaimed << " snapshots reclaimed, "
-      << snapshots_retired_pending << " retired pending";
+      << snapshots_retired_pending << " retired pending\n"
+      << "publish: " << publish_copied_vertices_total
+      << " label chunks copied total, " << publish_copied_vertices_last
+      << " on the last publish";
   return oss.str();
 }
 
@@ -153,6 +156,10 @@ ServingCounters ServingEngine::Counters() const {
     counters.generations_published = publishes_;
     counters.snapshots_reclaimed = snapshots_.ReclaimedCount();
     counters.snapshots_retired_pending = snapshots_.RetiredCount();
+    counters.publish_copied_vertices_last =
+        snapshots_.LastPublishCopiedVertices();
+    counters.publish_copied_vertices_total =
+        snapshots_.TotalPublishCopiedVertices();
   }
   return counters;
 }

@@ -61,6 +61,12 @@ struct ServingCounters {
   uint64_t generations_published = 0;
   uint64_t snapshots_reclaimed = 0;
   uint64_t snapshots_retired_pending = 0;
+  /// Publish cost in vertices whose label chunk had to be copied —
+  /// O(delta since the previous publish) under the persistent chunked
+  /// overlay, vs the whole overlay per publish under the retired
+  /// map-copy design.
+  uint64_t publish_copied_vertices_last = 0;
+  uint64_t publish_copied_vertices_total = 0;
 
   std::string ToString() const;
 };

@@ -29,6 +29,8 @@ SnapshotRef SnapshotManager::Acquire() const {
 
 void SnapshotManager::Publish(std::unique_ptr<const IndexSnapshot> next) {
   PSPC_CHECK(next != nullptr);
+  copied_last_ = next->CopiedVertices();
+  copied_total_ += copied_last_;
   const IndexSnapshot* old =
       current_.exchange(next.release(), std::memory_order_seq_cst);
   // Swap before advancing: any reader that still holds `old` pinned at

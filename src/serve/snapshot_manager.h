@@ -85,7 +85,10 @@ class SnapshotManager {
 
   /// Writer-side (externally serialized): makes `next` the current
   /// snapshot, retires the previous one, and reclaims every retired
-  /// generation no pinned reader can still see.
+  /// generation no pinned reader can still see. Reclaiming deletes the
+  /// snapshot, which releases its overlay page and label-chunk
+  /// references — chunks shared with newer generations live on;
+  /// chunks only the retired generation could reach are freed here.
   void Publish(std::unique_ptr<const IndexSnapshot> next);
 
   /// Generation of the currently published snapshot.
@@ -96,6 +99,13 @@ class SnapshotManager {
 
   /// Generations freed so far (writer thread only).
   size_t ReclaimedCount() const { return reclaimed_; }
+
+  /// Publish-cost bookkeeping (writer thread only): vertices whose
+  /// label chunk the most recent / every Publish had to copy — the
+  /// O(delta) the persistent overlay buys (the map-copy design paid
+  /// the whole overlay per publish).
+  size_t LastPublishCopiedVertices() const { return copied_last_; }
+  size_t TotalPublishCopiedVertices() const { return copied_total_; }
 
   /// Currently pinned readers (diagnostics).
   size_t ActiveReaders() const { return epochs_.ActiveReaders(); }
@@ -112,6 +122,8 @@ class SnapshotManager {
   std::atomic<const IndexSnapshot*> current_;
   std::vector<Retired> retired_;  // writer thread only
   size_t reclaimed_ = 0;          // writer thread only
+  size_t copied_last_ = 0;        // writer thread only
+  size_t copied_total_ = 0;       // writer thread only
 };
 
 }  // namespace pspc

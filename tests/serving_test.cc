@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -112,7 +114,188 @@ TEST(IndexSnapshotTest, SurvivesIndexRebuild) {
             index->Query(3, 77));
 }
 
+// Publish-cost regression for the persistent chunked overlay: on an
+// insert-heavy stream each capture must copy only the vertices
+// repaired since the previous capture (the batch delta), never the
+// whole accumulated overlay — the O(overlay) map-copy behavior this
+// design replaced. Structural sharing is asserted at the pointer
+// level: an unchanged vertex's label span must alias the previous
+// snapshot's chunk byte-for-byte *and* address-for-address.
+TEST(IndexSnapshotTest, InsertHeavyPublishCopiesDeltaNotOverlay) {
+  constexpr VertexId kN = 600;
+  constexpr int kBatches = 24;
+  constexpr size_t kPerBatch = 3;
+  const Graph graph = GenerateBarabasiAlbert(kN, 3, 41);
+  auto index = MakeIndex(graph);  // repair-only: the overlay only grows
+
+  Rng rng(4141);
+  std::vector<std::unique_ptr<const IndexSnapshot>> snaps;
+  snaps.push_back(IndexSnapshot::Capture(*index));
+  std::vector<size_t> copied, overlaid;
+  Graph first_batch_graph;  // graph state snaps[1] was captured at
+  for (int b = 0; b < kBatches; ++b) {
+    EdgeUpdateBatch batch;
+    while (batch.Size() < kPerBatch) {
+      const auto u = static_cast<VertexId>(rng.NextBounded(kN));
+      const auto v = static_cast<VertexId>(rng.NextBounded(kN));
+      if (u == v || index->HasEdge(u, v)) continue;
+      batch.Insert(u, v);
+    }
+    ASSERT_TRUE(index->ApplyBatch(batch).ok());
+    snaps.push_back(IndexSnapshot::Capture(*index));
+    if (b == 0) first_batch_graph = index->MaterializeGraph();
+    copied.push_back(snaps.back()->CopiedVertices());
+    overlaid.push_back(snaps.back()->OverlaidVertices());
+
+    // The copied count must be exactly the per-batch delta: the set of
+    // vertices whose label chunk no longer aliases the previous
+    // snapshot's. Both snapshots are alive here, so a cloned chunk can
+    // never coincidentally reuse the old chunk's storage.
+    const IndexSnapshot& prev = *snaps[snaps.size() - 2];
+    const IndexSnapshot& cur = *snaps.back();
+    size_t unshared = 0;
+    for (VertexId v = 0; v < kN; ++v) {
+      if (cur.Labels(v).data() != prev.Labels(v).data()) ++unshared;
+    }
+    EXPECT_EQ(unshared, copied.back()) << "batch " << b;
+    EXPECT_LE(copied.back(), overlaid.back());
+  }
+
+  // The overlay grew across the stream while the per-publish copy cost
+  // stayed at the batch delta: in the second half of the stream every
+  // publish copies well under the full overlay (the map-copy baseline
+  // cost), and in aggregate the delta captures copy less than half of
+  // what per-publish overlay copies would have.
+  ASSERT_GE(overlaid.back(), 100u);
+  size_t delta_sum = 0, map_copy_sum = 0;
+  for (int b = kBatches / 2; b < kBatches; ++b) {
+    const auto i = static_cast<size_t>(b);
+    EXPECT_LT(copied[i], overlaid[i]) << "batch " << b;
+    delta_sum += copied[i];
+    map_copy_sum += overlaid[i];
+  }
+  EXPECT_LT(2 * delta_sum, map_copy_sum);
+
+  // A capture with nothing in between copies nothing and aliases all.
+  const auto idle = IndexSnapshot::Capture(*index);
+  EXPECT_EQ(idle->CopiedVertices(), 0u);
+
+  // Quiesce oracle: the final snapshot (and the live index) answer
+  // exactly for the current graph.
+  const Graph current = index->MaterializeGraph();
+  for (const auto& [s, t] : MakeRandomQueries(kN, 64, 43)) {
+    const SpcResult oracle = BfsSpcPair(current, s, t);
+    EXPECT_EQ(snaps.back()->Query(s, t), oracle);
+    EXPECT_EQ(index->Query(s, t), oracle);
+  }
+
+  // Old generations still answer for *their* graph: 23 batches of
+  // later repairs mutated chunks the first post-batch snapshot
+  // aliases structurally, and none of that may leak into its answers
+  // (the write-generation discipline must have cloned first).
+  EXPECT_EQ(snaps[1]->Generation() + kBatches - 1,
+            snaps.back()->Generation());
+  for (const auto& [s, t] : MakeRandomQueries(kN, 64, 47)) {
+    EXPECT_EQ(snaps[1]->Query(s, t), BfsSpcPair(first_batch_graph, s, t));
+  }
+}
+
 // ---------------------------------------------------------- EpochManager
+
+TEST(EpochManagerTest, OverflowPinsAbsorbExhaustion) {
+  EpochManager epochs;
+  const uint64_t e0 = epochs.CurrentEpoch();
+
+  // Saturate every lock-free slot, then keep pinning: overflow pins
+  // must absorb the excess instead of aborting.
+  std::vector<size_t> slots;
+  for (size_t i = 0; i < EpochManager::kMaxSlots; ++i) {
+    slots.push_back(epochs.Enter());
+    EXPECT_LT(slots.back(), EpochManager::kMaxSlots);
+  }
+  const size_t of1 = epochs.Enter();
+  EXPECT_TRUE(EpochManager::IsOverflowSlot(of1));
+  epochs.AdvanceEpoch();
+  const size_t of2 = epochs.Enter();  // later overflow pin, newer epoch
+  EXPECT_TRUE(EpochManager::IsOverflowSlot(of2));
+  EXPECT_NE(of1, of2);
+  EXPECT_EQ(epochs.ActiveReaders(), EpochManager::kMaxSlots + 2);
+  EXPECT_EQ(epochs.MinActiveEpoch(), e0);
+
+  // Regular slots drain; the e0 overflow pin holds the minimum...
+  for (const size_t slot : slots) epochs.Exit(slot);
+  EXPECT_EQ(epochs.ActiveReaders(), 2u);
+  EXPECT_EQ(epochs.MinActiveEpoch(), e0);
+  // ...and *only* that pin: epochs are tracked per overflow reader, so
+  // the minimum advances the moment the older reader leaves even
+  // though overflow never empties — sustained oversubscription must
+  // not freeze reclamation.
+  epochs.Exit(of1);
+  EXPECT_EQ(epochs.ActiveReaders(), 1u);
+  EXPECT_EQ(epochs.MinActiveEpoch(), e0 + 1);
+  epochs.Exit(of2);
+  EXPECT_EQ(epochs.ActiveReaders(), 0u);
+  EXPECT_EQ(epochs.MinActiveEpoch(), EpochManager::kNoActiveReader);
+
+  // A lock-free slot freed up again: the next Enter goes fast-path.
+  const size_t again = epochs.Enter();
+  EXPECT_LT(again, EpochManager::kMaxSlots);
+  epochs.Exit(again);
+}
+
+// Oversubscription through the full serving stack: more simultaneous
+// SnapshotRefs than lock-free slots, across threads, while the writer
+// keeps publishing. Overflow pins must keep retired generations alive
+// exactly like regular pins, and everything must reclaim at the end.
+TEST(SnapshotManagerTest, OversubscribedReadersStayExact) {
+  const Graph graph = GenerateBarabasiAlbert(80, 2, 23);
+  auto index = MakeIndex(graph);
+  SnapshotManager manager(IndexSnapshot::Capture(*index));
+
+  constexpr size_t kThreads = 4;
+  // Each thread holds enough refs that the total oversubscribes the
+  // slot array no matter how the threads interleave.
+  constexpr size_t kRefsPerThread = EpochManager::kMaxSlots / kThreads + 8;
+  std::vector<std::thread> threads;
+  std::atomic<size_t> holding{0};
+  std::atomic<bool> release{false};
+  for (size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      std::vector<SnapshotRef> refs;
+      refs.reserve(kRefsPerThread);
+      for (size_t r = 0; r < kRefsPerThread; ++r) {
+        refs.push_back(manager.Acquire());
+        // Every pinned ref must answer, overflow or not.
+        EXPECT_EQ(refs.back()->Query(1, 1), (SpcResult{0, 1}));
+      }
+      holding.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (holding.load() < kThreads) std::this_thread::yield();
+  const size_t pinned = manager.ActiveReaders();
+  EXPECT_EQ(pinned, kThreads * kRefsPerThread);
+  EXPECT_GT(pinned, EpochManager::kMaxSlots);  // overflow in use
+
+  // Publish under full oversubscription: the retired generation must
+  // stay alive while any pin (incl. overflow) predates the swap.
+  VertexId u = 0, v = 1;
+  while (index->HasEdge(u, v)) ++v;
+  ASSERT_TRUE(index->InsertEdge(u, v).ok());
+  manager.Publish(IndexSnapshot::Capture(*index));
+  EXPECT_EQ(manager.RetiredCount(), 1u);
+  EXPECT_EQ(manager.ReclaimedCount(), 0u);
+
+  release.store(true);
+  for (std::thread& t : threads) t.join();
+
+  // All pins drained: the next publish reclaims everything retired.
+  ASSERT_TRUE(index->DeleteEdge(u, v).ok());
+  manager.Publish(IndexSnapshot::Capture(*index));
+  EXPECT_EQ(manager.RetiredCount(), 0u);
+  EXPECT_EQ(manager.ReclaimedCount(), 2u);
+  EXPECT_EQ(manager.ActiveReaders(), 0u);
+}
 
 TEST(EpochManagerTest, PinAndRelease) {
   EpochManager epochs;
@@ -203,6 +386,38 @@ TEST(ResultCacheTest, GenerationInvalidates) {
   EXPECT_FALSE(cache.Lookup(2, 3, 9, &out));
   // The old generation can no longer hit either (shard moved on).
   EXPECT_FALSE(cache.Lookup(1, 3, 9, &out));
+}
+
+// Regression for the stale-micro-batch interleaving: a worker that
+// pinned generation G computes an answer while the shard is wholesale-
+// dropped for G+1 (by a lookup or an insert from a newer micro-batch);
+// its late Insert(G) must be discarded, never stored under the G+1
+// tag where Lookup(G+1) would serve a retired graph's answer.
+TEST(ResultCacheTest, StaleInsertAfterDropNeverPoisonsNewerGeneration) {
+  SpcResult out;
+  {
+    // Drop triggered by a newer-generation *lookup*.
+    ResultCache cache(1, 64);
+    EXPECT_FALSE(cache.Lookup(1, 3, 9, &out));  // worker A misses at gen 1
+    EXPECT_FALSE(cache.Lookup(2, 3, 9, &out));  // worker B retags to gen 2
+    cache.Insert(1, 3, 9, {7, 7});              // A's late stale insert
+    EXPECT_FALSE(cache.Lookup(2, 3, 9, &out));  // must not surface at gen 2
+    cache.Insert(2, 3, 9, {2, 5});
+    ASSERT_TRUE(cache.Lookup(2, 3, 9, &out));
+    EXPECT_EQ(out, (SpcResult{2, 5}));  // B's fresh answer, not A's
+  }
+  {
+    // Drop triggered by a newer-generation *insert*, and the stale
+    // worker lags several generations behind.
+    ResultCache cache(1, 64);
+    cache.Insert(1, 3, 9, {1, 1});
+    cache.Insert(4, 3, 9, {4, 4});  // retags the shard to gen 4
+    cache.Insert(2, 3, 9, {9, 9});  // stale by two generations: dropped
+    ASSERT_TRUE(cache.Lookup(4, 3, 9, &out));
+    EXPECT_EQ(out, (SpcResult{4, 4}));
+    // The stale pair key must not exist under any other entry either.
+    EXPECT_FALSE(cache.Lookup(2, 3, 9, &out));
+  }
 }
 
 TEST(ResultCacheTest, ZeroCapacityDisables) {
