@@ -8,8 +8,10 @@
 // Self-contained (WallTimer-based) so it builds without the
 // google-benchmark dependency the figure benches use:
 //
-//   ./bench_dynamic_updates [num_updates] [scale_divisor]
-//   ./bench_dynamic_updates --batch [batch_size] [scale_divisor]
+//   ./bench_dynamic_updates [num_updates] [scale_divisor] [--json f]
+//   ./bench_dynamic_updates --batch [batch_size] [scale_divisor] [--json f]
+//   ./bench_dynamic_updates --directed [num_updates] [scale_divisor]
+//                           [--json f]
 //
 // `--batch` runs the batched-vs-sequential comparison: the same mixed
 // update stream applied update-by-update and through coalesced
@@ -18,6 +20,18 @@
 // against the BFS oracle. Exits non-zero on an oracle mismatch or if
 // batching launches *more* hub repairs than sequential application —
 // the invariant the CI smoke asserts.
+//
+// `--directed` runs the directed phase: a mixed insert/delete stream
+// through `DynamicDspcIndex` on a random digraph, per-update repair
+// latency against the directed rebuild baseline (exits non-zero
+// unless repair beats rebuild or the DiBfsSpcPair oracle mismatches),
+// followed by an insert-heavy batched publish-cost check — per-batch
+// snapshot captures must copy the batch delta across both label-side
+// overlays, not the accumulated overlay (the PR-4 bound, CI-asserted
+// for the directed instantiation too).
+//
+// `--json <path>` additionally writes the printed metrics as a
+// machine-readable BENCH_*.json summary.
 
 #include <algorithm>
 #include <cstdio>
@@ -28,11 +42,16 @@
 #include <utility>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "src/baseline/bfs_spc.h"
 #include "src/common/percentile.h"
 #include "src/common/random.h"
 #include "src/common/timer.h"
 #include "src/core/builder_facade.h"
+#include "src/digraph/dbfs_spc.h"
+#include "src/digraph/digraph.h"
+#include "src/digraph/dpspc_builder.h"
+#include "src/dynamic/dynamic_dspc_index.h"
 #include "src/dynamic/dynamic_spc_index.h"
 #include "src/graph/generators.h"
 #include "src/serve/index_snapshot.h"
@@ -59,7 +78,20 @@ struct BenchCase {
   double rebuild_threshold = 0.25;
 };
 
-void RunCase(const BenchCase& bench, size_t num_updates) {
+/// Latency-vector summary (count/mean/p50/p95) as a JSON object.
+pspc::benchjson::Object LatencyJson(const std::vector<double>& ms) {
+  pspc::benchjson::Object object;
+  double sum = 0.0;
+  for (const double x : ms) sum += x;
+  object.Add("updates", ms.size());
+  object.Add("mean_ms", ms.empty() ? 0.0 : sum / static_cast<double>(ms.size()));
+  object.Add("p50_ms", pspc::Percentile(ms, 0.5));
+  object.Add("p95_ms", pspc::Percentile(ms, 0.95));
+  return object;
+}
+
+void RunCase(const BenchCase& bench, size_t num_updates,
+             pspc::benchjson::Array* json_cases) {
   const pspc::Graph& graph = bench.graph;
   std::printf("=== %s: %u vertices, %llu edges ===\n", bench.name.c_str(),
               graph.NumVertices(),
@@ -191,6 +223,23 @@ void RunCase(const BenchCase& bench, size_t num_updates) {
               oracle_failures == 0 ? "" : "  <-- CORRECTNESS BUG");
   std::printf("staleness after stream: %.4f\n%s\n\n", index.StalenessRatio(),
               index.Stats().ToString().c_str());
+
+  if (json_cases != nullptr) {
+    pspc::benchjson::Object object;
+    object.Add("name", bench.name);
+    object.Add("vertices", static_cast<uint64_t>(graph.NumVertices()));
+    object.Add("edges", static_cast<uint64_t>(graph.NumEdges()));
+    object.Add("rebuild_seconds", rebuild_seconds);
+    object.AddRaw("insert", LatencyJson(insert_ms).Serialize());
+    object.AddRaw("delete", LatencyJson(delete_ms).Serialize());
+    object.Add("overall_mean_ms", mean);
+    object.Add("speedup_vs_rebuild", speedup);
+    object.Add("oracle_checks", oracle_checks);
+    object.Add("oracle_failures", oracle_failures);
+    object.Add("staleness", index.StalenessRatio());
+    object.Add("rebuilds", index.Stats().rebuilds);
+    json_cases->Add(object);
+  }
 }
 
 // Applies one mixed 50/50 churn stream twice — update-by-update and in
@@ -200,7 +249,8 @@ void RunCase(const BenchCase& bench, size_t num_updates) {
 // aggregate, not per hub, so it is asserted on this *fixed* seeded
 // workload (deterministic in CI), not claimed universally.
 bool RunBatchComparison(const std::string& name, const pspc::Graph& graph,
-                        size_t num_updates, size_t batch_size) {
+                        size_t num_updates, size_t batch_size,
+                        pspc::benchjson::Array* json_cases) {
   std::printf("=== batched vs sequential: %s, %u vertices, %llu edges, "
               "%zu updates in batches of %zu ===\n",
               name.c_str(), graph.NumVertices(),
@@ -327,60 +377,325 @@ bool RunBatchComparison(const std::string& name, const pspc::Graph& graph,
               batched.Overlay().OverlaidVertices());
   std::printf("oracle: %zu/64 spot-checks mismatched%s\n\n", mismatches,
               mismatches == 0 ? "" : "  <-- CORRECTNESS BUG");
+
+  if (json_cases != nullptr) {
+    pspc::benchjson::Object object;
+    object.Add("name", name);
+    object.Add("vertices", static_cast<uint64_t>(graph.NumVertices()));
+    object.Add("edges", static_cast<uint64_t>(graph.NumEdges()));
+    object.Add("num_updates", num_updates);
+    object.Add("batch_size", batch_size);
+    object.Add("sequential_seconds", seq_seconds);
+    object.Add("batched_seconds", batch_seconds);
+    object.Add("sequential_hub_runs", seq_runs);
+    object.Add("batched_hub_runs", batch_runs);
+    object.Add("hub_runs_saved_fraction", saved);
+    object.Add("publish_copied_p50", pspc::Percentile(publish_copied, 0.5));
+    object.Add("publish_copied_p95", pspc::Percentile(publish_copied, 0.95));
+    object.Add("publish_capture_seconds", publish_seconds);
+    object.Add("final_overlaid_vertices",
+               batched.Overlay().OverlaidVertices());
+    object.Add("oracle_mismatches", mismatches);
+    json_cases->Add(object);
+  }
   return mismatches == 0 && batch_runs <= seq_runs;
+}
+
+// Directed phase: mixed 50/50 churn through `DynamicDspcIndex` on a
+// random digraph, repair latency vs the directed rebuild baseline,
+// then an insert-heavy batched publish-cost check on a fresh
+// repair-only replica (each per-batch snapshot capture must copy the
+// batch delta across both label-side overlays, never the accumulated
+// overlay). Returns false on an oracle mismatch, when repair fails to
+// beat rebuild, or when the publish bound breaks.
+bool RunDirectedCase(size_t num_updates, uint32_t divisor,
+                     pspc::benchjson::Array* json_cases) {
+  const pspc::VertexId n =
+      std::max<pspc::VertexId>(64, 8000 / std::max<uint32_t>(1, divisor));
+  const auto target_edges = static_cast<pspc::EdgeId>(n) * 6;
+  const pspc::DiGraph graph = pspc::GenerateRandomDiGraph(n, target_edges, 7);
+  std::printf("=== directed/random_digraph: %u vertices, %llu directed "
+              "edges ===\n",
+              graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+
+  pspc::WallTimer build_timer;
+  pspc::DiPspcBuildResult built = pspc::BuildDirectedPspcIndex(
+      graph, pspc::DirectedDegreeOrder(graph), pspc::DiPspcOptions{});
+  const double rebuild_seconds = build_timer.ElapsedSeconds();
+  std::printf("full rebuild: %.3fs (%zu entries)\n", rebuild_seconds,
+              built.index.TotalEntries());
+
+  pspc::DynamicDspcIndex index(graph, std::move(built.index),
+                               pspc::DynamicDiOptions{});
+
+  // Live directed edge list so deletions actually occur.
+  std::vector<std::pair<pspc::VertexId, pspc::VertexId>> edges;
+  edges.reserve(graph.NumEdges());
+  for (pspc::VertexId u = 0; u < n; ++u) {
+    for (const pspc::VertexId v : graph.OutNeighbors(u)) {
+      edges.push_back({u, v});
+    }
+  }
+
+  pspc::Rng rng(2024);
+  std::vector<double> insert_ms, delete_ms;
+  size_t oracle_checks = 0, oracle_failures = 0;
+  while (insert_ms.size() + delete_ms.size() < num_updates) {
+    const bool remove = !edges.empty() && rng.NextBool(0.5);
+    pspc::VertexId u, v;
+    size_t edge_idx = 0;
+    if (remove) {
+      edge_idx = rng.NextBounded(edges.size());
+      u = edges[edge_idx].first;
+      v = edges[edge_idx].second;
+    } else {
+      do {
+        u = static_cast<pspc::VertexId>(rng.NextBounded(n));
+        v = static_cast<pspc::VertexId>(rng.NextBounded(n));
+      } while (u == v || index.HasEdge(u, v));
+    }
+    pspc::WallTimer timer;
+    const pspc::Status st =
+        remove ? index.DeleteEdge(u, v) : index.InsertEdge(u, v);
+    const double ms = timer.ElapsedMillis();
+    if (!st.ok()) continue;
+    if (remove) {
+      edges[edge_idx] = edges.back();
+      edges.pop_back();
+      delete_ms.push_back(ms);
+    } else {
+      edges.push_back({u, v});
+      insert_ms.push_back(ms);
+    }
+
+    if ((insert_ms.size() + delete_ms.size()) % 64 == 0) {
+      const pspc::DiGraph current = index.MaterializeGraph();
+      for (int q = 0; q < 8; ++q) {
+        const auto s = static_cast<pspc::VertexId>(rng.NextBounded(n));
+        const auto t = static_cast<pspc::VertexId>(rng.NextBounded(n));
+        ++oracle_checks;
+        if (index.Query(s, t) != pspc::DiBfsSpcPair(current, s, t)) {
+          ++oracle_failures;
+        }
+      }
+    }
+  }
+
+  auto report = [&](const char* label, const std::vector<double>& ms) {
+    if (ms.empty()) return;
+    double sum = 0.0;
+    for (const double x : ms) sum += x;
+    const double mean = sum / static_cast<double>(ms.size());
+    std::printf("%s: %zu updates, mean %.3f ms, p50 %.3f ms, p95 %.3f ms "
+                "-> %.0fx faster than rebuild\n",
+                label, ms.size(), mean, pspc::Percentile(ms, 0.5),
+                pspc::Percentile(ms, 0.95), rebuild_seconds * 1e3 / mean);
+  };
+  report("insert", insert_ms);
+  report("delete", delete_ms);
+
+  std::vector<double> all = insert_ms;
+  all.insert(all.end(), delete_ms.begin(), delete_ms.end());
+  double sum = 0.0;
+  for (const double x : all) sum += x;
+  const double mean = sum / static_cast<double>(all.size());
+  const double speedup = rebuild_seconds * 1e3 / mean;
+  std::printf("overall: mean %.3f ms/update -> %.1fx vs rebuild %s\n", mean,
+              speedup, speedup > 1.0 ? "(repair beats rebuild)"
+                                     : "(REBUILD IS FASTER!)");
+  std::printf("oracle: %zu spot-checks, %zu mismatches%s\n",
+              oracle_checks, oracle_failures,
+              oracle_failures == 0 ? "" : "  <-- CORRECTNESS BUG");
+  std::printf("staleness after stream: %.4f\n%s\n", index.StalenessRatio(),
+              index.Stats().ToString().c_str());
+
+  // Publish-cost sub-phase: insert-heavy batches on a fresh repair-only
+  // replica, one snapshot capture per batch through the real directed
+  // capture path (both overlay sides freeze).
+  constexpr size_t kPublishBatches = 32;
+  constexpr size_t kPerBatch = 8;
+  pspc::DynamicDiOptions repair_only;
+  repair_only.rebuild_threshold = 1e18;
+  pspc::DynamicDspcIndex publisher(
+      graph,
+      pspc::BuildDirectedPspcIndex(graph, pspc::DirectedDegreeOrder(graph),
+                                   pspc::DiPspcOptions{})
+          .index,
+      repair_only);
+  (void)pspc::IndexSnapshot::Capture(publisher);  // capture boundary 0
+  pspc::Rng publish_rng(0xdeed);
+  std::vector<double> copied;
+  for (size_t b = 0; b < kPublishBatches; ++b) {
+    pspc::EdgeUpdateBatch batch;
+    std::set<std::pair<pspc::VertexId, pspc::VertexId>> in_batch;
+    while (batch.Size() < kPerBatch) {
+      const auto u = static_cast<pspc::VertexId>(publish_rng.NextBounded(n));
+      const auto v = static_cast<pspc::VertexId>(publish_rng.NextBounded(n));
+      if (u == v || publisher.HasEdge(u, v) ||
+          !in_batch.insert({u, v}).second) {
+        continue;
+      }
+      batch.Insert(u, v);
+    }
+    if (!publisher.ApplyBatch(batch).ok()) {
+      std::printf("directed publish phase: ApplyBatch FAILED\n");
+      return false;
+    }
+    copied.push_back(static_cast<double>(
+        pspc::IndexSnapshot::Capture(publisher)->CopiedVertices()));
+  }
+  const size_t final_overlaid = publisher.OutOverlay().OverlaidVertices() +
+                                publisher.InOverlay().OverlaidVertices();
+  const double p50_copied = pspc::Percentile(copied, 0.5);
+  std::printf("directed publish cost (%zu batches x %zu inserts): p50 %.0f "
+              "/ p95 %.0f copied chunks per publish, %zu overlaid at end\n",
+              kPublishBatches, kPerBatch, p50_copied,
+              pspc::Percentile(copied, 0.95), final_overlaid);
+  const bool publish_ok =
+      final_overlaid < 64 ||
+      2.0 * p50_copied <= static_cast<double>(final_overlaid);
+  if (!publish_ok) {
+    std::printf("  p50 publish copied %.0f of %zu overlaid chunks (NOT "
+                "O(batch delta)!)\n",
+                p50_copied, final_overlaid);
+  } else {
+    std::printf("  p50 publish copies the batch delta (bound met)\n");
+  }
+  std::printf("\n");
+
+  if (json_cases != nullptr) {
+    pspc::benchjson::Object object;
+    object.Add("name", "directed/random_digraph");
+    object.Add("vertices", static_cast<uint64_t>(graph.NumVertices()));
+    object.Add("edges", static_cast<uint64_t>(graph.NumEdges()));
+    object.Add("rebuild_seconds", rebuild_seconds);
+    object.AddRaw("insert", LatencyJson(insert_ms).Serialize());
+    object.AddRaw("delete", LatencyJson(delete_ms).Serialize());
+    object.Add("overall_mean_ms", mean);
+    object.Add("speedup_vs_rebuild", speedup);
+    object.Add("oracle_checks", oracle_checks);
+    object.Add("oracle_failures", oracle_failures);
+    object.Add("staleness", index.StalenessRatio());
+    object.Add("rebuilds", index.Stats().rebuilds);
+    object.Add("publish_copied_p50", p50_copied);
+    object.Add("publish_copied_p95", pspc::Percentile(copied, 0.95));
+    object.Add("final_overlaid_vertices", final_overlaid);
+    object.Add("publish_bound_met", publish_ok);
+    json_cases->Add(object);
+  }
+  return oracle_failures == 0 && speedup > 1.0 && publish_ok;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--batch") == 0) {
+  // Flags may appear anywhere; the remaining arguments keep their
+  // positional meanings.
+  std::vector<std::string> positional;
+  std::string json_path;
+  bool batch_mode = false, directed_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json expects an output path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else if (arg == "--batch") {
+      batch_mode = true;
+    } else if (arg == "--directed") {
+      directed_mode = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  pspc::benchjson::Object root;
+  pspc::benchjson::Array json_cases;
+  bool ok = true;
+  if (batch_mode) {
     size_t batch_size = 64;
     uint32_t divisor = 1;
-    if (argc > 2) {
-      const long long value = std::atoll(argv[2]);
+    if (positional.size() > 0) {
+      const long long value = std::atoll(positional[0].c_str());
       batch_size = value < 1 ? 1 : static_cast<size_t>(value);
     }
-    if (argc > 3) divisor = static_cast<uint32_t>(std::atoi(argv[3]));
+    if (positional.size() > 1) {
+      divisor = static_cast<uint32_t>(std::atoi(positional[1].c_str()));
+    }
     const size_t num_updates = std::max<size_t>(batch_size * 3, 192);
     const pspc::VertexId social_n = 20000 / std::max<uint32_t>(1, divisor);
-    bool ok = RunBatchComparison(
+    ok = RunBatchComparison(
         "social/barabasi_albert",
         pspc::GenerateBarabasiAlbert(social_n, 4, 1), num_updates,
-        batch_size);
+        batch_size, &json_cases);
     const pspc::VertexId grid_side =
         std::max<pspc::VertexId>(8, 48 / std::max<uint32_t>(1, divisor));
     ok = RunBatchComparison(
              "road/grid", pspc::GenerateRoadGrid(grid_side, grid_side, 0.92,
                                                  0.05, 2),
-             num_updates, batch_size) &&
+             num_updates, batch_size, &json_cases) &&
          ok;
     std::printf("%s\n", ok ? "batched repair: OK (no more hub runs than "
                              "sequential, oracle exact)"
                            : "batched repair: FAILED");
-    return ok ? 0 : 1;
-  }
-  size_t num_updates = 192;
-  uint32_t divisor = 1;
-  if (argc > 1) num_updates = static_cast<size_t>(std::atoll(argv[1]));
-  if (argc > 2) divisor = static_cast<uint32_t>(std::atoi(argv[2]));
+    root.Add("bench", "dynamic_updates_batch");
+  } else if (directed_mode) {
+    size_t num_updates = 192;
+    uint32_t divisor = 1;
+    if (positional.size() > 0) {
+      num_updates = static_cast<size_t>(std::atoll(positional[0].c_str()));
+    }
+    if (positional.size() > 1) {
+      divisor = static_cast<uint32_t>(std::atoi(positional[1].c_str()));
+    }
+    ok = RunDirectedCase(num_updates, divisor, &json_cases);
+    std::printf("%s\n", ok ? "directed repair: OK (beats rebuild, oracle "
+                             "exact, O(delta) publish)"
+                           : "directed repair: FAILED");
+    root.Add("bench", "dynamic_updates_directed");
+  } else {
+    size_t num_updates = 192;
+    uint32_t divisor = 1;
+    if (positional.size() > 0) {
+      num_updates = static_cast<size_t>(std::atoll(positional[0].c_str()));
+    }
+    if (positional.size() > 1) {
+      divisor = static_cast<uint32_t>(std::atoi(positional[1].c_str()));
+    }
+    if (divisor == 0) divisor = 1;
 
-  // The road grid is deliberately smaller: its near-uniform structure
-  // gives every vertex ~n/8 label entries, so per-hub re-runs (and the
-  // rebuild baseline) are far heavier per vertex than on the
-  // heavy-tailed social graph.
-  const pspc::VertexId social_n = 20000 / divisor;
-  const pspc::VertexId grid_side = std::max<pspc::VertexId>(8, 64 / divisor);
-  std::vector<BenchCase> cases;
-  const pspc::Graph social = pspc::GenerateBarabasiAlbert(social_n, 4, 1);
-  // Growth-dominant churn (new links far outnumber unfriends) is the
-  // realistic social workload; the 50/50 variant is the stress case.
-  cases.push_back({"social/barabasi_albert+growth_80_20", social,
-                   Workload::kRandomChurn, 0.8, 0.25});
-  cases.push_back({"social/barabasi_albert+random_churn_50_50", social,
-                   Workload::kRandomChurn, 0.5, 0.25});
-  cases.push_back({"road/grid+closures",
-                   pspc::GenerateRoadGrid(grid_side, grid_side, 0.92, 0.05, 2),
-                   Workload::kClosures, 0.5, 2.0});
-  for (const BenchCase& bench : cases) RunCase(bench, num_updates);
-  return 0;
+    // The road grid is deliberately smaller: its near-uniform structure
+    // gives every vertex ~n/8 label entries, so per-hub re-runs (and the
+    // rebuild baseline) are far heavier per vertex than on the
+    // heavy-tailed social graph.
+    const pspc::VertexId social_n = 20000 / divisor;
+    const pspc::VertexId grid_side = std::max<pspc::VertexId>(8, 64 / divisor);
+    std::vector<BenchCase> cases;
+    const pspc::Graph social = pspc::GenerateBarabasiAlbert(social_n, 4, 1);
+    // Growth-dominant churn (new links far outnumber unfriends) is the
+    // realistic social workload; the 50/50 variant is the stress case.
+    cases.push_back({"social/barabasi_albert+growth_80_20", social,
+                     Workload::kRandomChurn, 0.8, 0.25});
+    cases.push_back({"social/barabasi_albert+random_churn_50_50", social,
+                     Workload::kRandomChurn, 0.5, 0.25});
+    cases.push_back({"road/grid+closures",
+                     pspc::GenerateRoadGrid(grid_side, grid_side, 0.92, 0.05,
+                                            2),
+                     Workload::kClosures, 0.5, 2.0});
+    for (const BenchCase& bench : cases) {
+      RunCase(bench, num_updates, &json_cases);
+    }
+    root.Add("bench", "dynamic_updates");
+  }
+
+  if (!json_path.empty()) {
+    root.AddRaw("cases", json_cases.Serialize());
+    root.Add("ok", ok);
+    if (!pspc::benchjson::WriteFile(json_path, root)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return ok ? 0 : 1;
 }

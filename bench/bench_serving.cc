@@ -29,22 +29,27 @@
 // google-benchmark dependency the figure benches use:
 //
 //   ./bench_serving [duration_seconds_per_run] [scale_divisor]
-//                   [required_95_5_speedup]
+//                   [required_95_5_speedup] [--json <path>]
 //
 // The optional third argument turns the 95/5 target into a hard exit
 // code (CI passes 5 at quarter scale, where the regime holds).
+// `--json <path>` additionally writes the printed metrics as a
+// machine-readable BENCH_*.json summary.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "src/baseline/bfs_spc.h"
 #include "src/common/percentile.h"
 #include "src/common/random.h"
@@ -223,7 +228,8 @@ Row RunGlobalLock(const pspc::Graph& graph, const pspc::SpcIndex& index,
 // guards against.
 bool RunPublishCostPhase(const pspc::Graph& graph,
                          const pspc::SpcIndex& index, size_t batches,
-                         size_t batch_size) {
+                         size_t batch_size,
+                         pspc::benchjson::Object* json_out) {
   pspc::DynamicOptions options;
   options.rebuild_threshold = 1e18;  // repair-only: the overlay only grows
   pspc::DynamicSpcIndex dynamic(graph, index, options);
@@ -256,6 +262,17 @@ bool RunPublishCostPhase(const pspc::Graph& graph,
   const size_t final_overlaid = dynamic.Overlay().OverlaidVertices();
   const double p50_copied = pspc::Percentile(copied, 0.5);
   const double p95_copied = pspc::Percentile(copied, 0.95);
+  if (json_out != nullptr) {
+    json_out->Add("batches", batches);
+    json_out->Add("batch_size", batch_size);
+    json_out->Add("copied_p50", p50_copied);
+    json_out->Add("copied_p95", p95_copied);
+    json_out->Add("publish_p50_ms", pspc::Percentile(publish_ms, 0.5));
+    json_out->Add("map_copy_baseline_total", map_copy_cost);
+    json_out->Add("chunked_copied_total",
+                  manager.TotalPublishCopiedVertices());
+    json_out->Add("final_overlaid_vertices", final_overlaid);
+  }
   std::printf(
       "\npublish cost, insert-heavy (%zu batches x %zu inserts):\n"
       "  copied vertices/publish: p50 %.0f, p95 %.0f  "
@@ -310,9 +327,26 @@ int main(int argc, char** argv) {
   double duration = 2.0;
   uint32_t divisor = 1;
   double required_speedup = 0.0;
-  if (argc > 1) duration = std::atof(argv[1]);
-  if (argc > 2) divisor = static_cast<uint32_t>(std::atoi(argv[2]));
-  if (argc > 3) required_speedup = std::atof(argv[3]);
+  std::string json_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json expects an output path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() > 0) duration = std::atof(positional[0].c_str());
+  if (positional.size() > 1) {
+    divisor = static_cast<uint32_t>(std::atoi(positional[1].c_str()));
+  }
+  if (positional.size() > 2) {
+    required_speedup = std::atof(positional[2].c_str());
+  }
   if (divisor == 0) divisor = 1;
 
   // Floor at a size where the graph still has edges to churn.
@@ -376,9 +410,38 @@ int main(int argc, char** argv) {
   // Publish-cost phase: insert-heavy, enough batches that the overlay
   // dwarfs a single batch's blast radius; always enforced (the bound
   // is scale-independent — it compares the delta to the overlay).
+  pspc::benchjson::Object publish_json;
   const bool publish_ok =
       RunPublishCostPhase(graph, built.index, /*batches=*/24,
-                          /*batch_size=*/8);
+                          /*batch_size=*/8, &publish_json);
+
+  if (!json_path.empty()) {
+    pspc::benchjson::Object root;
+    root.Add("bench", "serving");
+    root.Add("vertices", static_cast<uint64_t>(n));
+    root.Add("edges", static_cast<uint64_t>(graph.NumEdges()));
+    root.Add("duration_seconds_per_run", duration);
+    pspc::benchjson::Array row_array;
+    for (const Row& row : rows) {
+      pspc::benchjson::Object r;
+      r.Add("mode", row.mode[0] == 'e' ? "engine" : "lock");
+      r.Add("write_share", row.write_share);
+      r.Add("loaders", row.loaders);
+      r.Add("reads_per_second", row.result.ReadsPerSecond());
+      r.Add("batch_p50_ms", row.result.batch_p50_ms);
+      r.Add("batch_p99_ms", row.result.batch_p99_ms);
+      r.Add("writes", row.result.writes);
+      r.Add("oracle_mismatches", row.oracle_mismatches);
+      row_array.Add(r);
+    }
+    root.AddRaw("rows", row_array.Serialize());
+    root.Add("speedup_95_5_best", best_speedup);
+    root.AddRaw("publish_cost", publish_json.Serialize());
+    root.Add("publish_bound_met", publish_ok);
+    root.Add("oracle_mismatches_total", total_mismatches);
+    if (!pspc::benchjson::WriteFile(json_path, root)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
 
   // The third argument makes the speedup bar enforceable where the
   // configuration warrants it (the CI smoke passes 5); unconditional

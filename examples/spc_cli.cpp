@@ -15,6 +15,16 @@
 //                    [--batch B] [--batch-size N] [--write-share P]
 //                    [--update-stream <updates.txt>] [--seed X] [--no-cache]
 //
+// Directed variants (paper §II-A; the index is built in-process from
+// the graph, each edge-list line read as one directed edge u -> v; a
+// dataset: code loads the symmetric closure of the undirected graph):
+//
+//   ./spc_cli query  --directed <graph-or-dataset> <s> <t> [s t ...]
+//   ./spc_cli update --directed <graph-or-dataset>
+//                    --update-stream <updates.txt>
+//                    [--batch-size N] [--rebuild-threshold R]
+//   ./spc_cli serve  --directed <graph-or-dataset> [the serve flags]
+//
 // `--batch-size N` groups writes: `update` replays the stream N
 // updates per atomic ApplyBatch (coalesced repair, one snapshot
 // generation per batch in `serve`); 1 = update-by-update.
@@ -32,6 +42,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -42,7 +53,12 @@
 #include "src/common/random.h"
 #include "src/common/timer.h"
 #include "src/core/builder_facade.h"
+#include "src/digraph/dbfs_spc.h"
+#include "src/digraph/digraph.h"
+#include "src/digraph/digraph_io.h"
+#include "src/digraph/dpspc_builder.h"
 #include "src/dynamic/closure_churn.h"
+#include "src/dynamic/dynamic_dspc_index.h"
 #include "src/dynamic/dynamic_spc_index.h"
 #include "src/dynamic/edge_update.h"
 #include "src/graph/algorithms.h"
@@ -67,8 +83,18 @@ int Usage() {
                "  spc_cli serve <graph-or-dataset> <index.bin> "
                "[--duration-seconds S] [--workers N] [--loaders N] "
                "[--batch B] [--batch-size N] [--write-share P] "
-               "[--update-stream <updates.txt>] [--seed X] [--no-cache]\n");
+               "[--update-stream <updates.txt>] [--seed X] [--no-cache]\n"
+               "  spc_cli query --directed <graph-or-dataset> <s> <t> ...\n"
+               "  spc_cli update --directed <graph-or-dataset> "
+               "--update-stream <updates.txt> [--batch-size N] "
+               "[--rebuild-threshold R]\n"
+               "  spc_cli serve --directed <graph-or-dataset> "
+               "[the serve flags]\n");
   return 2;
+}
+
+bool DirectedMode(int argc, char** argv) {
+  return argc > 2 && std::strcmp(argv[2], "--directed") == 0;
 }
 
 // Strict numeric flag parsing: `--batch-size 0`, `--workers x`, or a
@@ -115,6 +141,404 @@ bool LoadGraphArg(const std::string& arg, pspc::Graph* out) {
   }
   *out = std::move(r).value();
   return true;
+}
+
+bool LoadDiGraphArg(const std::string& arg, pspc::DiGraph* out) {
+  if (arg.rfind("dataset:", 0) == 0) {
+    // Datasets are undirected; the directed path serves their
+    // symmetric closure (directed SPC on it agrees with undirected).
+    *out = pspc::FromUndirected(pspc::DatasetByCode(arg.substr(8)).build(1));
+    return true;
+  }
+  auto r = pspc::LoadDirectedEdgeList(arg);
+  if (!r.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", arg.c_str(),
+                 r.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(r).value();
+  return true;
+}
+
+// Validates the id arguments `argv[first..argc)` against `n` vertices
+// of the named container ("graph" / "index"); malformed or
+// out-of-range ids are usage errors (exit 2) on every front-end.
+bool ValidateVertexIds(int argc, char** argv, int first, pspc::VertexId n,
+                       const char* noun) {
+  for (int i = first; i < argc; ++i) {
+    char* end = nullptr;
+    const long long id = std::strtoll(argv[i], &end, 10);
+    if (end == argv[i] || *end != '\0') {
+      std::fprintf(stderr, "vertex id '%s' is not a number\n", argv[i]);
+      return false;
+    }
+    if (id < 0 || static_cast<unsigned long long>(id) >= n) {
+      if (n == 0) {
+        std::fprintf(stderr, "vertex id %s out of range: %s is empty\n",
+                     argv[i], noun);
+      } else {
+        std::fprintf(stderr,
+                     "vertex id %s out of range: %s has %u vertices "
+                     "(valid ids are 0..%u)\n",
+                     argv[i], noun, n, n - 1);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+// Directed queries: builds the in/out-label index from the graph
+// in-process (DiSpcIndex has no on-disk format) and answers each
+// ordered pair s -> t.
+int CmdQueryDirected(int argc, char** argv) {
+  if (argc < 6 || (argc - 4) % 2 != 0) return Usage();
+  pspc::DiGraph graph;
+  if (!LoadDiGraphArg(argv[3], &graph)) return 1;
+  if (!ValidateVertexIds(argc, argv, 4, graph.NumVertices(), "graph")) {
+    return 2;
+  }
+
+  pspc::WallTimer timer;
+  const pspc::DiPspcBuildResult built =
+      pspc::BuildDirectedPspcIndex(graph, pspc::DirectedDegreeOrder(graph),
+                                   pspc::DiPspcOptions{});
+  std::printf("directed index: %u vertices, %llu edges, %zu entries "
+              "(built in %.3fs)\n",
+              graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()),
+              built.index.TotalEntries(), timer.ElapsedSeconds());
+  for (int i = 4; i + 1 < argc; i += 2) {
+    const auto s = static_cast<pspc::VertexId>(std::atoll(argv[i]));
+    const auto t = static_cast<pspc::VertexId>(std::atoll(argv[i + 1]));
+    const pspc::SpcResult r = built.index.Query(s, t);
+    if (r.distance == pspc::kInfSpcDistance) {
+      std::printf("SPC(%u -> %u): unreachable\n", s, t);
+    } else {
+      std::printf("SPC(%u -> %u): distance %u, %llu shortest paths\n", s, t,
+                  r.distance, static_cast<unsigned long long>(r.count));
+    }
+  }
+  return 0;
+}
+
+// Directed update replay: the dynamic directed index repairs in/out
+// labels in place instead of rebuilding per change.
+int CmdUpdateDirected(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  pspc::DiGraph graph;
+  if (!LoadDiGraphArg(argv[3], &graph)) return 1;
+
+  std::string stream_path;
+  pspc::DynamicDiOptions options;
+  size_t batch_size = 1;
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--update-stream" && i + 1 < argc) {
+      stream_path = argv[++i];
+    } else if (flag == "--rebuild-threshold" && i + 1 < argc) {
+      if (!ParseDoubleFlag("--rebuild-threshold", argv[++i], 0.0,
+                           &options.rebuild_threshold)) {
+        return Usage();
+      }
+    } else if (flag == "--batch-size" && i + 1 < argc) {
+      long long value = 0;
+      if (!ParseIntFlag("--batch-size", argv[++i], 1, &value)) return Usage();
+      batch_size = static_cast<size_t>(value);
+    } else {
+      return Usage();
+    }
+  }
+  if (stream_path.empty()) return Usage();
+
+  auto stream = pspc::LoadUpdateStream(stream_path);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "failed to load updates %s: %s\n",
+                 stream_path.c_str(), stream.status().ToString().c_str());
+    return 1;
+  }
+
+  pspc::WallTimer build_timer;
+  pspc::DynamicDspcIndex index(std::move(graph), pspc::DiPspcOptions{},
+                               options);
+  std::printf("directed index built in %.3fs; replaying %zu updates "
+              "against %u vertices / %llu edges (batch size %zu)\n",
+              build_timer.ElapsedSeconds(), stream.value().Size(),
+              index.NumVertices(),
+              static_cast<unsigned long long>(index.NumEdges()), batch_size);
+
+  pspc::WallTimer timer;
+  size_t applied = 0;
+  if (batch_size <= 1) {
+    for (const pspc::EdgeUpdate& up : stream.value()) {
+      const pspc::Status st = index.Apply(up);
+      if (!st.ok()) {
+        std::fprintf(stderr, "update %zu (%c %u %u) failed: %s\n", applied,
+                     up.kind == pspc::EdgeUpdateKind::kInsert ? 'i' : 'd',
+                     up.u, up.v, st.ToString().c_str());
+        return 1;
+      }
+      ++applied;
+    }
+  } else {
+    const auto& updates = stream.value().Updates();
+    for (size_t pos = 0; pos < updates.size(); pos += batch_size) {
+      pspc::EdgeUpdateBatch chunk;
+      const size_t end = std::min(pos + batch_size, updates.size());
+      for (size_t i = pos; i < end; ++i) chunk.Add(updates[i]);
+      if (const pspc::Status st = index.ApplyBatch(chunk); !st.ok()) {
+        std::fprintf(stderr, "batch at update %zu failed: %s\n", pos,
+                     st.ToString().c_str());
+        return 1;
+      }
+      applied = end;
+    }
+  }
+  const double total = timer.ElapsedSeconds();
+
+  std::printf("applied %zu updates in %.3fs (%.3f ms/update)\n%s\n", applied,
+              total, applied == 0 ? 0.0 : total * 1e3 / applied,
+              index.Stats().ToString().c_str());
+  std::printf("staleness: %.4f (threshold %.4f), edges now %llu\n",
+              index.StalenessRatio(), options.rebuild_threshold,
+              static_cast<unsigned long long>(index.NumEdges()));
+  return 0;
+}
+
+// Shared configuration of the serve front-ends (undirected and
+// directed take the identical flag set).
+struct ServeParams {
+  double duration_seconds = 5.0;
+  double write_share = 0.05;
+  int workers = 0;
+  int loaders = 2;
+  size_t batch = 16;
+  size_t write_batch = 1;
+  uint64_t seed = 42;
+  bool no_cache = false;
+  std::string stream_path;
+};
+
+bool ParseServeFlags(int argc, char** argv, int first, ServeParams* params) {
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--duration-seconds" && i + 1 < argc) {
+      if (!ParseDoubleFlag("--duration-seconds", argv[++i], 0.0,
+                           &params->duration_seconds)) {
+        return false;
+      }
+    } else if (flag == "--write-share" && i + 1 < argc) {
+      if (!ParseDoubleFlag("--write-share", argv[++i], 0.0,
+                           &params->write_share)) {
+        return false;
+      }
+    } else if (flag == "--workers" && i + 1 < argc) {
+      // 0 = one worker per core (the ServingOptions default).
+      long long value = 0;
+      if (!ParseIntFlag("--workers", argv[++i], 0, &value)) return false;
+      params->workers = static_cast<int>(value);
+    } else if (flag == "--loaders" && i + 1 < argc) {
+      long long value = 0;
+      if (!ParseIntFlag("--loaders", argv[++i], 1, &value)) return false;
+      params->loaders = static_cast<int>(value);
+    } else if (flag == "--batch" && i + 1 < argc) {
+      long long value = 0;
+      if (!ParseIntFlag("--batch", argv[++i], 1, &value)) return false;
+      params->batch = static_cast<size_t>(value);
+    } else if (flag == "--batch-size" && i + 1 < argc) {
+      long long value = 0;
+      if (!ParseIntFlag("--batch-size", argv[++i], 1, &value)) return false;
+      params->write_batch = static_cast<size_t>(value);
+    } else if (flag == "--seed" && i + 1 < argc) {
+      long long value = 0;
+      if (!ParseIntFlag("--seed", argv[++i], 0, &value)) return false;
+      params->seed = static_cast<uint64_t>(value);
+    } else if (flag == "--update-stream" && i + 1 < argc) {
+      params->stream_path = argv[++i];
+    } else if (flag == "--no-cache") {
+      params->no_cache = true;
+    } else {
+      return false;
+    }
+  }
+  if (params->write_share > 0.95) params->write_share = 0.95;
+  return true;
+}
+
+// Loads the update stream named by `params` (empty batch when none).
+bool LoadServeStream(const ServeParams& params,
+                     pspc::EdgeUpdateBatch* stream) {
+  if (params.stream_path.empty()) return true;
+  auto r = pspc::LoadUpdateStream(params.stream_path);
+  if (!r.ok()) {
+    std::fprintf(stderr, "failed to load updates %s: %s\n",
+                 params.stream_path.c_str(), r.status().ToString().c_str());
+    return false;
+  }
+  *stream = std::move(r).value();
+  return true;
+}
+
+// Drives the mixed read/write workload shared by `serve` and
+// `serve --directed`: loader threads submit random query batches
+// (closed loop) while this thread applies edge updates — from the
+// replayed stream when given, otherwise closure churn — self-paced
+// toward `write_share` of total operations. After the drain,
+// `quiesce_check` runs the oracle spot-check and returns its mismatch
+// count (the drained engine + idle writer make it a quiesce point).
+// Returns the process exit code.
+int RunServeWorkload(pspc::ServingEngine& engine, pspc::VertexId n,
+                     const ServeParams& params, pspc::EdgeUpdateBatch stream,
+                     pspc::ClosureChurn& churn,
+                     const std::function<size_t()>& quiesce_check) {
+  std::atomic<uint64_t> reads{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> batch_ms(
+      static_cast<size_t>(params.loaders));
+  std::vector<std::thread> loader_threads;
+  pspc::Rng seeder(params.seed);
+  for (int i = 0; i < params.loaders; ++i) {
+    pspc::Rng rng = seeder.Split();
+    auto* out = &batch_ms[static_cast<size_t>(i)];
+    loader_threads.emplace_back([&, rng, out]() mutable {
+      while (!stop.load(std::memory_order_relaxed)) {
+        pspc::QueryBatch queries =
+            pspc::MakeRandomQueries(n, params.batch, rng.Next());
+        pspc::WallTimer timer;
+        engine.SubmitBatch(queries).get();
+        out->push_back(timer.ElapsedMillis());
+        reads.fetch_add(queries.size(), std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer loop: paced toward `write_share` of total operations,
+  // consuming whole batches of up to `--batch-size` updates per atomic
+  // ApplyUpdates call (one published generation each).
+  pspc::Rng write_rng = seeder.Split();
+  std::vector<double> update_ms;
+  uint64_t writes = 0, write_errors = 0;
+  size_t stream_pos = 0;
+  pspc::WallTimer wall;
+  while (wall.ElapsedSeconds() < params.duration_seconds) {
+    const double quota =
+        params.write_share >= 0.95
+            ? 1e18
+            : params.write_share / (1.0 - params.write_share) *
+                  static_cast<double>(reads.load(std::memory_order_relaxed));
+    if (params.write_share == 0.0 ||
+        static_cast<double>(writes) >= quota) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    pspc::EdgeUpdateBatch write_chunk;
+    while (write_chunk.Size() < params.write_batch) {
+      if (!stream.Empty()) {
+        if (stream_pos >= stream.Size()) break;  // stream exhausted
+        write_chunk.Add(stream.Updates()[stream_pos++]);
+      } else if (!churn.Empty()) {
+        write_chunk.Add(churn.Next(write_rng));
+      } else {
+        break;  // nothing to churn (edgeless graph)
+      }
+    }
+    if (write_chunk.Empty()) {
+      // Keep serving reads until the deadline.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    pspc::WallTimer timer;
+    const pspc::Status st = engine.ApplyUpdates(write_chunk);
+    update_ms.push_back(timer.ElapsedMillis());
+    if (st.ok()) {
+      writes += write_chunk.Size();
+    } else {
+      write_errors += write_chunk.Size();
+    }
+  }
+  const double elapsed = wall.ElapsedSeconds();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : loader_threads) t.join();
+  engine.Drain();
+
+  std::vector<double> all_batch_ms;
+  for (const auto& v : batch_ms) {
+    all_batch_ms.insert(all_batch_ms.end(), v.begin(), v.end());
+  }
+  const uint64_t total_reads = reads.load();
+  const double total_ops = static_cast<double>(total_reads + writes);
+  std::printf("reads:  %llu queries in %.2fs -> %.0f queries/s\n",
+              static_cast<unsigned long long>(total_reads), elapsed,
+              static_cast<double>(total_reads) / elapsed);
+  std::printf("        batch latency p50 %.3f ms, p99 %.3f ms (batch=%zu)\n",
+              pspc::Percentile(all_batch_ms, 0.5),
+              pspc::Percentile(all_batch_ms, 0.99), params.batch);
+  std::printf("writes: %llu updates (%llu rejected), batch p50 %.3f ms, "
+              "p99 %.3f ms -> achieved write share %.4f\n",
+              static_cast<unsigned long long>(writes),
+              static_cast<unsigned long long>(write_errors),
+              pspc::Percentile(update_ms, 0.5),
+              pspc::Percentile(update_ms, 0.99),
+              total_ops == 0.0 ? 0.0
+                               : static_cast<double>(writes) / total_ops);
+  std::printf("%s\n", engine.Counters().ToString().c_str());
+
+  const size_t mismatches = quiesce_check();
+  return mismatches == 0 ? 0 : 1;
+}
+
+// Directed mixed-workload serving: loader threads query the published
+// directed snapshots while the writer repairs in/out labels.
+int CmdServeDirected(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  pspc::DiGraph graph;
+  if (!LoadDiGraphArg(argv[3], &graph)) return 1;
+  ServeParams params;
+  if (!ParseServeFlags(argc, argv, 4, &params)) return Usage();
+  pspc::EdgeUpdateBatch stream;
+  if (!LoadServeStream(params, &stream)) return 1;
+
+  const pspc::VertexId n = graph.NumVertices();
+  if (n == 0) {
+    std::fprintf(stderr, "cannot serve an empty graph\n");
+    return 1;
+  }
+  pspc::ClosureChurn churn(graph);
+
+  pspc::WallTimer build_timer;
+  pspc::DynamicDspcIndex index(std::move(graph), pspc::DiPspcOptions{});
+  pspc::ServingOptions serving_options;
+  serving_options.num_workers = params.workers;
+  if (params.no_cache) serving_options.cache_capacity_per_shard = 0;
+  pspc::ServingEngine engine(&index, serving_options);
+
+  std::printf("serving directed %u vertices / %llu edges (index built in "
+              "%.3fs): %d loaders x batch %zu, write share %.2f (batch size "
+              "%zu), %.1fs\n",
+              n, static_cast<unsigned long long>(index.NumEdges()),
+              build_timer.ElapsedSeconds(), params.loaders, params.batch,
+              params.write_share, params.write_batch,
+              params.duration_seconds);
+
+  return RunServeWorkload(engine, n, params, std::move(stream), churn, [&] {
+    // Quiesce exactness spot-check against the directed BFS oracle.
+    const pspc::DiGraph current = index.MaterializeGraph();
+    pspc::QueryBatch checks =
+        pspc::MakeRandomQueries(n, 16, params.seed ^ 0x5eed);
+    const std::vector<pspc::SpcResult> served =
+        engine.SubmitBatch(checks).get();
+    size_t mismatches = 0;
+    for (size_t i = 0; i < checks.size(); ++i) {
+      if (served[i] != pspc::DiBfsSpcPair(current, checks[i].first,
+                                          checks[i].second)) {
+        ++mismatches;
+      }
+    }
+    std::printf("quiesce oracle: %zu/%zu exact%s\n",
+                checks.size() - mismatches, checks.size(),
+                mismatches == 0 ? "" : "  <-- CORRECTNESS BUG");
+    return mismatches;
+  });
 }
 
 int CmdBuild(int argc, char** argv) {
@@ -170,6 +594,7 @@ int CmdBuild(int argc, char** argv) {
 }
 
 int CmdQuery(int argc, char** argv) {
+  if (DirectedMode(argc, argv)) return CmdQueryDirected(argc, argv);
   if (argc < 6 || (argc - 4) % 2 != 0) return Usage();
   auto loaded = pspc::SpcIndex::Load(argv[3]);
   if (!loaded.ok()) {
@@ -180,26 +605,8 @@ int CmdQuery(int argc, char** argv) {
   const pspc::SpcIndex& index = loaded.value();
   // Validate every id up front: a malformed or out-of-range vertex id
   // is a usage error, not a per-pair answer.
-  for (int i = 4; i < argc; ++i) {
-    char* end = nullptr;
-    const long long id = std::strtoll(argv[i], &end, 10);
-    if (end == argv[i] || *end != '\0') {
-      std::fprintf(stderr, "vertex id '%s' is not a number\n", argv[i]);
-      return 2;
-    }
-    if (id < 0 || static_cast<unsigned long long>(id) >= index.NumVertices()) {
-      const pspc::VertexId n = index.NumVertices();
-      if (n == 0) {
-        std::fprintf(stderr, "vertex id %s out of range: index is empty\n",
-                     argv[i]);
-      } else {
-        std::fprintf(stderr,
-                     "vertex id %s out of range: index has %u vertices "
-                     "(valid ids are 0..%u)\n",
-                     argv[i], n, n - 1);
-      }
-      return 2;
-    }
+  if (!ValidateVertexIds(argc, argv, 4, index.NumVertices(), "index")) {
+    return 2;
   }
   for (int i = 4; i + 1 < argc; i += 2) {
     const auto s = static_cast<pspc::VertexId>(std::atoll(argv[i]));
@@ -236,6 +643,7 @@ int CmdStats(int argc, char** argv) {
 // repair latency, staleness growth, and optionally a compacted
 // (rebuilt) index written back to disk.
 int CmdUpdate(int argc, char** argv) {
+  if (DirectedMode(argc, argv)) return CmdUpdateDirected(argc, argv);
   if (argc < 4) return Usage();
   pspc::Graph graph;
   if (!LoadGraphArg(argv[2], &graph)) return 1;
@@ -349,6 +757,7 @@ int CmdUpdate(int argc, char** argv) {
 // percent leave the writer saturated and merely measure how well reads
 // survive a continuously writing index — which is the point.
 int CmdServe(int argc, char** argv) {
+  if (DirectedMode(argc, argv)) return CmdServeDirected(argc, argv);
   if (argc < 4) return Usage();
   pspc::Graph graph;
   if (!LoadGraphArg(argv[2], &graph)) return 1;
@@ -364,67 +773,10 @@ int CmdServe(int argc, char** argv) {
     return 1;
   }
 
-  double duration_seconds = 5.0;
-  double write_share = 0.05;
-  int workers = 0;
-  int loaders = 2;
-  size_t batch = 16;
-  size_t write_batch = 1;
-  uint64_t seed = 42;
-  bool no_cache = false;
-  std::string stream_path;
-  for (int i = 4; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag == "--duration-seconds" && i + 1 < argc) {
-      if (!ParseDoubleFlag("--duration-seconds", argv[++i], 0.0,
-                           &duration_seconds)) {
-        return Usage();
-      }
-    } else if (flag == "--write-share" && i + 1 < argc) {
-      if (!ParseDoubleFlag("--write-share", argv[++i], 0.0, &write_share)) {
-        return Usage();
-      }
-    } else if (flag == "--workers" && i + 1 < argc) {
-      // 0 = one worker per core (the ServingOptions default).
-      long long value = 0;
-      if (!ParseIntFlag("--workers", argv[++i], 0, &value)) return Usage();
-      workers = static_cast<int>(value);
-    } else if (flag == "--loaders" && i + 1 < argc) {
-      long long value = 0;
-      if (!ParseIntFlag("--loaders", argv[++i], 1, &value)) return Usage();
-      loaders = static_cast<int>(value);
-    } else if (flag == "--batch" && i + 1 < argc) {
-      long long value = 0;
-      if (!ParseIntFlag("--batch", argv[++i], 1, &value)) return Usage();
-      batch = static_cast<size_t>(value);
-    } else if (flag == "--batch-size" && i + 1 < argc) {
-      long long value = 0;
-      if (!ParseIntFlag("--batch-size", argv[++i], 1, &value)) return Usage();
-      write_batch = static_cast<size_t>(value);
-    } else if (flag == "--seed" && i + 1 < argc) {
-      long long value = 0;
-      if (!ParseIntFlag("--seed", argv[++i], 0, &value)) return Usage();
-      seed = static_cast<uint64_t>(value);
-    } else if (flag == "--update-stream" && i + 1 < argc) {
-      stream_path = argv[++i];
-    } else if (flag == "--no-cache") {
-      no_cache = true;
-    } else {
-      return Usage();
-    }
-  }
-  if (write_share > 0.95) write_share = 0.95;
-
+  ServeParams params;
+  if (!ParseServeFlags(argc, argv, 4, &params)) return Usage();
   pspc::EdgeUpdateBatch stream;
-  if (!stream_path.empty()) {
-    auto r = pspc::LoadUpdateStream(stream_path);
-    if (!r.ok()) {
-      std::fprintf(stderr, "failed to load updates %s: %s\n",
-                   stream_path.c_str(), r.status().ToString().c_str());
-      return 1;
-    }
-    stream = std::move(r).value();
-  }
+  if (!LoadServeStream(params, &stream)) return 1;
 
   const pspc::VertexId n = graph.NumVertices();
   if (n == 0) {
@@ -436,121 +788,36 @@ int CmdServe(int argc, char** argv) {
 
   pspc::DynamicSpcIndex index(std::move(graph), std::move(loaded).value());
   pspc::ServingOptions serving_options;
-  serving_options.num_workers = workers;
-  if (no_cache) serving_options.cache_capacity_per_shard = 0;
+  serving_options.num_workers = params.workers;
+  if (params.no_cache) serving_options.cache_capacity_per_shard = 0;
   pspc::ServingEngine engine(&index, serving_options);
 
   std::printf("serving %u vertices / %llu edges: %d loaders x batch %zu, "
               "write share %.2f (batch size %zu), %.1fs\n",
-              n, static_cast<unsigned long long>(index.NumEdges()), loaders,
-              batch, write_share, write_batch, duration_seconds);
+              n, static_cast<unsigned long long>(index.NumEdges()),
+              params.loaders, params.batch, params.write_share,
+              params.write_batch, params.duration_seconds);
 
-  std::atomic<uint64_t> reads{0};
-  std::atomic<bool> stop{false};
-  std::vector<std::vector<double>> batch_ms(
-      static_cast<size_t>(loaders));
-  std::vector<std::thread> loader_threads;
-  pspc::Rng seeder(seed);
-  for (int i = 0; i < loaders; ++i) {
-    pspc::Rng rng = seeder.Split();
-    auto* out = &batch_ms[static_cast<size_t>(i)];
-    loader_threads.emplace_back([&, rng, out]() mutable {
-      while (!stop.load(std::memory_order_relaxed)) {
-        pspc::QueryBatch queries =
-            pspc::MakeRandomQueries(n, batch, rng.Next());
-        pspc::WallTimer timer;
-        engine.SubmitBatch(queries).get();
-        out->push_back(timer.ElapsedMillis());
-        reads.fetch_add(queries.size(), std::memory_order_relaxed);
-      }
-    });
-  }
-
-  // Writer loop: paced toward `write_share` of total operations.
-  pspc::Rng write_rng = seeder.Split();
-  std::vector<double> update_ms;
-  uint64_t writes = 0, write_errors = 0;
-  size_t stream_pos = 0;
-  pspc::WallTimer wall;
-  while (wall.ElapsedSeconds() < duration_seconds) {
-    const double quota =
-        write_share >= 0.95
-            ? 1e18
-            : write_share / (1.0 - write_share) *
-                  static_cast<double>(reads.load(std::memory_order_relaxed));
-    if (write_share == 0.0 || static_cast<double>(writes) >= quota) {
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-      continue;
-    }
-    // The writer consumes whole batches: up to `--batch-size` updates
-    // per atomic ApplyUpdates call, one published generation each.
-    pspc::EdgeUpdateBatch write_chunk;
-    while (write_chunk.Size() < write_batch) {
-      if (!stream.Empty()) {
-        if (stream_pos >= stream.Size()) break;  // stream exhausted
-        write_chunk.Add(stream.Updates()[stream_pos++]);
-      } else if (!churn.Empty()) {
-        write_chunk.Add(churn.Next(write_rng));
-      } else {
-        break;  // nothing to churn (edgeless graph)
+  return RunServeWorkload(engine, n, params, std::move(stream), churn, [&] {
+    // Quiesce exactness spot-check: drained engine + idle writer means
+    // served answers must now match a fresh BFS on the live graph.
+    const pspc::Graph current = index.MaterializeGraph();
+    pspc::QueryBatch checks =
+        pspc::MakeRandomQueries(n, 16, params.seed ^ 0x5eed);
+    const std::vector<pspc::SpcResult> served =
+        engine.SubmitBatch(checks).get();
+    size_t mismatches = 0;
+    for (size_t i = 0; i < checks.size(); ++i) {
+      if (served[i] != pspc::BfsSpcPair(current, checks[i].first,
+                                        checks[i].second)) {
+        ++mismatches;
       }
     }
-    if (write_chunk.Empty()) {
-      // Keep serving reads until the deadline.
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      continue;
-    }
-    pspc::WallTimer timer;
-    const pspc::Status st = engine.ApplyUpdates(write_chunk);
-    update_ms.push_back(timer.ElapsedMillis());
-    if (st.ok()) {
-      writes += write_chunk.Size();
-    } else {
-      write_errors += write_chunk.Size();
-    }
-  }
-  const double elapsed = wall.ElapsedSeconds();
-  stop.store(true, std::memory_order_relaxed);
-  for (std::thread& t : loader_threads) t.join();
-  engine.Drain();
-
-  std::vector<double> all_batch_ms;
-  for (const auto& v : batch_ms) {
-    all_batch_ms.insert(all_batch_ms.end(), v.begin(), v.end());
-  }
-  const uint64_t total_reads = reads.load();
-  const double total_ops = static_cast<double>(total_reads + writes);
-  std::printf("reads:  %llu queries in %.2fs -> %.0f queries/s\n",
-              static_cast<unsigned long long>(total_reads), elapsed,
-              static_cast<double>(total_reads) / elapsed);
-  std::printf("        batch latency p50 %.3f ms, p99 %.3f ms (batch=%zu)\n",
-              pspc::Percentile(all_batch_ms, 0.5), pspc::Percentile(all_batch_ms, 0.99),
-              batch);
-  std::printf("writes: %llu updates (%llu rejected), batch p50 %.3f ms, "
-              "p99 %.3f ms -> achieved write share %.4f\n",
-              static_cast<unsigned long long>(writes),
-              static_cast<unsigned long long>(write_errors),
-              pspc::Percentile(update_ms, 0.5), pspc::Percentile(update_ms, 0.99),
-              total_ops == 0.0 ? 0.0 : static_cast<double>(writes) / total_ops);
-  std::printf("%s\n", engine.Counters().ToString().c_str());
-
-  // Quiesce exactness spot-check: drained engine + idle writer means
-  // served answers must now match a fresh BFS on the live graph.
-  const pspc::Graph current = index.MaterializeGraph();
-  pspc::QueryBatch checks = pspc::MakeRandomQueries(n, 16, seed ^ 0x5eed);
-  const std::vector<pspc::SpcResult> served =
-      engine.SubmitBatch(checks).get();
-  size_t mismatches = 0;
-  for (size_t i = 0; i < checks.size(); ++i) {
-    if (served[i] != pspc::BfsSpcPair(current, checks[i].first,
-                                      checks[i].second)) {
-      ++mismatches;
-    }
-  }
-  std::printf("quiesce oracle: %zu/%zu exact%s\n", checks.size() - mismatches,
-              checks.size(),
-              mismatches == 0 ? "" : "  <-- CORRECTNESS BUG");
-  return mismatches == 0 ? 0 : 1;
+    std::printf("quiesce oracle: %zu/%zu exact%s\n",
+                checks.size() - mismatches, checks.size(),
+                mismatches == 0 ? "" : "  <-- CORRECTNESS BUG");
+    return mismatches;
+  });
 }
 
 }  // namespace

@@ -1,0 +1,55 @@
+#include "src/digraph/digraph_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace pspc {
+namespace {
+
+Result<DiGraph> ParseDirectedStream(std::istream& in) {
+  std::vector<std::pair<uint64_t, uint64_t>> raw;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) {
+      return Status::Corruption("bad edge at line " + std::to_string(line_no) +
+                                ": '" + line + "'");
+    }
+    raw.emplace_back(u, v);
+  }
+
+  uint64_t max_id = 0;
+  for (const auto& [u, v] : raw) max_id = std::max({max_id, u, v});
+  if (!raw.empty() && max_id >= kInvalidVertex) {
+    return Status::OutOfRange("vertex id " + std::to_string(max_id) +
+                              " exceeds the 32-bit id space");
+  }
+  DiGraphBuilder builder(raw.empty() ? 0
+                                     : static_cast<VertexId>(max_id + 1));
+  for (const auto& [u, v] : raw) {
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<DiGraph> LoadDirectedEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ParseDirectedStream(in);
+}
+
+Result<DiGraph> ParseDirectedEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseDirectedStream(in);
+}
+
+}  // namespace pspc

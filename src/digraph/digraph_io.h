@@ -1,0 +1,24 @@
+#ifndef PSPC_SRC_DIGRAPH_DIGRAPH_IO_H_
+#define PSPC_SRC_DIGRAPH_DIGRAPH_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/digraph/digraph.h"
+
+/// Directed edge-list loading — the same SNAP text dialect as
+/// graph_io.h (`u v` per line, `#`/`%` comments), except each line is
+/// one directed edge `u -> v` instead of being symmetrized.
+namespace pspc {
+
+/// Loads a directed edge-list text file, preserving numeric vertex ids
+/// (`n = max id + 1`; gaps become isolated vertices). Duplicate lines
+/// and self-loops are dropped, as everywhere in the directed module.
+Result<DiGraph> LoadDirectedEdgeList(const std::string& path);
+
+/// Parses directed edge-list text from a string.
+Result<DiGraph> ParseDirectedEdgeList(const std::string& text);
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_DIGRAPH_DIGRAPH_IO_H_

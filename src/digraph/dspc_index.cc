@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
-#include "src/common/saturating.h"
+#include "src/label/label_merge.h"
 
 namespace pspc {
 namespace {
@@ -40,31 +40,7 @@ SpcResult DiSpcIndex::Query(VertexId s, VertexId t) const {
   PSPC_CHECK_MSG(s < NumVertices() && t < NumVertices(),
                  "query (" << s << "," << t << ") out of range");
   if (s == t) return {0, 1};
-  const auto ls = OutLabels(s);
-  const auto lt = InLabels(t);
-  uint32_t best = kInfSpcDistance;
-  Count count = 0;
-  size_t i = 0, j = 0;
-  while (i < ls.size() && j < lt.size()) {
-    if (ls[i].hub_rank < lt[j].hub_rank) {
-      ++i;
-    } else if (ls[i].hub_rank > lt[j].hub_rank) {
-      ++j;
-    } else {
-      const uint32_t d =
-          static_cast<uint32_t>(ls[i].dist) + static_cast<uint32_t>(lt[j].dist);
-      if (d < best) {
-        best = d;
-        count = SatMul(ls[i].count, lt[j].count);
-      } else if (d == best) {
-        count = SatAdd(count, SatMul(ls[i].count, lt[j].count));
-      }
-      ++i;
-      ++j;
-    }
-  }
-  if (best == kInfSpcDistance) return {kInfSpcDistance, 0};
-  return {best, count};
+  return MergeLabelCounts(OutLabels(s), InLabels(t));
 }
 
 }  // namespace pspc

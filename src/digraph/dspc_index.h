@@ -44,6 +44,15 @@ class DiSpcIndex {
             in_entries_.data() + in_offsets_[v + 1]};
   }
 
+  /// Non-owning CSR views of the two label tables (what a dynamic
+  /// overlay reads through); valid while the index is alive.
+  BaseLabelMap OutLabelMap() const {
+    return {out_offsets_.data(), out_entries_.data(), NumVertices()};
+  }
+  BaseLabelMap InLabelMap() const {
+    return {in_offsets_.data(), in_entries_.data(), NumVertices()};
+  }
+
   const VertexOrder& Order() const { return order_; }
   size_t TotalEntries() const {
     return out_entries_.size() + in_entries_.size();

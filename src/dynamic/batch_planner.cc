@@ -15,7 +15,8 @@ uint64_t EdgeKey(VertexId u, VertexId v) {
 
 Result<BatchPlan> PlanBatch(
     const EdgeUpdateBatch& batch,
-    const std::function<bool(VertexId, VertexId)>& has_edge) {
+    const std::function<bool(VertexId, VertexId)>& has_edge,
+    bool directed) {
   // Per touched edge: membership at batch start and in the running
   // simulation. Start-state is queried lazily, once per distinct edge.
   struct EdgeState {
@@ -28,8 +29,8 @@ Result<BatchPlan> PlanBatch(
   BatchPlan plan;
   size_t index = 0;
   for (const EdgeUpdate& up : batch) {
-    const VertexId u = std::min(up.u, up.v);
-    const VertexId v = std::max(up.u, up.v);
+    const VertexId u = directed ? up.u : std::min(up.u, up.v);
+    const VertexId v = directed ? up.v : std::max(up.u, up.v);
     auto [it, fresh] = touched.try_emplace(EdgeKey(u, v), EdgeState{});
     if (fresh) {
       it->second.start = has_edge(u, v);

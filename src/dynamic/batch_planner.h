@@ -35,8 +35,10 @@
 /// `EdgeUpdateBatch::Validate`, which callers run first.
 namespace pspc {
 
-/// Net effect of a validated batch. Edge pairs are normalized to
-/// `u < v`; the two lists are disjoint by construction.
+/// Net effect of a validated batch. Undirected edge pairs are
+/// normalized to `u < v`; in directed mode pairs keep their
+/// orientation (`u -> v` and `v -> u` are distinct edges). The two
+/// lists are disjoint by construction.
 struct BatchPlan {
   std::vector<std::pair<VertexId, VertexId>> net_insertions;
   std::vector<std::pair<VertexId, VertexId>> net_deletions;
@@ -49,11 +51,14 @@ struct BatchPlan {
 };
 
 /// Simulates `batch` over the membership oracle `has_edge` (queried
-/// once per distinct edge, with `u < v`). Returns the net plan, or the
-/// first pre-state violation with *nothing* considered applied.
+/// once per distinct edge; with `u < v` unless `directed`). Returns
+/// the net plan, or the first pre-state violation with *nothing*
+/// considered applied. Directed mode keys the simulation on ordered
+/// pairs, so the coalescing never conflates an edge with its reverse.
 Result<BatchPlan> PlanBatch(
     const EdgeUpdateBatch& batch,
-    const std::function<bool(VertexId, VertexId)>& has_edge);
+    const std::function<bool(VertexId, VertexId)>& has_edge,
+    bool directed = false);
 
 }  // namespace pspc
 

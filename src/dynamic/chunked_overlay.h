@@ -10,12 +10,13 @@
 
 #include "src/common/types.h"
 #include "src/label/label_entry.h"
-#include "src/label/spc_index.h"
 
 /// Persistent (copy-on-write, structurally shared) per-vertex label
-/// overlay on top of an immutable `SpcIndex` — the writer-side label
-/// store of `DynamicSpcIndex` and, through `OverlayView`, the label
-/// store of every published `IndexSnapshot`.
+/// overlay on top of an immutable base label table (`BaseLabelMap`:
+/// the undirected `SpcIndex`, or one side of the directed
+/// `DiSpcIndex`) — the writer-side label store of the dynamic indexes
+/// and, through `OverlayView`, the label store of every published
+/// `IndexSnapshot`.
 ///
 /// Label repair rewrites whole per-vertex entry lists, so the overlay
 /// holds a private rank-sorted `LabelChunk` for exactly the vertices a
@@ -104,16 +105,18 @@ class OverlayView {
 
 class ChunkedOverlay {
  public:
-  /// `base` must outlive the overlay (the owning index rebases on
-  /// rebuild).
-  explicit ChunkedOverlay(const SpcIndex* base) { Rebase(base); }
+  /// `base` views an index that must outlive the overlay (the owning
+  /// index rebases on rebuild). The overlay is direction-agnostic: the
+  /// base map may be the undirected `SpcIndex` label table or either
+  /// side (out/in) of the directed `DiSpcIndex`.
+  explicit ChunkedOverlay(BaseLabelMap base) { Rebase(base); }
 
   /// Swaps in a freshly built base and drops every overlaid vertex.
   /// Captures taken before the rebase keep the old pages (and the old
   /// base, via the snapshot's shared base pointer) alive on their own.
-  void Rebase(const SpcIndex* base) {
+  void Rebase(BaseLabelMap base) {
     base_ = base;
-    const auto n = static_cast<size_t>(base->NumVertices());
+    const auto n = static_cast<size_t>(base.num_vertices);
     const size_t num_pages = (n + kOverlayPageSize - 1) >> kOverlayPageBits;
     ++write_gen_;
     root_ = std::make_shared<OverlayDirectory>(num_pages);
@@ -130,7 +133,7 @@ class ChunkedOverlay {
   /// span otherwise. Invalidated by Mutable(v) for the same vertex.
   std::span<const LabelEntry> Labels(VertexId v) const {
     const LabelChunk* chunk = ChunkAt(v);
-    return chunk != nullptr ? ChunkSpan(*chunk) : base_->Labels(v);
+    return chunk != nullptr ? ChunkSpan(*chunk) : base_.Labels(v);
   }
 
   /// Mutable per-vertex list, copied from the base on first touch and
@@ -155,7 +158,7 @@ class ChunkedOverlay {
     }
     LabelChunkPtr& slot = page->slots[v & (kOverlayPageSize - 1)];
     if (slot == nullptr) {
-      slot = MakeLabelChunk(base_->Labels(v));
+      slot = MakeLabelChunk(base_.Labels(v));
       chunk_gen_[v] = write_gen_;
       ++overlaid_vertices_;
       ++copied_since_capture_;
@@ -214,7 +217,7 @@ class ChunkedOverlay {
     return page->slots[v & (kOverlayPageSize - 1)].get();
   }
 
-  const SpcIndex* base_ = nullptr;
+  BaseLabelMap base_;
   std::shared_ptr<OverlayDirectory> root_;
   uint64_t write_gen_ = 0;   // current capture interval
   uint64_t root_gen_ = 0;    // interval the root was last unshared at

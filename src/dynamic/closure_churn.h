@@ -6,6 +6,7 @@
 
 #include "src/common/random.h"
 #include "src/common/types.h"
+#include "src/digraph/digraph.h"
 #include "src/dynamic/edge_update.h"
 #include "src/graph/graph.h"
 
@@ -14,6 +15,8 @@
 /// deleted ones, so a long run orbits the graph's starting shape
 /// instead of densifying or disintegrating — the road-network closure
 /// model of bench_dynamic_updates, packaged for mixed workloads.
+/// Constructed from an undirected graph the pools hold `{u, v}` pairs;
+/// from a directed graph each pool entry is one oriented edge.
 namespace pspc {
 
 class ClosureChurn {
@@ -23,6 +26,12 @@ class ClosureChurn {
       for (const VertexId v : graph.Neighbors(u)) {
         if (u < v) live_.push_back({u, v});
       }
+    }
+  }
+
+  explicit ClosureChurn(const DiGraph& graph) {
+    for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+      for (const VertexId v : graph.OutNeighbors(u)) live_.push_back({u, v});
     }
   }
 

@@ -1,0 +1,97 @@
+#include "src/dynamic/dynamic_digraph.h"
+
+#include <string>
+
+namespace pspc {
+namespace {
+
+bool SortedContains(const std::vector<VertexId>& vec, VertexId v) {
+  return std::binary_search(vec.begin(), vec.end(), v);
+}
+
+void SortedInsert(std::vector<VertexId>* vec, VertexId v) {
+  vec->insert(std::upper_bound(vec->begin(), vec->end(), v), v);
+}
+
+void SortedErase(std::vector<VertexId>* vec, VertexId v) {
+  const auto it = std::lower_bound(vec->begin(), vec->end(), v);
+  if (it != vec->end() && *it == v) vec->erase(it);
+}
+
+}  // namespace
+
+Status DynamicDiGraph::ValidateEndpoints(VertexId u, VertexId v) const {
+  if (u >= NumVertices() || v >= NumVertices()) {
+    return Status::InvalidArgument(
+        "edge (" + std::to_string(u) + " -> " + std::to_string(v) +
+        ") outside vertex universe [0, " + std::to_string(NumVertices()) +
+        "); the dynamic index does not grow the vertex set");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-loop on vertex " + std::to_string(u));
+  }
+  return Status::OK();
+}
+
+bool DynamicDiGraph::HasEdge(VertexId u, VertexId v) const {
+  const auto it = out_delta_.find(u);
+  if (it == out_delta_.end()) return base_->HasEdge(u, v);
+  if (SortedContains(it->second.added, v)) return true;
+  if (SortedContains(it->second.removed, v)) return false;
+  return base_->HasEdge(u, v);
+}
+
+Status DynamicDiGraph::AddEdge(VertexId u, VertexId v) {
+  PSPC_RETURN_IF_ERROR(ValidateEndpoints(u, v));
+  if (HasEdge(u, v)) {
+    return Status::InvalidArgument("edge (" + std::to_string(u) + " -> " +
+                                   std::to_string(v) + ") already exists");
+  }
+  ApplyAdd(&out_delta_, u, v);
+  ApplyAdd(&in_delta_, v, u);
+  ++num_edges_;
+  ++delta_edges_;
+  return Status::OK();
+}
+
+Status DynamicDiGraph::RemoveEdge(VertexId u, VertexId v) {
+  PSPC_RETURN_IF_ERROR(ValidateEndpoints(u, v));
+  if (!HasEdge(u, v)) {
+    return Status::NotFound("edge (" + std::to_string(u) + " -> " +
+                            std::to_string(v) + ") does not exist");
+  }
+  ApplyRemove(&out_delta_, u, v);
+  ApplyRemove(&in_delta_, v, u);
+  --num_edges_;
+  ++delta_edges_;
+  return Status::OK();
+}
+
+void DynamicDiGraph::ApplyAdd(DeltaMap* delta, VertexId key, VertexId value) {
+  VertexDelta& d = (*delta)[key];
+  if (SortedContains(d.removed, value)) {
+    SortedErase(&d.removed, value);  // un-remove a base edge
+  } else {
+    SortedInsert(&d.added, value);
+  }
+}
+
+void DynamicDiGraph::ApplyRemove(DeltaMap* delta, VertexId key,
+                                 VertexId value) {
+  VertexDelta& d = (*delta)[key];
+  if (SortedContains(d.added, value)) {
+    SortedErase(&d.added, value);  // cancel a delta insertion
+  } else {
+    SortedInsert(&d.removed, value);
+  }
+}
+
+DiGraph DynamicDiGraph::Materialize() const {
+  DiGraphBuilder builder(NumVertices());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    ForEachOutNeighbor(u, [&](VertexId w) { builder.AddEdge(u, w); });
+  }
+  return builder.Build();
+}
+
+}  // namespace pspc

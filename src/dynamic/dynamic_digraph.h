@@ -1,0 +1,119 @@
+#ifndef PSPC_SRC_DYNAMIC_DYNAMIC_DIGRAPH_H_
+#define PSPC_SRC_DYNAMIC_DYNAMIC_DIGRAPH_H_
+
+#include <algorithm>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/digraph/digraph.h"
+
+/// Mutable adjacency view over an immutable dual-CSR `DiGraph` — the
+/// directed twin of `DynamicGraph`.
+///
+/// The base CSR stays untouched; per-vertex deltas record directed
+/// edges added and removed since the base was materialized, kept for
+/// both adjacency directions so the repair kernels can expand either
+/// way. Only vertices touched by updates pay any overhead — untouched
+/// vertices iterate straight over the base CSR spans. `Materialize()`
+/// folds the deltas into a fresh `DiGraph` when the owning index
+/// decides to rebuild.
+namespace pspc {
+
+class DynamicDiGraph {
+ public:
+  /// `base` must outlive the view (the owning DynamicDspcIndex keeps
+  /// both and rebases after rebuilds).
+  explicit DynamicDiGraph(const DiGraph* base)
+      : base_(base), num_edges_(base->NumEdges()) {}
+
+  /// Swaps in a new base and drops all deltas.
+  void Rebase(const DiGraph* base) {
+    base_ = base;
+    out_delta_.clear();
+    in_delta_.clear();
+    num_edges_ = base->NumEdges();
+    delta_edges_ = 0;
+  }
+
+  VertexId NumVertices() const { return base_->NumVertices(); }
+
+  /// Number of directed edges.
+  EdgeId NumEdges() const { return num_edges_; }
+
+  /// Number of structural changes applied since the last Rebase (an
+  /// un-remove cancels a removal rather than counting twice).
+  size_t DeltaEdges() const { return delta_edges_; }
+
+  /// True iff the directed edge `u -> v` is present.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// InvalidArgument for self-loops or endpoints outside `[0, n)` (the
+  /// vertex universe is fixed; HasEdge on such input would be UB).
+  Status ValidateEndpoints(VertexId u, VertexId v) const;
+
+  /// Adds the directed edge `u -> v`. InvalidArgument on self-loops,
+  /// out-of-range endpoints, or an edge that already exists. The
+  /// reverse edge `v -> u` is independent.
+  Status AddEdge(VertexId u, VertexId v);
+
+  /// Removes the directed edge `u -> v`. NotFound if absent;
+  /// InvalidArgument on self-loops or out-of-range endpoints.
+  Status RemoveEdge(VertexId u, VertexId v);
+
+  /// Invokes `fn(w)` for every current successor `w` of `v` (targets
+  /// of edges v -> w). Order is base-CSR order followed by added edges;
+  /// repair BFS results do not depend on it.
+  template <typename Fn>
+  void ForEachOutNeighbor(VertexId v, Fn&& fn) const {
+    ForEachDelta(out_delta_, base_->OutNeighbors(v), v, fn);
+  }
+
+  /// Invokes `fn(w)` for every current predecessor `w` of `v` (sources
+  /// of edges w -> v).
+  template <typename Fn>
+  void ForEachInNeighbor(VertexId v, Fn&& fn) const {
+    ForEachDelta(in_delta_, base_->InNeighbors(v), v, fn);
+  }
+
+  /// Dual-CSR snapshot of the current graph (for rebuilds and oracles).
+  DiGraph Materialize() const;
+
+ private:
+  struct VertexDelta {
+    std::vector<VertexId> added;    // sorted
+    std::vector<VertexId> removed;  // sorted; always subset of base edges
+  };
+  using DeltaMap = std::unordered_map<VertexId, VertexDelta>;
+
+  template <typename Fn>
+  static void ForEachDelta(const DeltaMap& delta,
+                           std::span<const VertexId> base_nbrs, VertexId v,
+                           Fn&& fn) {
+    const auto it = delta.find(v);
+    if (it == delta.end()) {
+      for (const VertexId w : base_nbrs) fn(w);
+      return;
+    }
+    const VertexDelta& d = it->second;
+    for (const VertexId w : base_nbrs) {
+      if (!std::binary_search(d.removed.begin(), d.removed.end(), w)) fn(w);
+    }
+    for (const VertexId w : d.added) fn(w);
+  }
+
+  static void ApplyAdd(DeltaMap* delta, VertexId key, VertexId value);
+  static void ApplyRemove(DeltaMap* delta, VertexId key, VertexId value);
+
+  const DiGraph* base_;
+  DeltaMap out_delta_;  // key: source, values: targets
+  DeltaMap in_delta_;   // key: target, values: sources
+  EdgeId num_edges_ = 0;
+  size_t delta_edges_ = 0;
+};
+
+}  // namespace pspc
+
+#endif  // PSPC_SRC_DYNAMIC_DYNAMIC_DIGRAPH_H_

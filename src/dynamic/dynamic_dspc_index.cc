@@ -1,0 +1,216 @@
+#include "src/dynamic/dynamic_dspc_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/parallel.h"
+#include "src/common/timer.h"
+#include "src/dynamic/batch_planner.h"
+#include "src/label/label_merge.h"
+
+namespace pspc {
+
+DynamicDspcIndex::DynamicDspcIndex(DiGraph graph, DiSpcIndex index,
+                                   DynamicDiOptions options)
+    : base_graph_(std::move(graph)),
+      base_(std::make_shared<const DiSpcIndex>(std::move(index))),
+      order_(base_->Order()),
+      graph_(&base_graph_),
+      out_overlay_(base_->OutLabelMap()),
+      in_overlay_(base_->InLabelMap()),
+      options_(options) {
+  PSPC_CHECK_MSG(base_->NumVertices() == base_graph_.NumVertices(),
+                 "index (" << base_->NumVertices() << " vertices) does not "
+                 "match graph (" << base_graph_.NumVertices() << ")");
+  scratch_.Init(base_graph_.NumVertices());
+}
+
+DynamicDspcIndex::DynamicDspcIndex(DiGraph graph,
+                                   const DiPspcOptions& build_options,
+                                   DynamicDiOptions options)
+    : DynamicDspcIndex(
+          graph,
+          BuildDirectedPspcIndex(graph, DirectedDegreeOrder(graph),
+                                 build_options)
+              .index,
+          options) {}
+
+int DynamicDspcIndex::SweepThreads() const {
+  const int resolved =
+      options_.num_threads > 0 ? options_.num_threads : MaxThreads();
+  return std::min(resolved, MaxThreads());
+}
+
+SpcResult DynamicDspcIndex::Query(VertexId s, VertexId t) const {
+  PSPC_CHECK_MSG(s < NumVertices() && t < NumVertices(),
+                 "query (" << s << "," << t << ") out of range");
+  if (s == t) return {0, 1};
+  return MergeLabelCounts(OutLabels(s), InLabels(t));
+}
+
+double DynamicDspcIndex::StalenessRatio() const {
+  return static_cast<double>(out_overlay_.OverlaidEntries() +
+                             in_overlay_.OverlaidEntries()) /
+         static_cast<double>(std::max<size_t>(1, base_->TotalEntries()));
+}
+
+void DynamicDspcIndex::MaybeRebuild() {
+  if (options_.auto_rebuild && StalenessRatio() > options_.rebuild_threshold) {
+    Rebuild();
+  }
+}
+
+void DynamicDspcIndex::Rebuild() {
+  WallTimer timer;
+  DiGraph current = graph_.Materialize();
+  DiPspcBuildResult result = BuildDirectedPspcIndex(
+      current, DirectedDegreeOrder(current), options_.rebuild_options);
+  base_graph_ = std::move(current);
+  // A fresh shared base: snapshots captured from the old generation
+  // keep the retired label arrays alive through their shared_ptr.
+  base_ = std::make_shared<const DiSpcIndex>(std::move(result.index));
+  order_ = base_->Order();
+  graph_.Rebase(&base_graph_);
+  out_overlay_.Rebase(base_->OutLabelMap());
+  in_overlay_.Rebase(base_->InLabelMap());
+  ++generation_;
+  ++stats_.rebuilds;
+  stats_.rebuild_seconds += timer.ElapsedSeconds();
+}
+
+Status DynamicDspcIndex::InsertEdge(VertexId u, VertexId v) {
+  PSPC_RETURN_IF_ERROR(graph_.AddEdge(u, v));
+  {
+    ScopedTimer timer(&stats_.repair_seconds);
+    const std::pair<VertexId, VertexId> edge{u, v};
+    RepairInsertions({&edge, 1});
+  }
+  ++stats_.insertions_applied;
+  ++generation_;
+  MaybeRebuild();
+  return Status::OK();
+}
+
+Status DynamicDspcIndex::DeleteEdge(VertexId u, VertexId v) {
+  PSPC_RETURN_IF_ERROR(graph_.ValidateEndpoints(u, v));
+  if (!graph_.HasEdge(u, v)) {
+    return Status::NotFound("edge (" + std::to_string(u) + " -> " +
+                            std::to_string(v) + ") does not exist");
+  }
+  {
+    ScopedTimer timer(&stats_.repair_seconds);
+    RepairDeletion(u, v);
+  }
+  ++stats_.deletions_applied;
+  ++generation_;
+  MaybeRebuild();
+  return Status::OK();
+}
+
+Status DynamicDspcIndex::Apply(const EdgeUpdate& update) {
+  return update.kind == EdgeUpdateKind::kInsert
+             ? InsertEdge(update.u, update.v)
+             : DeleteEdge(update.u, update.v);
+}
+
+Status DynamicDspcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
+  PSPC_RETURN_IF_ERROR(batch.Validate(NumVertices()));
+  auto planned = PlanBatch(
+      batch,
+      [this](VertexId u, VertexId v) { return graph_.HasEdge(u, v); },
+      /*directed=*/true);
+  PSPC_RETURN_IF_ERROR(planned.status());
+  const BatchPlan& plan = planned.value();
+  ++stats_.batches_applied;
+  stats_.updates_coalesced += plan.coalesced_updates;
+  if (plan.Empty()) return Status::OK();
+  if (plan.NetSize() == 1) {
+    // One net update: the single-update path.
+    return plan.net_deletions.empty()
+               ? InsertEdge(plan.net_insertions[0].first,
+                            plan.net_insertions[0].second)
+               : DeleteEdge(plan.net_deletions[0].first,
+                            plan.net_deletions[0].second);
+  }
+
+  {
+    ScopedTimer timer(&stats_.repair_seconds);
+    // Deletions first: their detection needs the pre-batch exact
+    // index, and insertion seeds need labels exact for the deleted
+    // graph. Each single-edge deletion repair leaves the index exact
+    // for its own graph, so the replay composes; insertions then
+    // coalesce into one multi-source run per (hub, direction).
+    for (const auto& [u, v] : plan.net_deletions) {
+      RepairDeletion(u, v);
+    }
+    if (!plan.net_insertions.empty()) {
+      for (const auto& [u, v] : plan.net_insertions) {
+        PSPC_CHECK(graph_.AddEdge(u, v).ok());
+      }
+      RepairInsertions(plan.net_insertions);
+    }
+  }
+  stats_.insertions_applied += plan.net_insertions.size();
+  stats_.deletions_applied += plan.net_deletions.size();
+  ++generation_;  // one published generation per batch
+  MaybeRebuild();
+  return Status::OK();
+}
+
+void DynamicDspcIndex::RepairInsertions(
+    std::span<const std::pair<VertexId, VertexId>> edges) {
+  const ForwardView fwd = Forward();
+  const BackwardView bwd = Backward();
+
+  // Forward seeds: hubs reaching `u` (recorded in Lin(u)) may start
+  // new trough paths h .. u -> v .., repaired by a forward BFS from v.
+  // Backward seeds mirror them from Lout(v), seeded at u. Both seed
+  // sets snapshot the pre-repair labels across every new edge.
+  std::vector<std::pair<Rank, InsertSeed>> fwd_seeds, bwd_seeds;
+  for (const auto& [u, v] : edges) {
+    repair::GatherInsertSeeds(fwd, u, v, &fwd_seeds);
+    repair::GatherInsertSeeds(bwd, v, u, &bwd_seeds);
+  }
+  repair::SortInsertSeeds(&fwd_seeds);
+  repair::SortInsertSeeds(&bwd_seeds);
+
+  // Interleave the two directions in ascending global rank order: a
+  // run for hub h prunes against entries of higher-ranked hubs on
+  // *both* label sides, so every higher-ranked hub must have repaired
+  // both its directions first. Same-rank forward/backward runs touch
+  // disjoint label sides and may go in either order.
+  std::vector<InsertSeed> group;
+  size_t fi = 0, bi = 0;
+  while (fi < fwd_seeds.size() || bi < bwd_seeds.size()) {
+    const Rank fr = fi < fwd_seeds.size() ? fwd_seeds[fi].first : kInvalidRank;
+    const Rank br = bi < bwd_seeds.size() ? bwd_seeds[bi].first : kInvalidRank;
+    if (fr <= br) {
+      group.clear();
+      for (; fi < fwd_seeds.size() && fwd_seeds[fi].first == fr; ++fi) {
+        group.push_back(fwd_seeds[fi].second);
+      }
+      repair::ResumedInsertBfs(fwd, fr, {group.data(), group.size()},
+                               scratch_, &stats_);
+    } else {
+      group.clear();
+      for (; bi < bwd_seeds.size() && bwd_seeds[bi].first == br; ++bi) {
+        group.push_back(bwd_seeds[bi].second);
+      }
+      repair::ResumedInsertBfs(bwd, br, {group.data(), group.size()},
+                               scratch_, &stats_);
+    }
+  }
+}
+
+void DynamicDspcIndex::RepairDeletion(VertexId u, VertexId v) {
+  repair::RepairContext ctx;
+  ctx.scratch = &scratch_;
+  ctx.stats = &stats_;
+  ctx.sweep_threads = SweepThreads();
+  repair::RepairEdgeDeletionPair(Forward(), Backward(), u, v, ctx, [&] {
+    PSPC_CHECK(graph_.RemoveEdge(u, v).ok());
+  });
+}
+
+}  // namespace pspc

@@ -6,21 +6,12 @@
 
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
-#include "src/common/saturating.h"
 #include "src/common/timer.h"
 #include "src/core/builder_facade.h"
-#include "src/core/scheduler.h"
+#include "src/dynamic/repair_core.h"
 #include "src/label/label_merge.h"
 
 namespace pspc {
-namespace {
-
-Distance ToLabelDistance(uint32_t d) {
-  PSPC_CHECK_MSG(d < kInfDistance, "distance " << d << " overflows Distance");
-  return static_cast<Distance>(d);
-}
-
-}  // namespace
 
 std::string DynamicStats::ToString() const {
   std::ostringstream oss;
@@ -46,7 +37,7 @@ DynamicSpcIndex::DynamicSpcIndex(Graph graph, SpcIndex index,
       base_(std::make_shared<const SpcIndex>(std::move(index))),
       order_(base_->Order()),
       graph_(&base_graph_),
-      overlay_(base_.get()),
+      overlay_(base_->LabelMap()),
       options_(options) {
   PSPC_CHECK_MSG(base_->NumVertices() == base_graph_.NumVertices(),
                  "index (" << base_->NumVertices() << " vertices) does not "
@@ -59,19 +50,6 @@ DynamicSpcIndex::DynamicSpcIndex(Graph graph,
                                  DynamicOptions options)
     : DynamicSpcIndex(graph, BuildIndex(graph, build_options).index,
                       options) {}
-
-void DynamicSpcIndex::RepairScratch::Init(VertexId n) {
-  hub_dist.assign(n, kInfSpcDistance);
-  bfs_dist.assign(n, kInfSpcDistance);
-  bfs_count.assign(n, 0);
-  updated.assign(n, 0);
-  region_flags.assign(n, 0);
-  bfs_touched.clear();
-  bfs_queue.clear();
-  frontier.clear();
-  next_frontier.clear();
-  region_touched.clear();
-}
 
 void DynamicSpcIndex::InitScratch() {
   const VertexId n = base_graph_.NumVertices();
@@ -113,7 +91,7 @@ void DynamicSpcIndex::Rebuild() {
   base_ = std::make_shared<const SpcIndex>(std::move(result.index));
   order_ = base_->Order();
   graph_.Rebase(&base_graph_);
-  overlay_.Rebase(base_.get());
+  overlay_.Rebase(base_->LabelMap());
   ++generation_;
   ++stats_.rebuilds;
   stats_.rebuild_seconds += timer.ElapsedSeconds();
@@ -154,258 +132,33 @@ Status DynamicSpcIndex::Apply(const EdgeUpdate& update) {
              : DeleteEdge(update.u, update.v);
 }
 
-void DynamicSpcIndex::LoadHubDist(VertexId hub, RepairScratch& s) const {
-  for (const LabelEntry& e : Labels(hub)) s.hub_dist[e.hub_rank] = e.dist;
-}
-
-void DynamicSpcIndex::ResetHubDist(VertexId hub, RepairScratch& s) const {
-  for (const LabelEntry& e : Labels(hub)) {
-    s.hub_dist[e.hub_rank] = kInfSpcDistance;
-  }
-}
-
 // ------------------------------------------------------------- insertion
 
 void DynamicSpcIndex::RepairInsertions(
     std::span<const std::pair<VertexId, VertexId>> edges) {
   // Seeds snapshot the *pre-repair* endpoint labels across every new
-  // edge: each hub of an endpoint label may start new trough paths
-  // crossing that edge, seeded at the opposite endpoint with the
-  // recorded distance + 1 and trough count. Gathering all seeds before
-  // any repair runs keeps the snapshot semantics of the single-edge
-  // scheme (repairs only ever rewrite a hub's own entries, so a later
-  // hub's seeds are never invalidated by an earlier hub's run).
+  // edge (see GatherInsertSeeds); the symmetric view seeds from both
+  // endpoints of each edge.
+  const SymmetricRepairView view = RepView();
   std::vector<std::pair<Rank, InsertSeed>> seeds;
   for (const auto& [a, b] : edges) {
-    const Rank ra = order_.RankOf(a);
-    const Rank rb = order_.RankOf(b);
-    for (const LabelEntry& e : Labels(a)) {
-      // New trough paths h ... a -> b ...: only possible if b may
-      // appear below h in the order.
-      if (e.hub_rank < rb) {
-        seeds.push_back({e.hub_rank,
-                         {b, static_cast<uint32_t>(e.dist) + 1, e.count}});
-      }
-    }
-    for (const LabelEntry& e : Labels(b)) {
-      if (e.hub_rank < ra) {
-        seeds.push_back({e.hub_rank,
-                         {a, static_cast<uint32_t>(e.dist) + 1, e.count}});
-      }
-    }
+    repair::GatherInsertSeeds(view, a, b, &seeds);
+    repair::GatherInsertSeeds(view, b, a, &seeds);
   }
-
-  // One multi-source resumed BFS per distinct hub, in ascending rank
-  // order so each run prunes against already-repaired higher-ranked
-  // labels (the HP-SPC order dependency, Lemma 1). Seeds of the same
-  // hub sort by depth for level-synchronous injection.
-  std::sort(seeds.begin(), seeds.end(),
-            [](const auto& x, const auto& y) {
-              return x.first != y.first ? x.first < y.first
-                                        : x.second.dist < y.second.dist;
-            });
-  std::vector<InsertSeed> hub_seeds;
-  for (size_t i = 0; i < seeds.size();) {
-    const Rank rank = seeds[i].first;
-    hub_seeds.clear();
-    for (; i < seeds.size() && seeds[i].first == rank; ++i) {
-      hub_seeds.push_back(seeds[i].second);
-    }
-    ResumedInsertBfs(rank, hub_seeds, scratch_);
-  }
-}
-
-void DynamicSpcIndex::ResumedInsertBfs(Rank hub_rank,
-                                       std::span<const InsertSeed> seeds,
-                                       RepairScratch& s) {
-  if (seeds.empty()) return;
-  const VertexId hub = order_.VertexAt(hub_rank);
-  LoadHubDist(hub, s);
-
-  // Level-synchronous multi-source BFS: seeds are injected when the
-  // wavefront reaches their depth, so a seed made obsolete by a
-  // shorter route through another inserted edge (discovered earlier)
-  // is dropped, and seeds tying the wavefront merge counts. Each new
-  // shortest trough path crosses a unique *first* inserted edge whose
-  // seed accounts for it, so no path is double counted.
-  s.bfs_touched.clear();
-  s.frontier.clear();
-  size_t si = 0;  // seeds consumed so far (sorted by dist)
-  auto inject = [&](uint32_t level) {
-    for (; si < seeds.size() && seeds[si].dist == level; ++si) {
-      const InsertSeed& seed = seeds[si];
-      if (s.bfs_dist[seed.start] == kInfSpcDistance) {
-        s.bfs_dist[seed.start] = level;
-        s.bfs_count[seed.start] = seed.count;
-        s.bfs_touched.push_back(seed.start);
-        s.frontier.push_back(seed.start);
-      } else if (s.bfs_dist[seed.start] == level) {
-        s.bfs_count[seed.start] = SatAdd(s.bfs_count[seed.start], seed.count);
-      }
-      // else: discovered strictly shorter through another inserted
-      // edge; the seed's paths are not shortest.
-    }
-  };
-  uint32_t d = seeds.front().dist;
-  inject(d);
-
-  while (!s.frontier.empty() || si < seeds.size()) {
-    if (s.frontier.empty()) {
-      // Gap between seed depths with an exhausted wavefront.
-      d = seeds[si].dist;
-      inject(d);
-      continue;
-    }
-
-    // Label phase: one walk over L(v) up to the hub's rank gives the
-    // 2-hop distance certificate over hubs ranked >= hub_rank (the
-    // hub's own old entry participates via hub_dist[hub_rank] == 0),
-    // plus the position of the hub's entry if present. Pruned vertices
-    // leave the frontier and do not expand.
-    size_t keep = 0;
-    for (const VertexId v : s.frontier) {
-      const uint32_t dv = d;
-      const auto lv = Labels(v);
-      uint32_t certified = kInfSpcDistance;
-      size_t pos = 0;
-      bool has_hub = false;
-      LabelEntry old_entry{};
-      for (; pos < lv.size() && lv[pos].hub_rank <= hub_rank; ++pos) {
-        const uint32_t hd = s.hub_dist[lv[pos].hub_rank];
-        if (hd != kInfSpcDistance) {
-          certified = std::min(certified, hd + lv[pos].dist);
-        }
-        if (lv[pos].hub_rank == hub_rank) {
-          has_hub = true;
-          old_entry = lv[pos];
-          break;
-        }
-      }
-      if (dv > certified) continue;  // covered strictly shorter: prune
-
-      Count total = s.bfs_count[v];
-      if (has_hub && old_entry.dist == dv) {
-        total = SatAdd(total, old_entry.count);  // pre-existing troughs
-      }
-      if (has_hub) {
-        if (old_entry.dist != dv || old_entry.count != total) {
-          overlay_.Mutable(v)[pos] = {hub_rank, ToLabelDistance(dv), total};
-          ++stats_.entries_renewed;
-        }
-      } else {
-        std::vector<LabelEntry>& mv = overlay_.Mutable(v);
-        mv.insert(mv.begin() + static_cast<ptrdiff_t>(pos),
-                  {hub_rank, ToLabelDistance(dv), total});
-        ++stats_.entries_inserted;
-      }
-      s.frontier[keep++] = v;
-    }
-    s.frontier.resize(keep);
-
-    // Expansion phase into level d + 1.
-    s.next_frontier.clear();
-    for (const VertexId v : s.frontier) {
-      graph_.ForEachNeighbor(v, [&](VertexId w) {
-        if (order_.RankOf(w) <= hub_rank) return;
-        if (s.bfs_dist[w] == kInfSpcDistance) {
-          s.bfs_dist[w] = d + 1;
-          s.bfs_count[w] = s.bfs_count[v];
-          s.next_frontier.push_back(w);
-          s.bfs_touched.push_back(w);
-        } else if (s.bfs_dist[w] == d + 1) {
-          s.bfs_count[w] = SatAdd(s.bfs_count[w], s.bfs_count[v]);
-        }
-      });
-    }
-    s.frontier.swap(s.next_frontier);
-    ++d;
-    inject(d);
-  }
-
-  ++stats_.resumed_bfs_runs;
-  ResetHubDist(hub, s);
-  for (const VertexId v : s.bfs_touched) {
-    s.bfs_dist[v] = kInfSpcDistance;
-    s.bfs_count[v] = 0;
-  }
+  repair::SortInsertSeeds(&seeds);
+  repair::RunInsertRepairs(view, seeds, scratch_, &stats_);
 }
 
 // -------------------------------------------------------------- deletion
 
-std::vector<uint32_t> DynamicSpcIndex::BfsDistances(VertexId source) const {
-  std::vector<uint32_t> dist(NumVertices(), kInfSpcDistance);
-  std::vector<VertexId> queue;
-  dist[source] = 0;
-  queue.push_back(source);
-  for (size_t head = 0; head < queue.size(); ++head) {
-    const VertexId u = queue[head];
-    graph_.ForEachNeighbor(u, [&](VertexId w) {
-      if (dist[w] == kInfSpcDistance) {
-        dist[w] = dist[u] + 1;
-        queue.push_back(w);
-      }
-    });
-  }
-  return dist;
+std::vector<uint32_t> DynamicSpcIndex::BfsDistances(VertexId source) {
+  return repair::ViewBfsDistances(RepView(), source);
 }
 
 void DynamicSpcIndex::DetectAffectedSide(
     VertexId from, VertexId to, const std::vector<uint8_t>& hub_of_a,
-    const std::vector<uint8_t>& hub_of_b, AffectedSide* side) const {
-  const VertexId n = base_graph_.NumVertices();
-  side->flags.assign(n, 0);
-  side->full_ranks.clear();
-  side->subtract_ranks.clear();
-  side->touched.clear();
-
-  // Pruned partial BFS over the *pre-deletion* graph. A vertex u is in
-  // the affected region iff the doomed edge lies on one of its
-  // shortest paths to the far endpoint: d(u, from) + 1 == d(u, to),
-  // answered by the (still exact) 2-hop index. Only region vertices
-  // expand, so the traversal stays proportional to the blast radius.
-  std::vector<uint32_t> dist(n, kInfSpcDistance);
-  std::vector<Count> count(n, 0);
-  std::vector<VertexId> queue;
-  dist[from] = 0;
-  count[from] = 1;
-  queue.push_back(from);
-  for (size_t head = 0; head < queue.size(); ++head) {
-    const VertexId u = queue[head];
-    const SpcResult to_far = Query(u, to);
-    if (dist[u] + 1 != to_far.distance) continue;
-
-    // `count[u]` = shortest `from`-u paths, which is exactly the number
-    // of shortest u-`to` paths crossing the edge. If *all* of them
-    // cross (count matches), distances from u can grow, so u needs a
-    // full hub re-run. A common hub of both endpoint labels that keeps
-    // alternative routes can only lose trough counts — repairable by
-    // subtraction. Everything else is a mere receiver. Saturated
-    // counts cannot be compared (or subtracted), so they
-    // conservatively promote to a full re-run.
-    const Rank ru = order_.RankOf(u);
-    const bool saturated =
-        count[u] == kSaturatedCount || to_far.count == kSaturatedCount;
-    if (saturated || count[u] >= to_far.count) {
-      side->flags[u] = 1;
-      side->full_ranks.push_back(ru);
-    } else if (hub_of_a[ru] != 0 && hub_of_b[ru] != 0) {
-      side->flags[u] = 2;
-      side->subtract_ranks.push_back(ru);
-    } else {
-      side->flags[u] = -1;
-    }
-    side->touched.push_back(u);
-
-    graph_.ForEachNeighbor(u, [&](VertexId w) {
-      if (dist[w] == kInfSpcDistance) {
-        dist[w] = dist[u] + 1;
-        count[w] = count[u];
-        queue.push_back(w);
-      } else if (dist[w] == dist[u] + 1) {
-        count[w] = SatAdd(count[w], count[u]);
-      }
-    });
-  }
+    const std::vector<uint8_t>& hub_of_b, AffectedSide* side) {
+  repair::DetectAffectedSide(RepView(), from, to, hub_of_a, hub_of_b, side);
 }
 
 void DynamicSpcIndex::ValidateDeletionSeeds(
@@ -415,23 +168,10 @@ void DynamicSpcIndex::ValidateDeletionSeeds(
     const std::vector<uint8_t>& hub_of_a,
     const std::vector<uint8_t>& hub_of_b, std::vector<uint8_t>* seed_ok,
     std::vector<uint32_t>* seed_dist, std::vector<Count>* seed_count,
-    std::vector<VertexId>* seed_far) const {
-  // Seed validation must query the still-exact pre-deletion index: a
-  // stale entry of the hub at its own endpoint means no trough path
-  // crosses the edge at all.
-  auto validate = [&](Rank r) {
-    if (hub_of_a[r] == 0 || hub_of_b[r] == 0) return;
-    const size_t pos = FindHubEntry(near_labels, r);
-    if (pos == near_labels.size()) return;
-    const LabelEntry& seed = near_labels[pos];
-    if (Query(near, order_.VertexAt(r)).distance != seed.dist) return;
-    (*seed_ok)[r] = 1;
-    (*seed_dist)[r] = static_cast<uint32_t>(seed.dist) + 1;
-    (*seed_count)[r] = seed.count;
-    if (seed_far != nullptr) (*seed_far)[r] = far;
-  };
-  for (const Rank r : full_ranks) validate(r);
-  for (const Rank r : subtract_ranks) validate(r);
+    std::vector<VertexId>* seed_far) {
+  repair::ValidateDeletionSeeds(RepView(), full_ranks, subtract_ranks,
+                                near_labels, near, far, hub_of_a, hub_of_b,
+                                seed_ok, seed_dist, seed_count, seed_far);
 }
 
 void DynamicSpcIndex::MarkDistanceChanges(
@@ -439,489 +179,37 @@ void DynamicSpcIndex::MarkDistanceChanges(
     std::span<const uint32_t> sender_pre,
     const std::vector<Rank>& opposite_full_ranks,
     std::span<const uint32_t> opposite_pre,
-    std::vector<uint8_t>* needs_full) const {
-  // Exact distance-change detection (post-deletion): hub u's distance
-  // to opposite full sender x grew iff every old shortest route used
-  // the edge, i.e. the through-edge length beat today's BFS distance.
-  // Each BFS also runs a bottleneck-rank DP over its shortest-path
-  // DAG: C(u) = the best (numerically largest) over shortest x-u paths
-  // of the smallest rank on the path excluding u. A new trough entry
-  // for the pair exists iff C(u) > rank(u) — some shortest path stays
-  // entirely below u — which decides *exactly* whether a hub whose
-  // distance grew without any pre-existing entry must re-run.
-  // A hub must fully re-run iff some pair distance to an opposite full
-  // sender x grew AND that pair matters: x still has a trough shortest
-  // path below the hub (a new or renewed entry is due), or x holds an
-  // entry for the hub — possibly a stale leftover of an earlier
-  // insertion whose recorded distance the growth just reached, which
-  // must be erased or renewed. Pairs that grew with neither leave
-  // nothing to store, and a hub with only such pairs can still repair
-  // its count-only pairs by subtraction.
-  if (sender_ranks.empty()) return;
-  const VertexId n = base_graph_.NumVertices();
-  const Rank min_sender =
-      *std::min_element(sender_ranks.begin(), sender_ranks.end());
-  std::vector<uint32_t> now(n), bottleneck(n);
-  std::vector<VertexId> queue;
-  const std::vector<Rank>& rank_of = order_.VertexToRank();
-  for (size_t xi = 0; xi < opposite_full_ranks.size(); ++xi) {
-    const Rank rx = opposite_full_ranks[xi];
-    if (rx <= min_sender) continue;  // no sender can hold an entry at x
-    const VertexId x = order_.VertexAt(rx);
-    const uint32_t x_pre = opposite_pre[xi];
-    if (x_pre == kInfSpcDistance) continue;
-    now.assign(n, kInfSpcDistance);
-    bottleneck.assign(n, 0);
-    queue.clear();
-    now[x] = 0;
-    bottleneck[x] = kInfSpcDistance;  // empty prefix: no bottleneck yet
-    queue.push_back(x);
-    for (size_t head = 0; head < queue.size(); ++head) {
-      const VertexId p = queue[head];
-      const uint32_t via = std::min(bottleneck[p], uint32_t{rank_of[p]});
-      graph_.ForEachNeighbor(p, [&](VertexId w) {
-        if (now[w] == kInfSpcDistance) {
-          now[w] = now[p] + 1;
-          bottleneck[w] = via;
-          queue.push_back(w);
-        } else if (now[w] == now[p] + 1) {
-          bottleneck[w] = std::max(bottleneck[w], via);
-        }
-      });
-    }
-    const auto lx = Labels(x);
-    for (size_t ui = 0; ui < sender_ranks.size(); ++ui) {
-      const Rank r = sender_ranks[ui];
-      if (r >= rx || (*needs_full)[r] != 0) continue;
-      const VertexId u = order_.VertexAt(r);
-      if (sender_pre[ui] == kInfSpcDistance) continue;
-      const uint64_t through = uint64_t{x_pre} + 1 + uint64_t{sender_pre[ui]};
-      if (through < now[u]) {
-        if ((now[u] != kInfSpcDistance && bottleneck[u] > r) ||
-            FindHubEntry(lx, r) < lx.size()) {
-          (*needs_full)[r] = 1;
-        }
-      }
-    }
-  }
+    std::vector<uint8_t>* needs_full) {
+  repair::MarkDistanceChanges(RepView(), sender_ranks, sender_pre,
+                              opposite_full_ranks, opposite_pre, needs_full);
 }
 
 void DynamicSpcIndex::RepairDeletion(VertexId a, VertexId b) {
-  const VertexId n = base_graph_.NumVertices();
-
-  std::vector<uint8_t> hub_of_a(n, 0), hub_of_b(n, 0);
-  for (const LabelEntry& e : Labels(a)) hub_of_a[e.hub_rank] = 1;
-  for (const LabelEntry& e : Labels(b)) hub_of_b[e.hub_rank] = 1;
-
-  // Pre-deletion snapshots of the endpoint labels: subtraction seeds
-  // must be the through-edge trough counts as they were before any
-  // repair of this update touches them.
-  const auto la_span = Labels(a);
-  const auto lb_span = Labels(b);
-  const std::vector<LabelEntry> la(la_span.begin(), la_span.end());
-  const std::vector<LabelEntry> lb(lb_span.begin(), lb_span.end());
-
-  // Detection runs against the pre-deletion graph and index; the two
-  // sides are disjoint (u cannot satisfy both distance conditions).
-  AffectedSide side_a, side_b;
-  DetectAffectedSide(a, b, hub_of_a, hub_of_b, &side_a);
-  DetectAffectedSide(b, a, hub_of_a, hub_of_b, &side_b);
-
-  // Every changed pair of a sender hub falls in one of two classes,
-  // each with a provable certificate that picks the cheapest repair:
-  //
-  //  * Count-only changes (trough counts drop, distances hold). The
-  //    lost trough path routes `x ... far -> near ... h`, and both of
-  //    its edge-endpoint suffixes are restricted shortest — so h must
-  //    hold a *valid* entry in both endpoint labels. Repairable by the
-  //    subtractive pass, seeded from h's entry at its own side's
-  //    endpoint (a stale seed means no trough path crosses at all).
-  //
-  //  * Distance changes (some pair distance grows; the only source of
-  //    brand-new entries). Both pair endpoints must then be full
-  //    senders, so a plain post-deletion BFS from each opposite-side
-  //    full sender detects every such hub exactly — those few re-run
-  //    the full pruned restricted BFS. When the opposite full-sender
-  //    set is too large to scan, the side falls back to re-running all
-  //    of its full senders.
-  struct HubTask {
-    Rank rank;
-    bool subtract;
-    VertexId start;       // subtract: far endpoint the BFS seeds from
-    uint32_t seed_dist;   // subtract: entry dist + 1 across the edge
-    Count seed_count;     // subtract: through-edge trough count
-    const AffectedSide* opposite;
-  };
-  std::vector<HubTask> tasks;
-  tasks.reserve(side_a.full_ranks.size() + side_a.subtract_ranks.size() +
-                side_b.full_ranks.size() + side_b.subtract_ranks.size());
-
-  std::vector<uint8_t> seed_ok(n, 0);
-  std::vector<uint32_t> seed_dist(n, 0);
-  std::vector<Count> seed_count(n, 0);
-  // The single-edge path knows each side's far endpoint directly, so
-  // it skips the seed_far bookkeeping the batched path needs.
-  ValidateDeletionSeeds(side_a.full_ranks, side_a.subtract_ranks,
-                        {la.data(), la.size()}, a, b, hub_of_a, hub_of_b,
-                        &seed_ok, &seed_dist, &seed_count, nullptr);
-  ValidateDeletionSeeds(side_b.full_ranks, side_b.subtract_ranks,
-                        {lb.data(), lb.size()}, b, a, hub_of_a, hub_of_b,
-                        &seed_ok, &seed_dist, &seed_count, nullptr);
-
-  // The exact distance-change filter costs one plain BFS per opposite
-  // full sender; past a few hundred the blanket re-run is cheaper.
-  // Pre-deletion endpoint distances feed its through-edge formula and
-  // must be captured while the edge still exists — but only when some
-  // filtered side actually has full senders to test.
-  constexpr size_t kDistanceFilterCap = 256;
-  const bool filter_a = side_b.full_ranks.size() <= kDistanceFilterCap;
-  const bool filter_b = side_a.full_ranks.size() <= kDistanceFilterCap;
-  const bool need_pre_dists = (filter_a && !side_a.full_ranks.empty()) ||
-                              (filter_b && !side_b.full_ranks.empty());
-  const std::vector<uint32_t> pre_dist_a =
-      need_pre_dists ? BfsDistances(a) : std::vector<uint32_t>();
-  const std::vector<uint32_t> pre_dist_b =
-      need_pre_dists ? BfsDistances(b) : std::vector<uint32_t>();
-
-  PSPC_CHECK(graph_.RemoveEdge(a, b).ok());
-
-  // The filter reads pre-deletion distances only at full senders;
-  // extract them parallel to the rank lists (empty dense arrays mean
-  // the corresponding call never fires, but guard anyway).
-  auto extract_pre = [&](const std::vector<Rank>& ranks,
-                         const std::vector<uint32_t>& dense) {
-    std::vector<uint32_t> pre;
-    pre.reserve(ranks.size());
-    for (const Rank r : ranks) {
-      pre.push_back(dense.empty() ? kInfSpcDistance
-                                  : dense[order_.VertexAt(r)]);
-    }
-    return pre;
-  };
-  const std::vector<uint32_t> full_pre_a =
-      extract_pre(side_a.full_ranks, pre_dist_a);
-  const std::vector<uint32_t> full_pre_b =
-      extract_pre(side_b.full_ranks, pre_dist_b);
-
-  std::vector<uint8_t> needs_full(n, 0);
-  if (filter_a) {
-    MarkDistanceChanges(side_a.full_ranks, full_pre_a, side_b.full_ranks,
-                        full_pre_b, &needs_full);
-  }
-  if (filter_b) {
-    MarkDistanceChanges(side_b.full_ranks, full_pre_b, side_a.full_ranks,
-                        full_pre_a, &needs_full);
-  }
-
-  auto assemble = [&](const AffectedSide& side, bool filtered, VertexId far,
-                      const AffectedSide* opposite) {
-    for (const Rank r : side.full_ranks) {
-      if (!filtered || needs_full[r] != 0) {
-        tasks.push_back({r, false, 0, 0, 0, opposite});
-      } else if (seed_ok[r] != 0) {
-        tasks.push_back({r, true, far, seed_dist[r], seed_count[r], opposite});
-      }
-      // else: provably no pair of this hub changed in a way that needs
-      // a re-run — no grown pair carries an entry or surviving trough,
-      // and count-only pairs need a valid common seed.
-    }
-    for (const Rank r : side.subtract_ranks) {
-      if (seed_ok[r] != 0) {
-        tasks.push_back({r, true, far, seed_dist[r], seed_count[r], opposite});
-      }
-    }
-  };
-  assemble(side_a, filter_a, b, &side_b);
-  assemble(side_b, filter_b, a, &side_a);
-
-  // One pass over the region's labels buckets, per subtractive hub,
-  // the farthest entry it may have to fix; the subtraction BFS stops
-  // at that depth, and hubs nobody stores an entry for are skipped
-  // outright (they provably cannot gain entries).
-  for (const HubTask& task : tasks) {
-    if (task.subtract) {
-      subtract_side_[task.rank] = task.opposite == &side_b ? 1 : 2;
-    }
-  }
-  for (const VertexId v : side_b.touched) {
-    for (const LabelEntry& e : Labels(v)) {
-      if (subtract_side_[e.hub_rank] == 1) {
-        bucket_max_[e.hub_rank] =
-            std::max<uint32_t>(bucket_max_[e.hub_rank], e.dist);
-      }
-    }
-  }
-  for (const VertexId v : side_a.touched) {
-    for (const LabelEntry& e : Labels(v)) {
-      if (subtract_side_[e.hub_rank] == 2) {
-        bucket_max_[e.hub_rank] =
-            std::max<uint32_t>(bucket_max_[e.hub_rank], e.dist);
-      }
-    }
-  }
-
-  // Changed label pairs always straddle the cut, so a hub on the
-  // a-side only rewrites entries at b-side vertices and vice versa.
-  // Ascending global rank keeps pruning sound (a full re-run consults
-  // higher-ranked labels, which are already repaired).
-  std::sort(tasks.begin(), tasks.end(),
-            [](const HubTask& x, const HubTask& y) { return x.rank < y.rank; });
-  LabelWriteSink sink(&overlay_);
-  for (const HubTask& task : tasks) {
-    const RegionView region{task.opposite->flags.data(),
-                            &task.opposite->touched};
-    if (!task.subtract) {
-      RepairHubAfterDeletion(task.rank, region, scratch_, sink, &stats_);
-    } else if (bucket_max_[task.rank] >= task.seed_dist) {
-      if (!SubtractiveDeleteRepair(task.rank, task.start, task.seed_dist,
-                                   task.seed_count, bucket_max_[task.rank],
-                                   region, scratch_, sink, &stats_)) {
-        RepairHubAfterDeletion(task.rank, region, scratch_, sink, &stats_);
-      }
-    }
-  }
-
-  for (const HubTask& task : tasks) {
-    subtract_side_[task.rank] = 0;
-    bucket_max_[task.rank] = 0;
-  }
+  repair::RepairContext ctx;
+  ctx.scratch = &scratch_;
+  ctx.stats = &stats_;
+  ctx.sweep_threads = std::min(ResolvedThreads(), MaxThreads());
+  const SymmetricRepairView view = RepView();
+  repair::RepairEdgeDeletionPair(view, view, a, b, ctx, [&] {
+    PSPC_CHECK(graph_.RemoveEdge(a, b).ok());
+  });
 }
 
 bool DynamicSpcIndex::SubtractiveDeleteRepair(
     Rank hub_rank, VertexId start, uint32_t seed_dist, Count seed_count,
     uint32_t depth_cap, RegionView region, RepairScratch& s,
     LabelWriteSink& sink, DynamicStats* stats) {
-  // Every trough path this hub loses crosses the deleted edge once and
-  // continues into the opposite region, so propagating the through-edge
-  // count from the far endpoint (restricted below the hub, over the
-  // post-deletion graph — the remainder of each lost path avoids the
-  // edge) visits only the blast radius instead of the hub's whole
-  // coverage. No pruning certificates are needed: a restricted path
-  // through a covered vertex is provably longer than the entry distance
-  // it would have to match. Saturated counts cannot be subtracted; the
-  // caller escalates to the full re-run, which recomputes everything
-  // this pass may already have touched (live mode) or discards the
-  // staged ops (wave mode).
-  bool escalate = seed_count == kSaturatedCount;
-  if (!escalate) {
-    s.bfs_queue.clear();
-    s.bfs_touched.clear();
-    s.bfs_dist[start] = seed_dist;
-    s.bfs_count[start] = seed_count;
-    s.bfs_queue.push_back(start);
-    s.bfs_touched.push_back(start);
-
-    for (size_t head = 0; head < s.bfs_queue.size(); ++head) {
-      const VertexId v = s.bfs_queue[head];
-      const uint32_t dv = s.bfs_dist[v];
-
-      if (region.flags[v] != 0) {
-        const auto lv = Labels(v);
-        const size_t pos = FindHubEntry(lv, hub_rank);
-        if (pos < lv.size() && lv[pos].dist == dv) {
-          const LabelEntry old_entry = lv[pos];
-          if (old_entry.count == kSaturatedCount ||
-              s.bfs_count[v] >= old_entry.count) {
-            // Saturation, or subtracting the last trough paths: the
-            // entry must go, but `== 0` with surviving alternatives is
-            // the only provable case — anything else escalates.
-            if (old_entry.count != kSaturatedCount &&
-                s.bfs_count[v] == old_entry.count) {
-              sink.Erase(v, pos, hub_rank);
-              ++stats->entries_erased;
-            } else {
-              escalate = true;
-              break;
-            }
-          } else {
-            sink.Renew(v, pos,
-                       {hub_rank, old_entry.dist,
-                        old_entry.count - s.bfs_count[v]});
-            ++stats->entries_renewed;
-          }
-        }
-      }
-
-      if (dv < depth_cap) {
-        graph_.ForEachNeighbor(v, [&](VertexId w) {
-          if (order_.RankOf(w) <= hub_rank) return;
-          if (s.bfs_dist[w] == kInfSpcDistance) {
-            s.bfs_dist[w] = dv + 1;
-            s.bfs_count[w] = s.bfs_count[v];
-            s.bfs_queue.push_back(w);
-            s.bfs_touched.push_back(w);
-          } else if (s.bfs_dist[w] == dv + 1) {
-            s.bfs_count[w] = SatAdd(s.bfs_count[w], s.bfs_count[v]);
-          }
-        });
-      }
-    }
-
-    for (const VertexId v : s.bfs_touched) {
-      s.bfs_dist[v] = kInfSpcDistance;
-      s.bfs_count[v] = 0;
-    }
-    if (!escalate) ++stats->subtract_repairs;
-  }
-
-  return !escalate;
+  return repair::SubtractiveDeleteRepair(RepView(), hub_rank, start,
+                                         seed_dist, seed_count, depth_cap,
+                                         region, s, sink, stats);
 }
 
 bool DynamicSpcIndex::RepairHubAfterDeletion(
     Rank hub_rank, RegionView region, RepairScratch& s, LabelWriteSink& sink,
     DynamicStats* stats, const int32_t* claim_owner, int32_t claim_self) {
-  const VertexId hub = order_.VertexAt(hub_rank);
-  LoadHubDist(hub, s);
-
-  // Full pruned restricted BFS from the hub over the post-deletion
-  // graph — the same discipline as HP-SPC's per-hub iteration, except
-  // that entries are only written at affected region vertices
-  // (everything else is provably unchanged and is used for pruning and
-  // count propagation only).
-  s.bfs_queue.clear();
-  s.bfs_touched.clear();
-  s.bfs_dist[hub] = 0;
-  s.bfs_count[hub] = 1;
-  s.bfs_queue.push_back(hub);
-  s.bfs_touched.push_back(hub);
-  bool aborted = false;
-
-  for (size_t head = 0; head < s.bfs_queue.size(); ++head) {
-    const VertexId v = s.bfs_queue[head];
-    const uint32_t dv = s.bfs_dist[v];
-
-    // Wave-mode dependency check: visiting a vertex claimed by a
-    // lower-rank in-flight task means this run could read that task's
-    // not-yet-committed entries — bail out, the caller re-runs this
-    // hub sequentially after the wave commits.
-    if (claim_owner != nullptr) {
-      const int32_t owner = claim_owner[v];
-      if (owner >= 0 && owner < claim_self) {
-        aborted = true;
-        break;
-      }
-    }
-
-    if (v != hub) {
-      const auto lv = Labels(v);
-      uint32_t over = kInfSpcDistance;  // certificate via strictly higher
-      size_t pos = 0;
-      bool has_hub = false;
-      LabelEntry old_entry{};
-      for (; pos < lv.size() && lv[pos].hub_rank <= hub_rank; ++pos) {
-        if (lv[pos].hub_rank == hub_rank) {
-          has_hub = true;
-          old_entry = lv[pos];
-          break;
-        }
-        const uint32_t hd = s.hub_dist[lv[pos].hub_rank];
-        if (hd != kInfSpcDistance) {
-          over = std::min(over, hd + lv[pos].dist);
-        }
-      }
-
-      if (region.flags[v] == 0) {
-        // Unaffected pair: the existing entry (if any) is still exact,
-        // so the full certificate may include it.
-        uint32_t certified = over;
-        if (has_hub) {
-          certified = std::min(certified,
-                               static_cast<uint32_t>(old_entry.dist));
-        }
-        if (certified < dv) continue;
-      } else {
-        // Affected pair: the old entry cannot be trusted; prune only
-        // via strictly higher hubs, then renew/insert.
-        if (dv > over) continue;
-        if (!has_hub) {
-          sink.Insert(v, pos, {hub_rank, ToLabelDistance(dv), s.bfs_count[v]});
-          ++stats->entries_inserted;
-        } else if (old_entry.dist != dv || old_entry.count != s.bfs_count[v]) {
-          sink.Renew(v, pos, {hub_rank, ToLabelDistance(dv), s.bfs_count[v]});
-          ++stats->entries_renewed;
-        }
-        s.updated[v] = 1;
-      }
-    }
-
-    graph_.ForEachNeighbor(v, [&](VertexId w) {
-      if (order_.RankOf(w) <= hub_rank) return;
-      if (s.bfs_dist[w] == kInfSpcDistance) {
-        s.bfs_dist[w] = dv + 1;
-        s.bfs_count[w] = s.bfs_count[v];
-        s.bfs_queue.push_back(w);
-        s.bfs_touched.push_back(w);
-      } else if (s.bfs_dist[w] == dv + 1) {
-        s.bfs_count[w] = SatAdd(s.bfs_count[w], s.bfs_count[v]);
-      }
-    });
-  }
-
-  // Erasure sweep: a region vertex the re-run did not confirm has lost
-  // its trough paths to this hub — its entry (when present) is stale
-  // and must go.
-  if (!aborted) {
-    if (sink.staged()) {
-      for (const VertexId v : *region.touched) {
-        if (order_.RankOf(v) <= hub_rank || s.updated[v] != 0) continue;
-        const auto lv = Labels(v);
-        const size_t pos = FindHubEntry(lv, hub_rank);
-        if (pos < lv.size()) {
-          sink.Erase(v, pos, hub_rank);
-          ++stats->entries_erased;
-        }
-      }
-    } else {
-      // Per-vertex erases are independent, so the sweep is planned
-      // cost-aware (label sizes vary wildly) and runs through the
-      // shared parallel-for.
-      std::vector<VertexId> to_erase;
-      for (const VertexId v : *region.touched) {
-        if (order_.RankOf(v) <= hub_rank || s.updated[v] != 0) continue;
-        const auto lv = Labels(v);
-        if (FindHubEntry(lv, hub_rank) < lv.size()) to_erase.push_back(v);
-      }
-      if (!to_erase.empty()) {
-        std::vector<uint64_t> costs;
-        costs.reserve(to_erase.size());
-        for (const VertexId v : to_erase) costs.push_back(Labels(v).size());
-        const SchedulePlan plan = PlanIteration(
-            ScheduleKind::kCostAware, to_erase, costs, order_.VertexToRank());
-        // Copy-on-write materialization touches the overlay's shared
-        // spine (root/page/chunk unsharing) and stays sequential; the
-        // erases themselves hit disjoint private chunks.
-        std::vector<std::vector<LabelEntry>*> lists;
-        lists.reserve(plan.sequence.size());
-        for (const VertexId v : plan.sequence) {
-          lists.push_back(&overlay_.Mutable(v));
-        }
-        // Capped by the OpenMP environment (OMP_NUM_THREADS): the TSan
-        // job pins teams to one thread because libgomp is not
-        // instrumented, and an explicit num_threads must not undo that.
-        const int sweep_threads = std::min(ResolvedThreads(), MaxThreads());
-        ParallelForDynamic(lists.size(), sweep_threads, plan.chunk,
-                           [&](size_t i) {
-                             std::vector<LabelEntry>& mv = *lists[i];
-                             const size_t pos = FindHubEntry(
-                                 {mv.data(), mv.size()}, hub_rank);
-                             if (pos < mv.size()) {
-                               mv.erase(mv.begin() +
-                                        static_cast<ptrdiff_t>(pos));
-                             }
-                           });
-        stats->entries_erased += lists.size();
-      }
-    }
-    ++stats->affected_hubs;
-  }
-
-  ResetHubDist(hub, s);
-  for (const VertexId v : s.bfs_touched) {
-    s.bfs_dist[v] = kInfSpcDistance;
-    s.bfs_count[v] = 0;
-    s.updated[v] = 0;
-  }
-  return !aborted;
+  return repair::RepairHubAfterDeletion(
+      RepView(), hub_rank, region, s, sink, stats,
+      std::min(ResolvedThreads(), MaxThreads()), claim_owner, claim_self);
 }
 
 }  // namespace pspc

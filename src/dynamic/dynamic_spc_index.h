@@ -14,6 +14,7 @@
 #include "src/dynamic/chunked_overlay.h"
 #include "src/dynamic/dynamic_graph.h"
 #include "src/dynamic/edge_update.h"
+#include "src/dynamic/repair_core.h"
 #include "src/graph/graph.h"
 #include "src/label/spc_index.h"
 #include "src/order/vertex_order.h"
@@ -116,33 +117,9 @@ struct DynamicOptions {
   bool parallel_batch_repair = true;
 };
 
-struct DynamicStats {
-  size_t insertions_applied = 0;
-  size_t deletions_applied = 0;
-  size_t resumed_bfs_runs = 0;   ///< insertion repair BFS launches
-  size_t affected_hubs = 0;      ///< deletion hubs fully re-run
-  size_t subtract_repairs = 0;   ///< deletion hubs repaired by subtraction
-  size_t entries_inserted = 0;
-  size_t entries_renewed = 0;
-  size_t entries_erased = 0;
-  size_t rebuilds = 0;
-  size_t batches_applied = 0;    ///< ApplyBatch calls that validated
-  size_t updates_coalesced = 0;  ///< batch updates dropped as no-ops
-  size_t parallel_waves = 0;     ///< thread-pool waves launched
-  size_t parallel_hub_runs = 0;  ///< hub repairs committed off a wave
-  size_t deferred_hub_runs = 0;  ///< wave aborts re-run sequentially
-  double repair_seconds = 0.0;
-  double rebuild_seconds = 0.0;
-
-  /// Every per-hub repair launch, the unit `ApplyBatch` coalescing
-  /// amortizes (bench_dynamic_updates reports the batched-vs-
-  /// sequential difference as "hub runs saved").
-  size_t TotalHubRuns() const {
-    return resumed_bfs_runs + affected_hubs + subtract_repairs;
-  }
-
-  std::string ToString() const;
-};
+// DynamicStats (and the repair scratch/sink/kernel machinery this
+// class shares with the directed `DynamicDspcIndex`) live in
+// repair_core.h.
 
 class DynamicSpcIndex {
  public:
@@ -226,97 +203,9 @@ class DynamicSpcIndex {
   const DynamicOptions& Options() const { return options_; }
 
  private:
-  /// Reusable n-sized BFS scratch. One instance backs the sequential
-  /// paths; parallel waves draw from a per-thread pool (repair BFS
-  /// state must never be shared across concurrently running hubs).
-  struct RepairScratch {
-    std::vector<uint32_t> hub_dist;   // by rank; kInfSpcDistance = unset
-    std::vector<uint32_t> bfs_dist;   // by vertex; kInfSpcDistance = unset
-    std::vector<Count> bfs_count;     // by vertex
-    std::vector<VertexId> bfs_touched;
-    std::vector<VertexId> bfs_queue;
-    std::vector<VertexId> frontier;       // insertion level-sync BFS
-    std::vector<VertexId> next_frontier;
-    std::vector<uint8_t> updated;     // by vertex; deletion repair marks
-    std::vector<int8_t> region_flags;     // materialized task region
-    std::vector<VertexId> region_touched;
-
-    void Init(VertexId n);
-  };
-
-  /// Write destination for one hub repair: the live overlay
-  /// (sequential paths), or a staged op list a parallel wave commits
-  /// in rank order after every task of the wave finished. A hub task
-  /// touches each vertex's own-rank entry at most once, so one staged
-  /// op per (task, vertex) suffices and commit can re-find positions.
-  struct StagedLabelOp {
-    VertexId v = 0;
-    LabelEntry entry{};  // carries the hub rank; payload unused on erase
-    bool erase = false;
-  };
-  class LabelWriteSink {
-   public:
-    explicit LabelWriteSink(ChunkedOverlay* live) : live_(live) {}
-    explicit LabelWriteSink(std::vector<StagedLabelOp>* staged)
-        : staged_(staged) {}
-
-    bool staged() const { return staged_ != nullptr; }
-
-    /// Replaces the entry at `pos` (present) of v's list.
-    void Renew(VertexId v, size_t pos, const LabelEntry& e) {
-      if (staged_ != nullptr) {
-        staged_->push_back({v, e, false});
-      } else {
-        live_->Mutable(v)[pos] = e;
-      }
-    }
-    /// Inserts `e` at rank position `pos` of v's list.
-    void Insert(VertexId v, size_t pos, const LabelEntry& e) {
-      if (staged_ != nullptr) {
-        staged_->push_back({v, e, false});
-      } else {
-        std::vector<LabelEntry>& mv = live_->Mutable(v);
-        mv.insert(mv.begin() + static_cast<ptrdiff_t>(pos), e);
-      }
-    }
-    /// Erases the entry for `hub_rank` sitting at `pos` of v's list.
-    void Erase(VertexId v, size_t pos, Rank hub_rank) {
-      if (staged_ != nullptr) {
-        staged_->push_back({v, LabelEntry{hub_rank, 0, 0}, true});
-      } else {
-        std::vector<LabelEntry>& mv = live_->Mutable(v);
-        mv.erase(mv.begin() + static_cast<ptrdiff_t>(pos));
-      }
-    }
-
-   private:
-    ChunkedOverlay* live_ = nullptr;
-    std::vector<StagedLabelOp>* staged_ = nullptr;
-  };
-
-  /// A hub repair's write region: non-zero `flags[v]` marks membership,
-  /// `touched` enumerates it.
-  struct RegionView {
-    const int8_t* flags = nullptr;
-    const std::vector<VertexId>* touched = nullptr;
-  };
-
-  /// One multi-source seed of an insertion repair BFS.
-  struct InsertSeed {
-    VertexId start = 0;
-    uint32_t dist = 0;
-    Count count = 0;
-  };
-
-  // Deletion machinery. `side` buffers are per-endpoint; flags hold 0
-  // (untouched), 1 (full sender), 2 (subtractive sender) or -1
-  // (receiver); any non-zero value marks the affected region.
-  struct AffectedSide {
-    std::vector<int8_t> flags;         // indexed by vertex id
-    std::vector<Rank> full_ranks;      // hubs needing a full re-run
-    std::vector<Rank> subtract_ranks;  // hubs repairable by subtraction
-    std::vector<VertexId> touched;     // everything in the region
-  };
+  // The repair scratch, staged-write sink, region/seed/side types, and
+  // the BFS kernels themselves are the direction-generic machinery of
+  // repair_core.h; this class binds them to the symmetric view.
 
   /// Compressed per-(edge, side) region of a coalesced deletion batch.
   /// `flags` parallels `touched` (values as in AffectedSide): the batch
@@ -353,12 +242,12 @@ class DynamicSpcIndex {
   void InitScratch();
   void MaybeRebuild();
   int ResolvedThreads() const;
+  /// The symmetric kernel view over the live graph/overlay/order.
+  SymmetricRepairView RepView() { return {&graph_, &overlay_, &order_}; }
 
   // ------------------------------------------------------- insertion
   void RepairInsertions(
       std::span<const std::pair<VertexId, VertexId>> edges);
-  void ResumedInsertBfs(Rank hub_rank, std::span<const InsertSeed> seeds,
-                        RepairScratch& scratch);
 
   // -------------------------------------------------------- deletion
   void RepairDeletion(VertexId a, VertexId b);
@@ -367,18 +256,18 @@ class DynamicSpcIndex {
   void DetectAffectedSide(VertexId from, VertexId to,
                           const std::vector<uint8_t>& hub_of_a,
                           const std::vector<uint8_t>& hub_of_b,
-                          AffectedSide* side) const;
+                          AffectedSide* side);
   // Plain BFS distances from `source` over the current graph view.
-  std::vector<uint32_t> BfsDistances(VertexId source) const;
+  std::vector<uint32_t> BfsDistances(VertexId source);
   // Exact distance-change detection for full-sender downgrades (see
-  // RepairDeletion); runs on the post-deletion graph. `sender_pre` /
+  // repair_core.h); runs on the post-deletion graph. `sender_pre` /
   // `opposite_pre` parallel the rank lists with each vertex's
   // pre-deletion distance from its own side's endpoint.
   void MarkDistanceChanges(const std::vector<Rank>& sender_ranks,
                            std::span<const uint32_t> sender_pre,
                            const std::vector<Rank>& opposite_full_ranks,
                            std::span<const uint32_t> opposite_pre,
-                           std::vector<uint8_t>* needs_full) const;
+                           std::vector<uint8_t>* needs_full);
   // Validates subtraction seeds of one side's sender hubs against the
   // still-exact pre-deletion index; fills the rank-indexed seed arrays.
   void ValidateDeletionSeeds(const std::vector<Rank>& full_ranks,
@@ -390,22 +279,15 @@ class DynamicSpcIndex {
                              std::vector<uint8_t>* seed_ok,
                              std::vector<uint32_t>* seed_dist,
                              std::vector<Count>* seed_count,
-                             std::vector<VertexId>* seed_far) const;
+                             std::vector<VertexId>* seed_far);
 
-  /// Full pruned restricted BFS re-run of one hub, writing (and
-  /// erasing) only inside `region`. Returns false iff the task aborted
-  /// because it visited a vertex claimed by a lower-rank in-flight
-  /// task (`claim_owner`, parallel waves only) — the caller re-runs it
-  /// sequentially after the wave commits.
+  /// Kernel wrappers over the symmetric view (see repair_core.h for
+  /// semantics); batch_repair.cc drives them per coalesced task.
   bool RepairHubAfterDeletion(Rank hub_rank, RegionView region,
                               RepairScratch& scratch, LabelWriteSink& sink,
                               DynamicStats* stats,
                               const int32_t* claim_owner = nullptr,
                               int32_t claim_self = -1);
-  /// Depth-capped count subtraction for a shared hub. Returns false
-  /// when saturation blocks subtraction — the caller escalates to
-  /// RepairHubAfterDeletion (which recomputes anything this pass may
-  /// already have written in live mode).
   bool SubtractiveDeleteRepair(Rank hub_rank, VertexId start,
                                uint32_t seed_dist, Count seed_count,
                                uint32_t depth_cap, RegionView region,
@@ -425,11 +307,6 @@ class DynamicSpcIndex {
                              const std::vector<DeletedEdgePlan>& plans,
                              RepairScratch& scratch) const;
   void CommitStagedOps(std::span<const StagedLabelOp> ops);
-
-  // Scratch: loads `hub_dist[rank] = dist` for the hub's current
-  // labels; ResetHubDist undoes exactly those writes.
-  void LoadHubDist(VertexId hub, RepairScratch& scratch) const;
-  void ResetHubDist(VertexId hub, RepairScratch& scratch) const;
 
   Graph base_graph_;
   std::shared_ptr<const SpcIndex> base_;

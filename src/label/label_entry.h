@@ -41,6 +41,22 @@ inline size_t FindHubEntry(std::span<const LabelEntry> list, Rank hub_rank) {
   return list.size();
 }
 
+/// Non-owning view of an immutable, CSR-flattened base label table —
+/// per-vertex entry spans behind `offsets` / `entries`. The undirected
+/// `SpcIndex` exposes one (`LabelMap()`), and the directed `DiSpcIndex`
+/// exposes one per label side (`OutLabelMap()` / `InLabelMap()`), which
+/// is what lets the dynamic layer's `ChunkedOverlay` sit on top of any
+/// of them without knowing which index variant it belongs to.
+struct BaseLabelMap {
+  const uint64_t* offsets = nullptr;
+  const LabelEntry* entries = nullptr;
+  VertexId num_vertices = 0;
+
+  std::span<const LabelEntry> Labels(VertexId v) const {
+    return {entries + offsets[v], entries + offsets[v + 1]};
+  }
+};
+
 /// One vertex's rank-sorted label list as a shareable unit — the
 /// building block of the persistent chunked overlay (see
 /// `src/dynamic/chunked_overlay.h`). A chunk is mutable only while its

@@ -45,6 +45,12 @@ class SpcIndex {
     return {entries_.data() + offsets_[v], entries_.data() + offsets_[v + 1]};
   }
 
+  /// Non-owning CSR view of the label table (the base a dynamic
+  /// overlay reads through); valid while the index is alive.
+  BaseLabelMap LabelMap() const {
+    return {offsets_.data(), entries_.data(), NumVertices()};
+  }
+
   /// The vertex order the index was built under.
   const VertexOrder& Order() const { return order_; }
 

@@ -1,6 +1,7 @@
 #include "src/serve/index_snapshot.h"
 
 #include "src/common/logging.h"
+#include "src/dynamic/dynamic_dspc_index.h"
 #include "src/dynamic/dynamic_spc_index.h"
 #include "src/label/label_merge.h"
 
@@ -17,10 +18,23 @@ std::unique_ptr<const IndexSnapshot> IndexSnapshot::Capture(
   return snapshot;
 }
 
+std::unique_ptr<const IndexSnapshot> IndexSnapshot::Capture(
+    DynamicDspcIndex& index) {
+  auto snapshot = std::unique_ptr<IndexSnapshot>(new IndexSnapshot());
+  snapshot->directed_base_ = index.SharedBaseIndex();
+  snapshot->overlay_ = index.CaptureInOverlay();
+  snapshot->out_overlay_ = index.CaptureOutOverlay();
+  snapshot->generation_ = index.Generation();
+  snapshot->num_vertices_ = index.NumVertices();
+  snapshot->num_edges_ = index.NumEdges();
+  return snapshot;
+}
+
 SpcResult IndexSnapshot::Query(VertexId s, VertexId t) const {
   PSPC_CHECK_MSG(s < num_vertices_ && t < num_vertices_,
                  "query (" << s << "," << t << ") out of range");
   if (s == t) return {0, 1};
+  if (IsDirected()) return MergeLabelCounts(OutLabels(s), InLabels(t));
   return MergeLabelCounts(Labels(s), Labels(t));
 }
 

@@ -6,15 +6,18 @@
 #include <span>
 
 #include "src/common/types.h"
+#include "src/digraph/dspc_index.h"
 #include "src/dynamic/chunked_overlay.h"
 #include "src/label/label_entry.h"
 #include "src/label/spc_index.h"
 
-/// An immutable, queryable freeze of a `DynamicSpcIndex` generation.
+/// An immutable, queryable freeze of a dynamic-index generation —
+/// undirected (`DynamicSpcIndex`) or directed (`DynamicDspcIndex`).
 ///
-/// Capture shares the base CSR (a `shared_ptr`, so a later staleness
+/// Capture shares the base index (a `shared_ptr`, so a later staleness
 /// rebuild cannot free it while an epoch still reads it) and freezes
-/// the persistent chunked overlay into an `OverlayView`: one
+/// the persistent chunked overlay into an `OverlayView` — for the
+/// directed index, one view per label side. A view freeze is one
 /// `shared_ptr` copy of the page directory, under which every vertex
 /// untouched since the previous capture aliases the prior snapshot's
 /// label chunk. Capture cost is therefore O(vertices repaired since
@@ -29,6 +32,7 @@
 namespace pspc {
 
 class DynamicSpcIndex;
+class DynamicDspcIndex;
 
 class IndexSnapshot {
  public:
@@ -39,14 +43,34 @@ class IndexSnapshot {
   static std::unique_ptr<const IndexSnapshot> Capture(
       DynamicSpcIndex& index);
 
+  /// Directed capture: freezes both label-side overlays (each O(delta
+  /// since its previous capture)) plus the shared base.
+  static std::unique_ptr<const IndexSnapshot> Capture(
+      DynamicDspcIndex& index);
+
   /// Distance and exact shortest-path count on the captured graph
-  /// generation — the same merge kernel as every other label container.
+  /// generation — the same merge kernel as every other label
+  /// container. Directed snapshots answer the directed query s -> t.
   SpcResult Query(VertexId s, VertexId t) const;
 
-  /// Labels of `v` as of the capture, rank-sorted.
+  /// True iff this snapshot froze a directed index.
+  bool IsDirected() const { return directed_base_ != nullptr; }
+
+  /// Labels of `v` as of an *undirected* capture, rank-sorted.
   std::span<const LabelEntry> Labels(VertexId v) const {
     const LabelChunk* chunk = overlay_.Chunk(v);
     return chunk != nullptr ? ChunkSpan(*chunk) : base_->Labels(v);
+  }
+
+  /// Out/in labels of `v` as of a *directed* capture, rank-sorted.
+  std::span<const LabelEntry> OutLabels(VertexId v) const {
+    const LabelChunk* chunk = out_overlay_.Chunk(v);
+    return chunk != nullptr ? ChunkSpan(*chunk)
+                            : directed_base_->OutLabels(v);
+  }
+  std::span<const LabelEntry> InLabels(VertexId v) const {
+    const LabelChunk* chunk = overlay_.Chunk(v);
+    return chunk != nullptr ? ChunkSpan(*chunk) : directed_base_->InLabels(v);
   }
 
   /// Generation counter of the captured index state.
@@ -55,19 +79,29 @@ class IndexSnapshot {
   VertexId NumVertices() const { return num_vertices_; }
   EdgeId NumEdges() const { return num_edges_; }
 
-  /// Vertices held out-of-line as of the capture.
-  size_t OverlaidVertices() const { return overlay_.OverlaidVertices(); }
+  /// Vertices held out-of-line as of the capture (directed: summed
+  /// over both label sides).
+  size_t OverlaidVertices() const {
+    return overlay_.OverlaidVertices() + out_overlay_.OverlaidVertices();
+  }
 
   /// Vertices whose label chunk was (re)copied since the previous
-  /// capture — the publish-cost delta this snapshot actually paid.
-  /// Everything else aliases the prior snapshot's chunks.
-  size_t CopiedVertices() const { return overlay_.CopiedVertices(); }
+  /// capture — the publish-cost delta this snapshot actually paid
+  /// (directed: summed over both label sides). Everything else aliases
+  /// the prior snapshot's chunks.
+  size_t CopiedVertices() const {
+    return overlay_.CopiedVertices() + out_overlay_.CopiedVertices();
+  }
 
  private:
   IndexSnapshot() = default;
 
+  // Undirected capture: `base_` + `overlay_`. Directed capture:
+  // `directed_base_` + `overlay_` (in side) + `out_overlay_`.
   std::shared_ptr<const SpcIndex> base_;
+  std::shared_ptr<const DiSpcIndex> directed_base_;
   OverlayView overlay_;
+  OverlayView out_overlay_;
   uint64_t generation_ = 0;
   VertexId num_vertices_ = 0;
   EdgeId num_edges_ = 0;

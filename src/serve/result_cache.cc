@@ -11,11 +11,6 @@ size_t RoundUpPowerOfTwo(size_t n) {
   return p;
 }
 
-uint64_t PairKey(VertexId s, VertexId t) {
-  const auto [lo, hi] = std::minmax(s, t);
-  return (uint64_t{lo} << 32) | uint64_t{hi};
-}
-
 uint64_t Mix(uint64_t key) {
   // splitmix64 finalizer: shard selection must not correlate with the
   // vertex-id structure of the key.
@@ -29,13 +24,25 @@ uint64_t Mix(uint64_t key) {
 
 }  // namespace
 
-ResultCache::ResultCache(size_t num_shards, size_t capacity_per_shard)
+ResultCache::ResultCache(size_t num_shards, size_t capacity_per_shard,
+                         bool symmetric)
     : num_shards_(RoundUpPowerOfTwo(std::max<size_t>(1, num_shards))),
       capacity_per_shard_(capacity_per_shard),
+      symmetric_(symmetric),
       shards_(new Shard[num_shards_]) {}
 
 ResultCache::Shard& ResultCache::ShardFor(uint64_t key) {
   return shards_[Mix(key) & (num_shards_ - 1)];
+}
+
+uint64_t ResultCache::PairKey(VertexId s, VertexId t) const {
+  if (symmetric_) {
+    // Undirected SPC: (t, s) is the same answer, fold the orders.
+    const auto [lo, hi] = std::minmax(s, t);
+    return (uint64_t{lo} << 32) | uint64_t{hi};
+  }
+  // Directed SPC: s -> t and t -> s are distinct answers.
+  return (uint64_t{s} << 32) | uint64_t{t};
 }
 
 bool ResultCache::Lookup(uint64_t generation, VertexId s, VertexId t,

@@ -11,8 +11,11 @@
 
 /// Sharded query-result cache, invalidated per published generation.
 ///
-/// Keys are canonicalized (s, t) pairs — SPC is symmetric, so (t, s)
-/// hits the same entry. Each shard is independently locked and tagged
+/// In symmetric mode keys are canonicalized (s, t) pairs — undirected
+/// SPC is symmetric, so (t, s) hits the same entry. Directed engines
+/// construct with `symmetric = false`, which keys on the ordered pair:
+/// SPC(s -> t) and SPC(t -> s) are distinct answers and must never
+/// alias. Each shard is independently locked and tagged
 /// with the generation its entries were computed against; a lookup or
 /// insert carrying a newer generation wholesale-drops the shard (the
 /// graph changed, every cached answer is suspect), and an insert from
@@ -27,8 +30,11 @@ class ResultCache {
  public:
   /// `num_shards` is rounded up to a power of two. A zero
   /// `capacity_per_shard` disables the cache (every Lookup misses,
-  /// every Insert drops).
-  ResultCache(size_t num_shards, size_t capacity_per_shard);
+  /// every Insert drops). `symmetric` controls key canonicalization:
+  /// true folds (s, t) and (t, s) together (undirected SPC), false
+  /// keeps ordered pairs distinct (directed SPC).
+  ResultCache(size_t num_shards, size_t capacity_per_shard,
+              bool symmetric = true);
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -52,9 +58,11 @@ class ResultCache {
   };
 
   Shard& ShardFor(uint64_t key);
+  uint64_t PairKey(VertexId s, VertexId t) const;
 
   const size_t num_shards_;  // power of two
   const size_t capacity_per_shard_;
+  const bool symmetric_;
   std::unique_ptr<Shard[]> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

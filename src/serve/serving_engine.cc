@@ -35,6 +35,27 @@ ServingEngine::ServingEngine(DynamicSpcIndex* index, ServingOptions options)
       queue_(options.queue_capacity),
       cache_(options.cache_shards, options.cache_capacity_per_shard),
       published_generation_(index->Generation()) {
+  StartWorkers();
+}
+
+ServingEngine::ServingEngine(DynamicDspcIndex* index, ServingOptions options)
+    : directed_index_(index),
+      options_(options),
+      num_vertices_(index->NumVertices()),
+      num_workers_(options.num_workers > 0
+                       ? static_cast<size_t>(options.num_workers)
+                       : static_cast<size_t>(MaxThreads())),
+      snapshots_(IndexSnapshot::Capture(*index)),
+      queue_(options.queue_capacity),
+      // Ordered-pair keys: directed SPC(s -> t) must never be answered
+      // from a cached SPC(t -> s).
+      cache_(options.cache_shards, options.cache_capacity_per_shard,
+             /*symmetric=*/false),
+      published_generation_(index->Generation()) {
+  StartWorkers();
+}
+
+void ServingEngine::StartWorkers() {
   if (num_workers_ == 0) num_workers_ = 1;
   workers_.reserve(num_workers_);
   for (size_t i = 0; i < num_workers_; ++i) {
@@ -105,18 +126,24 @@ std::future<std::vector<SpcResult>> ServingEngine::SubmitBatch(
 
 Status ServingEngine::ApplyUpdates(const EdgeUpdateBatch& batch) {
   std::lock_guard<std::mutex> lock(writer_mu_);
-  const DynamicStats& stats = index_->Stats();
+  const bool directed = directed_index_ != nullptr;
+  const DynamicStats& stats =
+      directed ? directed_index_->Stats() : index_->Stats();
   const uint64_t applied_before =
       stats.insertions_applied + stats.deletions_applied;
-  const Status status = index_->ApplyBatch(batch);
+  const Status status = directed ? directed_index_->ApplyBatch(batch)
+                                 : index_->ApplyBatch(batch);
   updates_applied_ +=
       stats.insertions_applied + stats.deletions_applied - applied_before;
   // ApplyBatch is atomic and bumps the generation once per batch, so
   // this publishes exactly one snapshot for a batch that changed
   // anything and none for a rejected or fully coalesced one.
-  if (index_->Generation() != published_generation_) {
-    snapshots_.Publish(IndexSnapshot::Capture(*index_));
-    published_generation_ = index_->Generation();
+  const uint64_t generation =
+      directed ? directed_index_->Generation() : index_->Generation();
+  if (generation != published_generation_) {
+    snapshots_.Publish(directed ? IndexSnapshot::Capture(*directed_index_)
+                                : IndexSnapshot::Capture(*index_));
+    published_generation_ = generation;
     ++publishes_;
   }
   return status;

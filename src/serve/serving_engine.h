@@ -12,6 +12,7 @@
 
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/dynamic/dynamic_dspc_index.h"
 #include "src/dynamic/dynamic_spc_index.h"
 #include "src/label/query_engine.h"
 #include "src/serve/request_queue.h"
@@ -78,6 +79,12 @@ class ServingEngine {
   /// `index` must outlive the engine.
   explicit ServingEngine(DynamicSpcIndex* index, ServingOptions options = {});
 
+  /// Directed variant: identical wiring over a `DynamicDspcIndex`
+  /// (queries answer the directed pair s -> t; publication freezes
+  /// both label-side overlays, each O(delta) per batch).
+  explicit ServingEngine(DynamicDspcIndex* index,
+                         ServingOptions options = {});
+
   /// Stops (drains, joins workers) if Stop was not called explicitly.
   ~ServingEngine();
 
@@ -120,10 +127,14 @@ class ServingEngine {
 
  private:
   void WorkerLoop();
+  void StartWorkers();
   bool Enqueue(ServeRequest request);
   void FinishRequests(size_t n);
 
-  DynamicSpcIndex* index_;
+  // Exactly one of the two is non-null; the write path dispatches on
+  // it, the read path only ever sees published snapshots.
+  DynamicSpcIndex* index_ = nullptr;
+  DynamicDspcIndex* directed_index_ = nullptr;
   ServingOptions options_;
   VertexId num_vertices_;
   size_t num_workers_;
