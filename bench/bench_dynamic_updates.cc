@@ -54,6 +54,7 @@
 #include "src/dynamic/dynamic_dspc_index.h"
 #include "src/dynamic/dynamic_spc_index.h"
 #include "src/graph/generators.h"
+#include "src/obs/metrics.h"
 #include "src/serve/index_snapshot.h"
 
 namespace {
@@ -694,6 +695,10 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     root.AddRaw("cases", json_cases.Serialize());
     root.Add("ok", ok);
+    // Observability snapshot of the run (the indexes above fed the
+    // process-global registry): plan/repair latency histograms and the
+    // dynamic.* totals, in the same schema the serve CLI exports.
+    root.AddRaw("metrics", pspc::obs::MetricsRegistry::Global().ToJson());
     if (!pspc::benchjson::WriteFile(json_path, root)) return 1;
     std::printf("wrote %s\n", json_path.c_str());
   }

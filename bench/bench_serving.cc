@@ -58,6 +58,7 @@
 #include "src/dynamic/closure_churn.h"
 #include "src/dynamic/dynamic_spc_index.h"
 #include "src/graph/generators.h"
+#include "src/obs/metrics.h"
 #include "src/label/query_engine.h"
 #include "src/serve/index_snapshot.h"
 #include "src/serve/serving_engine.h"
@@ -439,6 +440,10 @@ int main(int argc, char** argv) {
     root.AddRaw("publish_cost", publish_json.Serialize());
     root.Add("publish_bound_met", publish_ok);
     root.Add("oracle_mismatches_total", total_mismatches);
+    // The full observability snapshot of the run (every engine above
+    // fed the process-global registry) — same schema the serve CLI
+    // exports, so BENCH_*.json rows and scraped metrics line up.
+    root.AddRaw("metrics", pspc::obs::MetricsRegistry::Global().ToJson());
     if (!pspc::benchjson::WriteFile(json_path, root)) return 1;
     std::printf("wrote %s\n", json_path.c_str());
   }

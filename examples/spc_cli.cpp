@@ -9,11 +9,21 @@
 //   ./spc_cli update <graph-or-dataset> <index.bin>
 //                    --update-stream <updates.txt>
 //                    [--batch-size N] [--rebuild-threshold R]
-//                    [--save <out.bin>]
+//                    [--save <out.bin>] [--metrics-json <path>]
 //   ./spc_cli serve  <graph-or-dataset> <index.bin>
 //                    [--duration-seconds S] [--workers N] [--loaders N]
 //                    [--batch B] [--batch-size N] [--write-share P]
 //                    [--update-stream <updates.txt>] [--seed X] [--no-cache]
+//                    [--metrics-json <path>] [--metrics-interval-ms N]
+//                    [--trace-sample N] [--slow-trace-ms X]
+//
+// Observability: `--metrics-json` writes the versioned metrics
+// snapshot (counters / gauges / latency histograms with p50/p95/p99)
+// to the given path — once at exit for `update`, and additionally
+// every `--metrics-interval-ms` while `serve` runs (atomic
+// rename-free overwrite; scrape by re-reading the file).
+// `--trace-sample N` traces one in N queries; traced queries slower
+// than `--slow-trace-ms` end-to-end are dumped as JSON at exit.
 //
 // Directed variants (paper §II-A; the index is built in-process from
 // the graph, each edge-list line read as one directed edge u -> v; a
@@ -39,10 +49,12 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -66,9 +78,66 @@
 #include "src/graph/graph_io.h"
 #include "src/label/query_engine.h"
 #include "src/label/spc_index.h"
+#include "src/obs/metrics.h"
 #include "src/serve/serving_engine.h"
 
 namespace {
+
+// Writes `content` (already-serialized JSON) plus a trailing newline.
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size() &&
+      std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "write failed for %s\n", path.c_str());
+  return ok;
+}
+
+// Periodic metrics exporter: rewrites `path` with the registry's JSON
+// snapshot every `interval_ms` until stopped (plus one final write
+// from the owner). Interval 0 = no thread, final write only.
+class MetricsReporter {
+ public:
+  MetricsReporter(pspc::obs::MetricsRegistry* registry, std::string path,
+                  long long interval_ms)
+      : registry_(registry), path_(std::move(path)) {
+    if (path_.empty() || interval_ms <= 0) return;
+    thread_ = std::thread([this, interval_ms] {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!stop_) {
+        cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                     [this] { return stop_; });
+        if (stop_) break;
+        WriteTextFile(path_, registry_->ToJson());
+      }
+    });
+  }
+
+  ~MetricsReporter() {
+    if (thread_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+      }
+      cv_.notify_all();
+      thread_.join();
+    }
+    if (!path_.empty()) WriteTextFile(path_, registry_->ToJson());
+  }
+
+ private:
+  pspc::obs::MetricsRegistry* registry_;
+  std::string path_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 int Usage() {
   std::fprintf(stderr,
@@ -79,15 +148,18 @@ int Usage() {
                "  spc_cli stats <graph-or-dataset>\n"
                "  spc_cli update <graph-or-dataset> <index.bin> "
                "--update-stream <updates.txt> [--batch-size N] "
-               "[--rebuild-threshold R] [--save <out.bin>]\n"
+               "[--rebuild-threshold R] [--save <out.bin>] "
+               "[--metrics-json <path>]\n"
                "  spc_cli serve <graph-or-dataset> <index.bin> "
                "[--duration-seconds S] [--workers N] [--loaders N] "
                "[--batch B] [--batch-size N] [--write-share P] "
-               "[--update-stream <updates.txt>] [--seed X] [--no-cache]\n"
+               "[--update-stream <updates.txt>] [--seed X] [--no-cache] "
+               "[--metrics-json <path>] [--metrics-interval-ms N] "
+               "[--trace-sample N] [--slow-trace-ms X]\n"
                "  spc_cli query --directed <graph-or-dataset> <s> <t> ...\n"
                "  spc_cli update --directed <graph-or-dataset> "
                "--update-stream <updates.txt> [--batch-size N] "
-               "[--rebuild-threshold R]\n"
+               "[--rebuild-threshold R] [--metrics-json <path>]\n"
                "  spc_cli serve --directed <graph-or-dataset> "
                "[the serve flags]\n");
   return 2;
@@ -229,7 +301,7 @@ int CmdUpdateDirected(int argc, char** argv) {
   pspc::DiGraph graph;
   if (!LoadDiGraphArg(argv[3], &graph)) return 1;
 
-  std::string stream_path;
+  std::string stream_path, metrics_json;
   pspc::DynamicDiOptions options;
   size_t batch_size = 1;
   for (int i = 4; i < argc; ++i) {
@@ -245,6 +317,8 @@ int CmdUpdateDirected(int argc, char** argv) {
       long long value = 0;
       if (!ParseIntFlag("--batch-size", argv[++i], 1, &value)) return Usage();
       batch_size = static_cast<size_t>(value);
+    } else if (flag == "--metrics-json" && i + 1 < argc) {
+      metrics_json = argv[++i];
     } else {
       return Usage();
     }
@@ -302,6 +376,11 @@ int CmdUpdateDirected(int argc, char** argv) {
   std::printf("staleness: %.4f (threshold %.4f), edges now %llu\n",
               index.StalenessRatio(), options.rebuild_threshold,
               static_cast<unsigned long long>(index.NumEdges()));
+  if (!metrics_json.empty() &&
+      !WriteTextFile(metrics_json,
+                     pspc::obs::MetricsRegistry::Global().ToJson())) {
+    return 1;
+  }
   return 0;
 }
 
@@ -317,6 +396,10 @@ struct ServeParams {
   uint64_t seed = 42;
   bool no_cache = false;
   std::string stream_path;
+  std::string metrics_json;
+  long long metrics_interval_ms = 0;
+  long long trace_sample = 0;
+  double slow_trace_ms = 10.0;
 };
 
 bool ParseServeFlags(int argc, char** argv, int first, ServeParams* params) {
@@ -357,6 +440,24 @@ bool ParseServeFlags(int argc, char** argv, int first, ServeParams* params) {
       params->stream_path = argv[++i];
     } else if (flag == "--no-cache") {
       params->no_cache = true;
+    } else if (flag == "--metrics-json" && i + 1 < argc) {
+      params->metrics_json = argv[++i];
+    } else if (flag == "--metrics-interval-ms" && i + 1 < argc) {
+      if (!ParseIntFlag("--metrics-interval-ms", argv[++i], 1,
+                        &params->metrics_interval_ms)) {
+        return false;
+      }
+    } else if (flag == "--trace-sample" && i + 1 < argc) {
+      // 0 = tracing off.
+      if (!ParseIntFlag("--trace-sample", argv[++i], 0,
+                        &params->trace_sample)) {
+        return false;
+      }
+    } else if (flag == "--slow-trace-ms" && i + 1 < argc) {
+      if (!ParseDoubleFlag("--slow-trace-ms", argv[++i], 0.0,
+                           &params->slow_trace_ms)) {
+        return false;
+      }
     } else {
       return false;
     }
@@ -391,6 +492,9 @@ int RunServeWorkload(pspc::ServingEngine& engine, pspc::VertexId n,
                      const ServeParams& params, pspc::EdgeUpdateBatch stream,
                      pspc::ClosureChurn& churn,
                      const std::function<size_t()>& quiesce_check) {
+  // Periodic metrics exporter (and final snapshot on scope exit).
+  MetricsReporter reporter(&engine.Metrics(), params.metrics_json,
+                           params.metrics_interval_ms);
   std::atomic<uint64_t> reads{0};
   std::atomic<bool> stop{false};
   std::vector<std::vector<double>> batch_ms(
@@ -483,6 +587,18 @@ int RunServeWorkload(pspc::ServingEngine& engine, pspc::VertexId n,
                                : static_cast<double>(writes) / total_ops);
   std::printf("%s\n", engine.Counters().ToString().c_str());
 
+  if (params.trace_sample > 0) {
+    const pspc::obs::TraceCollector& traces = engine.Traces();
+    std::printf("traces: %llu sampled (1 in %lld), %llu above %.1f ms\n",
+                static_cast<unsigned long long>(traces.TracesRecorded()),
+                params.trace_sample,
+                static_cast<unsigned long long>(traces.SlowTraces()),
+                traces.SlowThresholdMicros() * 1e-3);
+    if (traces.SlowTraces() > 0) {
+      std::printf("slow traces: %s\n", traces.SlowTracesToJson().c_str());
+    }
+  }
+
   const size_t mismatches = quiesce_check();
   return mismatches == 0 ? 0 : 1;
 }
@@ -510,6 +626,10 @@ int CmdServeDirected(int argc, char** argv) {
   pspc::ServingOptions serving_options;
   serving_options.num_workers = params.workers;
   if (params.no_cache) serving_options.cache_capacity_per_shard = 0;
+  serving_options.trace_sample_every_n =
+      static_cast<uint64_t>(params.trace_sample);
+  serving_options.trace_seed = params.seed;
+  serving_options.slow_trace_us = params.slow_trace_ms * 1000.0;
   pspc::ServingEngine engine(&index, serving_options);
 
   std::printf("serving directed %u vertices / %llu edges (index built in "
@@ -654,7 +774,7 @@ int CmdUpdate(int argc, char** argv) {
     return 1;
   }
 
-  std::string stream_path, save_path;
+  std::string stream_path, save_path, metrics_json;
   pspc::DynamicOptions options;
   size_t batch_size = 1;
   for (int i = 4; i < argc; ++i) {
@@ -672,6 +792,8 @@ int CmdUpdate(int argc, char** argv) {
       batch_size = static_cast<size_t>(value);
     } else if (flag == "--save" && i + 1 < argc) {
       save_path = argv[++i];
+    } else if (flag == "--metrics-json" && i + 1 < argc) {
+      metrics_json = argv[++i];
     } else {
       return Usage();
     }
@@ -744,6 +866,11 @@ int CmdUpdate(int argc, char** argv) {
     std::printf("rebuilt + saved to %s (%.1f MB)\n", save_path.c_str(),
                 static_cast<double>(index.BaseIndex().SizeBytes()) / 1048576.0);
   }
+  if (!metrics_json.empty() &&
+      !WriteTextFile(metrics_json,
+                     pspc::obs::MetricsRegistry::Global().ToJson())) {
+    return 1;
+  }
   return 0;
 }
 
@@ -790,6 +917,10 @@ int CmdServe(int argc, char** argv) {
   pspc::ServingOptions serving_options;
   serving_options.num_workers = params.workers;
   if (params.no_cache) serving_options.cache_capacity_per_shard = 0;
+  serving_options.trace_sample_every_n =
+      static_cast<uint64_t>(params.trace_sample);
+  serving_options.trace_seed = params.seed;
+  serving_options.slow_trace_us = params.slow_trace_ms * 1000.0;
   pspc::ServingEngine engine(&index, serving_options);
 
   std::printf("serving %u vertices / %llu edges: %d loaders x batch %zu, "

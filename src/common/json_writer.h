@@ -1,0 +1,143 @@
+#ifndef PSPC_SRC_COMMON_JSON_WRITER_H_
+#define PSPC_SRC_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+/// Minimal JSON emission shared by the self-contained benches'
+/// `--json` summaries (`BENCH_*.json`) and the observability layer's
+/// `MetricsRegistry::ToJson` snapshot, so both machine-readable
+/// surfaces serialize identically. Build-only helpers — no parsing, no
+/// dependency; numbers use shortest-round-trip formatting and strings
+/// escape quotes/backslashes/control characters. (The `benchjson`
+/// namespace name predates the move out of bench/.)
+namespace pspc {
+namespace benchjson {
+
+inline std::string EscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string NumberToJson(double value) {
+  std::ostringstream oss;
+  oss.precision(12);
+  oss << value;
+  const std::string s = oss.str();
+  // JSON has no Infinity/NaN; clamp to null.
+  if (s.find("inf") != std::string::npos ||
+      s.find("nan") != std::string::npos) {
+    return "null";
+  }
+  return s;
+}
+
+/// Key-ordered JSON object under construction. Values are either
+/// scalars or pre-serialized JSON (nested objects/arrays via AddRaw).
+class Object {
+ public:
+  Object& Add(const std::string& key, double value) {
+    return AddRaw(key, NumberToJson(value));
+  }
+  Object& Add(const std::string& key, uint64_t value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  Object& Add(const std::string& key, int value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  Object& Add(const std::string& key, int64_t value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  Object& Add(const std::string& key, bool value) {
+    return AddRaw(key, value ? "true" : "false");
+  }
+  Object& Add(const std::string& key, const std::string& value) {
+    return AddRaw(key, "\"" + EscapeString(value) + "\"");
+  }
+  Object& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  Object& AddRaw(const std::string& key, const std::string& json) {
+    fields_.emplace_back(key, json);
+    return *this;
+  }
+
+  std::string Serialize() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "\"" + EscapeString(fields_[i].first) + "\":" +
+             fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// JSON array of pre-serialized elements.
+class Array {
+ public:
+  Array& Add(const Object& object) { return AddRaw(object.Serialize()); }
+  Array& AddRaw(const std::string& json) {
+    elements_.push_back(json);
+    return *this;
+  }
+
+  std::string Serialize() const {
+    std::string out = "[";
+    for (size_t i = 0; i < elements_.size(); ++i) {
+      if (i != 0) out += ",";
+      out += elements_[i];
+    }
+    out += "]";
+    return out;
+  }
+
+ private:
+  std::vector<std::string> elements_;
+};
+
+/// Writes `root` to `path` (trailing newline included). Prints to
+/// stderr and returns false on I/O failure.
+inline bool WriteFile(const std::string& path, const Object& root) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "--json: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string json = root.Serialize();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size()
+                  && std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "--json: write failed for %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace benchjson
+}  // namespace pspc
+
+#endif  // PSPC_SRC_COMMON_JSON_WRITER_H_

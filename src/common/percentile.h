@@ -2,19 +2,77 @@
 #define PSPC_SRC_COMMON_PERCENTILE_H_
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
-/// Nearest-rank percentile over a sample, shared by every bench/CLI
-/// latency report so p50/p99 always mean the same thing.
+/// Percentile math shared by every latency report in the tree: the
+/// benches' sample-vector summaries and the observability layer's
+/// fixed-bucket histograms (src/obs/metrics.h) both resolve ranks
+/// here, so p50/p99 always mean the same thing regardless of which
+/// surface reported them.
 namespace pspc {
+
+/// Rank (index into a sorted sample of `count` values) the
+/// `p`-quantile resolves to under the nearest-rank convention used
+/// everywhere in this codebase: `floor(p * count)`, clamped to the
+/// last element.
+inline size_t PercentileRank(size_t count, double p) {
+  if (count == 0) return 0;
+  const auto idx = static_cast<size_t>(p * static_cast<double>(count));
+  return std::min(idx, count - 1);
+}
+
+/// The `p`-quantile (`p` in [0, 1]) of an already-sorted sample by
+/// nearest rank; 0 for an empty sample.
+inline double PercentileSorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  return sorted[PercentileRank(sorted.size(), p)];
+}
 
 /// The `p`-quantile (`p` in [0, 1]) by nearest rank; 0 for an empty
 /// sample. Takes the values by copy — callers keep their raw series.
 inline double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
-  const auto idx = static_cast<size_t>(p * static_cast<double>(values.size()));
-  return values[std::min(idx, values.size() - 1)];
+  return PercentileSorted(values, p);
+}
+
+/// The `p`-quantile of a fixed-boundary histogram, linearly
+/// interpolated inside the bucket that holds the nearest-rank sample
+/// (the same rank PercentileSorted would pick on the raw series).
+///
+/// `counts` has one entry per bucket plus a trailing overflow bucket:
+/// `counts.size() == upper_bounds.size() + 1`. Bucket `k` covers
+/// `(upper_bounds[k-1], upper_bounds[k]]` with an implicit lower bound
+/// of 0 for the first bucket. `min_value` / `max_value` are the
+/// extremes actually recorded; they clamp the interpolation so the
+/// result never leaves the observed range (and give the unbounded
+/// overflow bucket a finite upper edge). Returns 0 when empty.
+inline double HistogramPercentile(std::span<const uint64_t> counts,
+                                  std::span<const double> upper_bounds,
+                                  double p, double min_value,
+                                  double max_value) {
+  uint64_t total = 0;
+  for (const uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const auto rank =
+      static_cast<uint64_t>(PercentileRank(static_cast<size_t>(total), p));
+  uint64_t seen = 0;
+  for (size_t k = 0; k < counts.size(); ++k) {
+    if (counts[k] == 0) continue;
+    if (rank < seen + counts[k]) {
+      const double lower = k == 0 ? 0.0 : upper_bounds[k - 1];
+      const double upper =
+          k < upper_bounds.size() ? upper_bounds[k] : max_value;
+      const double fraction = (static_cast<double>(rank - seen) + 0.5) /
+                              static_cast<double>(counts[k]);
+      const double value = lower + (upper - lower) * fraction;
+      return std::clamp(value, min_value, max_value);
+    }
+    seen += counts[k];
+  }
+  return max_value;  // unreachable for consistent inputs
 }
 
 }  // namespace pspc

@@ -43,14 +43,19 @@ struct DynamicSpcIndex::DeletedEdgePlan {
 
 Status DynamicSpcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
   PSPC_RETURN_IF_ERROR(batch.Validate(NumVertices()));
+  WallTimer plan_timer;
   auto planned = PlanBatch(batch, [this](VertexId u, VertexId v) {
     return graph_.HasEdge(u, v);
   });
   PSPC_RETURN_IF_ERROR(planned.status());
+  obs_.plan_us()->Record(plan_timer.ElapsedSeconds() * 1e6);
   const BatchPlan& plan = planned.value();
   ++stats_.batches_applied;
   stats_.updates_coalesced += plan.coalesced_updates;
-  if (plan.Empty()) return Status::OK();
+  if (plan.Empty()) {
+    PublishMetrics();
+    return Status::OK();
+  }
   if (plan.NetSize() == 1) {
     // One net update: the tuned single-update path (its deletion
     // classification is strictly sharper than the batch one).
@@ -63,6 +68,7 @@ Status DynamicSpcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
 
   {
     ScopedTimer timer(&stats_.repair_seconds);
+    obs::ScopedLatencyTimer latency(obs_.repair_us());
     // Deletions first: their detection needs the pre-batch exact
     // index, and insertion seeds need labels exact for the deleted
     // graph. Each phase leaves the index exact for its own graph, so
@@ -86,6 +92,7 @@ Status DynamicSpcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
   stats_.deletions_applied += plan.net_deletions.size();
   ++generation_;  // one published generation per batch
   MaybeRebuild();
+  PublishMetrics();
   return Status::OK();
 }
 

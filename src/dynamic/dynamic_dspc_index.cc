@@ -19,7 +19,8 @@ DynamicDspcIndex::DynamicDspcIndex(DiGraph graph, DiSpcIndex index,
       graph_(&base_graph_),
       out_overlay_(base_->OutLabelMap()),
       in_overlay_(base_->InLabelMap()),
-      options_(options) {
+      options_(options),
+      obs_(options.metrics) {
   PSPC_CHECK_MSG(base_->NumVertices() == base_graph_.NumVertices(),
                  "index (" << base_->NumVertices() << " vertices) does not "
                  "match graph (" << base_graph_.NumVertices() << ")");
@@ -61,6 +62,15 @@ void DynamicDspcIndex::MaybeRebuild() {
   }
 }
 
+void DynamicDspcIndex::PublishMetrics() {
+  obs_.ExportDelta(stats_);
+  obs_.SetGauges(generation_,
+                 out_overlay_.OverlaidEntries() + in_overlay_.OverlaidEntries(),
+                 out_overlay_.OverlaidVertices() +
+                     in_overlay_.OverlaidVertices(),
+                 base_->TotalEntries());
+}
+
 void DynamicDspcIndex::Rebuild() {
   WallTimer timer;
   DiGraph current = graph_.Materialize();
@@ -76,19 +86,24 @@ void DynamicDspcIndex::Rebuild() {
   in_overlay_.Rebase(base_->InLabelMap());
   ++generation_;
   ++stats_.rebuilds;
-  stats_.rebuild_seconds += timer.ElapsedSeconds();
+  const double elapsed = timer.ElapsedSeconds();
+  stats_.rebuild_seconds += elapsed;
+  obs_.rebuild_us()->Record(elapsed * 1e6);
+  PublishMetrics();
 }
 
 Status DynamicDspcIndex::InsertEdge(VertexId u, VertexId v) {
   PSPC_RETURN_IF_ERROR(graph_.AddEdge(u, v));
   {
     ScopedTimer timer(&stats_.repair_seconds);
+    obs::ScopedLatencyTimer latency(obs_.repair_us());
     const std::pair<VertexId, VertexId> edge{u, v};
     RepairInsertions({&edge, 1});
   }
   ++stats_.insertions_applied;
   ++generation_;
   MaybeRebuild();
+  PublishMetrics();
   return Status::OK();
 }
 
@@ -100,11 +115,13 @@ Status DynamicDspcIndex::DeleteEdge(VertexId u, VertexId v) {
   }
   {
     ScopedTimer timer(&stats_.repair_seconds);
+    obs::ScopedLatencyTimer latency(obs_.repair_us());
     RepairDeletion(u, v);
   }
   ++stats_.deletions_applied;
   ++generation_;
   MaybeRebuild();
+  PublishMetrics();
   return Status::OK();
 }
 
@@ -116,15 +133,20 @@ Status DynamicDspcIndex::Apply(const EdgeUpdate& update) {
 
 Status DynamicDspcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
   PSPC_RETURN_IF_ERROR(batch.Validate(NumVertices()));
+  WallTimer plan_timer;
   auto planned = PlanBatch(
       batch,
       [this](VertexId u, VertexId v) { return graph_.HasEdge(u, v); },
       /*directed=*/true);
   PSPC_RETURN_IF_ERROR(planned.status());
+  obs_.plan_us()->Record(plan_timer.ElapsedSeconds() * 1e6);
   const BatchPlan& plan = planned.value();
   ++stats_.batches_applied;
   stats_.updates_coalesced += plan.coalesced_updates;
-  if (plan.Empty()) return Status::OK();
+  if (plan.Empty()) {
+    PublishMetrics();
+    return Status::OK();
+  }
   if (plan.NetSize() == 1) {
     // One net update: the single-update path.
     return plan.net_deletions.empty()
@@ -136,6 +158,7 @@ Status DynamicDspcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
 
   {
     ScopedTimer timer(&stats_.repair_seconds);
+    obs::ScopedLatencyTimer latency(obs_.repair_us());
     // Deletions first: their detection needs the pre-batch exact
     // index, and insertion seeds need labels exact for the deleted
     // graph. Each single-edge deletion repair leaves the index exact
@@ -155,6 +178,7 @@ Status DynamicDspcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
   stats_.deletions_applied += plan.net_deletions.size();
   ++generation_;  // one published generation per batch
   MaybeRebuild();
+  PublishMetrics();
   return Status::OK();
 }
 

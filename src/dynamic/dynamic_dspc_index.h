@@ -16,6 +16,7 @@
 #include "src/dynamic/dynamic_digraph.h"
 #include "src/dynamic/edge_update.h"
 #include "src/dynamic/repair_core.h"
+#include "src/obs/stats_export.h"
 #include "src/order/vertex_order.h"
 
 /// Incremental maintenance of the directed 2-hop SPC index (paper
@@ -77,6 +78,10 @@ struct DynamicDiOptions {
   DiPspcOptions rebuild_options;
   /// Threads for the erasure-sweep parallel-for (<= 0: all cores).
   int num_threads = 0;
+  /// Registry receiving the `dynamic.*` metrics (counters mirrored
+  /// from `Stats()`, stage-timing histograms, overlay gauges; both
+  /// overlay sides summed). Null selects the process-global registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Directed kernel view (see repair_core.h for the contract). The
@@ -223,6 +228,9 @@ class DynamicDspcIndex {
   }
 
   void MaybeRebuild();
+  /// Mirrors `stats_` deltas into the registry and refreshes the
+  /// overlay/generation gauges; tail of every public mutation.
+  void PublishMetrics();
   int SweepThreads() const;
 
   /// Coalesced insertion repair across `edges` (already applied to the
@@ -240,6 +248,7 @@ class DynamicDspcIndex {
   ChunkedOverlay in_overlay_;
   DynamicDiOptions options_;
   DynamicStats stats_;
+  obs::DynamicStatsExporter obs_;
   uint64_t generation_ = 0;
 
   RepairScratch scratch_;

@@ -38,7 +38,8 @@ DynamicSpcIndex::DynamicSpcIndex(Graph graph, SpcIndex index,
       order_(base_->Order()),
       graph_(&base_graph_),
       overlay_(base_->LabelMap()),
-      options_(options) {
+      options_(options),
+      obs_(options.metrics) {
   PSPC_CHECK_MSG(base_->NumVertices() == base_graph_.NumVertices(),
                  "index (" << base_->NumVertices() << " vertices) does not "
                  "match graph (" << base_graph_.NumVertices() << ")");
@@ -81,6 +82,12 @@ void DynamicSpcIndex::MaybeRebuild() {
   }
 }
 
+void DynamicSpcIndex::PublishMetrics() {
+  obs_.ExportDelta(stats_);
+  obs_.SetGauges(generation_, overlay_.OverlaidEntries(),
+                 overlay_.OverlaidVertices(), base_->TotalEntries());
+}
+
 void DynamicSpcIndex::Rebuild() {
   WallTimer timer;
   Graph current = graph_.Materialize();
@@ -94,19 +101,24 @@ void DynamicSpcIndex::Rebuild() {
   overlay_.Rebase(base_->LabelMap());
   ++generation_;
   ++stats_.rebuilds;
-  stats_.rebuild_seconds += timer.ElapsedSeconds();
+  const double elapsed = timer.ElapsedSeconds();
+  stats_.rebuild_seconds += elapsed;
+  obs_.rebuild_us()->Record(elapsed * 1e6);
+  PublishMetrics();
 }
 
 Status DynamicSpcIndex::InsertEdge(VertexId u, VertexId v) {
   PSPC_RETURN_IF_ERROR(graph_.AddEdge(u, v));
   {
     ScopedTimer timer(&stats_.repair_seconds);
+    obs::ScopedLatencyTimer latency(obs_.repair_us());
     const std::pair<VertexId, VertexId> edge{u, v};
     RepairInsertions({&edge, 1});
   }
   ++stats_.insertions_applied;
   ++generation_;
   MaybeRebuild();
+  PublishMetrics();
   return Status::OK();
 }
 
@@ -118,11 +130,13 @@ Status DynamicSpcIndex::DeleteEdge(VertexId u, VertexId v) {
   }
   {
     ScopedTimer timer(&stats_.repair_seconds);
+    obs::ScopedLatencyTimer latency(obs_.repair_us());
     RepairDeletion(u, v);
   }
   ++stats_.deletions_applied;
   ++generation_;
   MaybeRebuild();
+  PublishMetrics();
   return Status::OK();
 }
 

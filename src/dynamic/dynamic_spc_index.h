@@ -17,6 +17,7 @@
 #include "src/dynamic/repair_core.h"
 #include "src/graph/graph.h"
 #include "src/label/spc_index.h"
+#include "src/obs/stats_export.h"
 #include "src/order/vertex_order.h"
 
 /// Incremental maintenance of the ESPC 2-hop index under edge churn.
@@ -115,6 +116,10 @@ struct DynamicOptions {
   /// Run disjoint-region hub repairs of a coalesced batch on a thread
   /// pool (`num_threads` wide). Off = identical plan, sequential run.
   bool parallel_batch_repair = true;
+  /// Registry receiving the `dynamic.*` metrics (counters mirrored
+  /// from `Stats()`, stage-timing histograms, overlay gauges).
+  /// Null selects the process-global registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // DynamicStats (and the repair scratch/sink/kernel machinery this
@@ -241,6 +246,9 @@ class DynamicSpcIndex {
 
   void InitScratch();
   void MaybeRebuild();
+  /// Mirrors `stats_` deltas into the registry and refreshes the
+  /// overlay/generation gauges; tail of every public mutation.
+  void PublishMetrics();
   int ResolvedThreads() const;
   /// The symmetric kernel view over the live graph/overlay/order.
   SymmetricRepairView RepView() { return {&graph_, &overlay_, &order_}; }
@@ -315,6 +323,7 @@ class DynamicSpcIndex {
   ChunkedOverlay overlay_;
   DynamicOptions options_;
   DynamicStats stats_;
+  obs::DynamicStatsExporter obs_;
   uint64_t generation_ = 0;
 
   RepairScratch scratch_;                    // sequential paths

@@ -1,0 +1,53 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+
+#include "src/common/json_writer.h"
+
+namespace pspc {
+namespace obs {
+
+int64_t TraceNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string QueryTrace::ToJson() const {
+  benchjson::Object object;
+  object.Add("trace_id", trace_id);
+  object.Add("s", static_cast<uint64_t>(s));
+  object.Add("t", static_cast<uint64_t>(t));
+  object.Add("generation", generation);
+  object.Add("cache_hit", cache_hit);
+  object.Add("queue_wait_us", QueueWaitMicros());
+  object.Add("merge_us", MergeMicros());
+  object.Add("total_us", TotalMicros());
+  return object.Serialize();
+}
+
+bool TraceCollector::Record(const QueryTrace& trace) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (trace.TotalMicros() <= slow_threshold_us_) return false;
+  slow_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slow_log_.size() == capacity_) slow_log_.pop_front();
+  slow_log_.push_back(trace);
+  return true;
+}
+
+std::vector<QueryTrace> TraceCollector::SlowTraceLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {slow_log_.begin(), slow_log_.end()};
+}
+
+std::string TraceCollector::SlowTracesToJson() const {
+  benchjson::Array array;
+  for (const QueryTrace& trace : SlowTraceLog()) {
+    array.AddRaw(trace.ToJson());
+  }
+  return array.Serialize();
+}
+
+}  // namespace obs
+}  // namespace pspc

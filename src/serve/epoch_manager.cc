@@ -1,6 +1,7 @@
 #include "src/serve/epoch_manager.h"
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace pspc {
 
@@ -24,6 +25,7 @@ size_t EpochManager::Enter() {
   // under sustained oversubscription. Recording `epoch` (loaded before
   // the sweep) is sound even if the global epoch has advanced since —
   // an older pin only makes reclamation more conservative, never less.
+  if (overflow_pin_counter_ != nullptr) overflow_pin_counter_->Increment();
   std::lock_guard<std::mutex> lock(overflow_mu_);
   size_t idx = overflow_epochs_.size();
   for (size_t i = 0; i < overflow_epochs_.size(); ++i) {

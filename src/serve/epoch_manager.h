@@ -43,6 +43,10 @@
 /// workloads never reach it.
 namespace pspc {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 class EpochManager {
  public:
   /// Lock-free reader slots; pins beyond this go to the overflow
@@ -83,6 +87,13 @@ class EpochManager {
   /// Number of currently pinned slots (diagnostics / shutdown checks).
   size_t ActiveReaders() const;
 
+  /// Counts overflow pins (the graceful-degradation valve firing) into
+  /// `counter`; null disables. Call before readers start — the pointer
+  /// itself is unsynchronized.
+  void BindOverflowPinCounter(obs::Counter* counter) {
+    overflow_pin_counter_ = counter;
+  }
+
  private:
   // One cache line per slot so reader pins do not false-share.
   struct alignas(64) Slot {
@@ -104,6 +115,7 @@ class EpochManager {
   std::vector<uint64_t> overflow_epochs_;  // guarded by overflow_mu_
   std::atomic<size_t> overflow_pins_{0};   // mutated under overflow_mu_
   std::atomic<uint64_t> overflow_min_{0};  // mutated under overflow_mu_
+  obs::Counter* overflow_pin_counter_ = nullptr;  // set before readers
 };
 
 }  // namespace pspc

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/obs/trace.h"
 
 /// The serving front-end's MPMC request plumbing: completion tickets
 /// and a bounded queue workers drain in adaptive micro-batches.
@@ -44,8 +45,14 @@ struct ServeRequest {
   VertexId s = 0;
   VertexId t = 0;
   uint32_t pos = 0;  // slot in batch->results
+  /// Submission timestamp (obs::TraceNowNs) — the queue-wait histogram
+  /// measures dequeue time against it for every query.
+  int64_t enqueue_ns = 0;
   std::shared_ptr<BatchTicket> batch;
   std::shared_ptr<SingleTicket> single;
+  /// Set on the sampled 1-in-N: the worker stamps the remaining stage
+  /// timestamps and hands the completed trace to the collector.
+  std::shared_ptr<obs::QueryTrace> trace;
 };
 
 /// Bounded MPMC queue with batch dequeue. Producers block while full

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
+#include "src/obs/metric_names.h"
 
 namespace pspc {
 
@@ -31,10 +32,13 @@ ServingEngine::ServingEngine(DynamicSpcIndex* index, ServingOptions options)
       num_workers_(options.num_workers > 0
                        ? static_cast<size_t>(options.num_workers)
                        : static_cast<size_t>(MaxThreads())),
-      snapshots_(IndexSnapshot::Capture(*index)),
+      snapshots_(IndexSnapshot::Capture(*index), options.metrics),
       queue_(options.queue_capacity),
       cache_(options.cache_shards, options.cache_capacity_per_shard),
-      published_generation_(index->Generation()) {
+      published_generation_(index->Generation()),
+      sampler_(options.trace_sample_every_n, options.trace_seed),
+      traces_(options.slow_trace_capacity, options.slow_trace_us) {
+  BindMetrics();
   StartWorkers();
 }
 
@@ -45,14 +49,45 @@ ServingEngine::ServingEngine(DynamicDspcIndex* index, ServingOptions options)
       num_workers_(options.num_workers > 0
                        ? static_cast<size_t>(options.num_workers)
                        : static_cast<size_t>(MaxThreads())),
-      snapshots_(IndexSnapshot::Capture(*index)),
+      snapshots_(IndexSnapshot::Capture(*index), options.metrics),
       queue_(options.queue_capacity),
       // Ordered-pair keys: directed SPC(s -> t) must never be answered
       // from a cached SPC(t -> s).
       cache_(options.cache_shards, options.cache_capacity_per_shard,
              /*symmetric=*/false),
-      published_generation_(index->Generation()) {
+      published_generation_(index->Generation()),
+      sampler_(options.trace_sample_every_n, options.trace_seed),
+      traces_(options.slow_trace_capacity, options.slow_trace_us) {
+  BindMetrics();
   StartWorkers();
+}
+
+void ServingEngine::BindMetrics() {
+  metrics_ = options_.metrics != nullptr ? options_.metrics
+                                         : &obs::MetricsRegistry::Global();
+  queries_total_ = metrics_->GetCounter(obs::kServeQueriesTotal);
+  micro_batches_total_ = metrics_->GetCounter(obs::kServeMicroBatchesTotal);
+  cache_hits_total_ = metrics_->GetCounter(obs::kServeCacheHitsTotal);
+  cache_misses_total_ = metrics_->GetCounter(obs::kServeCacheMissesTotal);
+  updates_applied_total_ =
+      metrics_->GetCounter(obs::kServeUpdatesAppliedTotal);
+  generations_published_total_ =
+      metrics_->GetCounter(obs::kServeGenerationsPublishedTotal);
+  traces_sampled_total_ = metrics_->GetCounter(obs::kServeTracesSampledTotal);
+  traces_slow_total_ = metrics_->GetCounter(obs::kServeTracesSlowTotal);
+  published_generation_gauge_ =
+      metrics_->GetGauge(obs::kServePublishedGeneration);
+  query_latency_us_ = metrics_->GetHistogram(obs::kServeQueryLatencyUs);
+  query_latency_cache_hit_us_ =
+      metrics_->GetHistogram(obs::kServeQueryLatencyCacheHitUs);
+  query_latency_merge_us_ =
+      metrics_->GetHistogram(obs::kServeQueryLatencyMergeUs);
+  queue_wait_us_ = metrics_->GetHistogram(obs::kServeQueueWaitUs);
+  micro_batch_size_ = metrics_->GetHistogram(obs::kServeMicroBatchSize);
+  update_latency_us_ = metrics_->GetHistogram(obs::kServeUpdateLatencyUs);
+  publish_us_ = metrics_->GetHistogram(obs::kServePublishUs);
+  published_generation_gauge_->Set(
+      static_cast<int64_t>(published_generation_));
 }
 
 void ServingEngine::StartWorkers() {
@@ -81,6 +116,16 @@ void ServingEngine::FinishRequests(size_t n) {
   }
 }
 
+void ServingEngine::AttachTrace(ServeRequest* request) {
+  auto trace = std::make_shared<obs::QueryTrace>();
+  trace->trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  trace->s = request->s;
+  trace->t = request->t;
+  trace->enqueue_ns = request->enqueue_ns;
+  request->trace = std::move(trace);
+  traces_sampled_total_->Increment();
+}
+
 std::future<SpcResult> ServingEngine::Submit(VertexId s, VertexId t) {
   PSPC_CHECK_MSG(s < num_vertices_ && t < num_vertices_,
                  "query (" << s << "," << t << ") out of range");
@@ -89,7 +134,9 @@ std::future<SpcResult> ServingEngine::Submit(VertexId s, VertexId t) {
   ServeRequest request;
   request.s = s;
   request.t = t;
+  request.enqueue_ns = obs::TraceNowNs();
   request.single = std::move(ticket);
+  if (sampler_.Sample()) AttachTrace(&request);
   PSPC_CHECK_MSG(Enqueue(std::move(request)), "Submit after Stop");
   return future;
 }
@@ -104,6 +151,9 @@ std::future<std::vector<SpcResult>> ServingEngine::SubmitBatch(
   }
   std::vector<ServeRequest> requests;
   requests.reserve(batch.size());
+  // One clock read for the whole submission: the batch enqueues as a
+  // unit, so its requests share the instant.
+  const int64_t enqueue_ns = obs::TraceNowNs();
   for (size_t i = 0; i < batch.size(); ++i) {
     const auto [s, t] = batch[i];
     PSPC_CHECK_MSG(s < num_vertices_ && t < num_vertices_,
@@ -112,7 +162,9 @@ std::future<std::vector<SpcResult>> ServingEngine::SubmitBatch(
     request.s = s;
     request.t = t;
     request.pos = static_cast<uint32_t>(i);
+    request.enqueue_ns = enqueue_ns;
     request.batch = ticket;
+    if (sampler_.Sample()) AttachTrace(&request);
     requests.push_back(std::move(request));
   }
   pending_.fetch_add(requests.size(), std::memory_order_relaxed);
@@ -131,20 +183,30 @@ Status ServingEngine::ApplyUpdates(const EdgeUpdateBatch& batch) {
       directed ? directed_index_->Stats() : index_->Stats();
   const uint64_t applied_before =
       stats.insertions_applied + stats.deletions_applied;
+  const int64_t apply_start_ns = obs::TraceNowNs();
   const Status status = directed ? directed_index_->ApplyBatch(batch)
                                  : index_->ApplyBatch(batch);
-  updates_applied_ +=
+  update_latency_us_->Record(
+      static_cast<double>(obs::TraceNowNs() - apply_start_ns) * 1e-3);
+  const uint64_t applied =
       stats.insertions_applied + stats.deletions_applied - applied_before;
+  updates_applied_.fetch_add(applied, std::memory_order_relaxed);
+  updates_applied_total_->Increment(applied);
   // ApplyBatch is atomic and bumps the generation once per batch, so
   // this publishes exactly one snapshot for a batch that changed
   // anything and none for a rejected or fully coalesced one.
   const uint64_t generation =
       directed ? directed_index_->Generation() : index_->Generation();
   if (generation != published_generation_) {
+    const int64_t publish_start_ns = obs::TraceNowNs();
     snapshots_.Publish(directed ? IndexSnapshot::Capture(*directed_index_)
                                 : IndexSnapshot::Capture(*index_));
+    publish_us_->Record(
+        static_cast<double>(obs::TraceNowNs() - publish_start_ns) * 1e-3);
     published_generation_ = generation;
-    ++publishes_;
+    publishes_.fetch_add(1, std::memory_order_relaxed);
+    generations_published_total_->Increment();
+    published_generation_gauge_->Set(static_cast<int64_t>(generation));
   }
   return status;
 }
@@ -175,19 +237,15 @@ ServingCounters ServingEngine::Counters() const {
   counters.micro_batches = micro_batches_.load(std::memory_order_relaxed);
   counters.cache_hits = cache_.Hits();
   counters.cache_misses = cache_.Misses();
-  {
-    // Retired/reclaimed bookkeeping is writer-side state; snapshot it
-    // under the writer mutex so Counters is safe from any thread.
-    std::lock_guard<std::mutex> lock(writer_mu_);
-    counters.updates_applied = updates_applied_;
-    counters.generations_published = publishes_;
-    counters.snapshots_reclaimed = snapshots_.ReclaimedCount();
-    counters.snapshots_retired_pending = snapshots_.RetiredCount();
-    counters.publish_copied_vertices_last =
-        snapshots_.LastPublishCopiedVertices();
-    counters.publish_copied_vertices_total =
-        snapshots_.TotalPublishCopiedVertices();
-  }
+  counters.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  counters.generations_published =
+      publishes_.load(std::memory_order_relaxed);
+  counters.snapshots_reclaimed = snapshots_.ReclaimedCount();
+  counters.snapshots_retired_pending = snapshots_.RetiredCount();
+  counters.publish_copied_vertices_last =
+      snapshots_.LastPublishCopiedVertices();
+  counters.publish_copied_vertices_total =
+      snapshots_.TotalPublishCopiedVertices();
   return counters;
 }
 
@@ -200,16 +258,32 @@ void ServingEngine::WorkerLoop() {
         queue_.PopBatch(&local, options_.max_batch, num_workers_);
     if (taken == 0) return;  // closed and drained
 
+    // One clock read covers the whole dequeue: the micro-batch left
+    // the queue as a unit, so its queue waits share the instant.
+    const int64_t dequeue_ns = obs::TraceNowNs();
+
     // One epoch pin covers the whole micro-batch: the snapshot (and
     // its generation, for cache tagging) is fixed across it.
     SnapshotRef snapshot = snapshots_.Acquire();
     const uint64_t generation = snapshot->Generation();
+    uint64_t hits = 0;
     for (ServeRequest& request : local) {
+      queue_wait_us_->Record(
+          static_cast<double>(dequeue_ns - request.enqueue_ns) * 1e-3);
       SpcResult result;
-      if (!cache_.Lookup(generation, request.s, request.t, &result)) {
-        result = snapshot->Query(request.s, request.t);
-        cache_.Insert(generation, request.s, request.t, result);
+      bool cache_hit;
+      {
+        // Stamps merge_done_ns on a traced request (cache consult /
+        // label merge finished); no-op otherwise.
+        obs::TraceSpan merge_span(request.trace.get(),
+                                  &obs::QueryTrace::merge_done_ns);
+        cache_hit = cache_.Lookup(generation, request.s, request.t, &result);
+        if (!cache_hit) {
+          result = snapshot->Query(request.s, request.t);
+          cache_.Insert(generation, request.s, request.t, result);
+        }
       }
+      hits += cache_hit ? 1 : 0;
       if (request.single != nullptr) {
         request.single->promise.set_value(result);
       } else {
@@ -219,9 +293,28 @@ void ServingEngine::WorkerLoop() {
           ticket.promise.set_value(std::move(ticket.results));
         }
       }
+      const int64_t reply_ns = obs::TraceNowNs();
+      const double total_us =
+          static_cast<double>(reply_ns - request.enqueue_ns) * 1e-3;
+      query_latency_us_->Record(total_us);
+      (cache_hit ? query_latency_cache_hit_us_ : query_latency_merge_us_)
+          ->Record(total_us);
+      if (request.trace != nullptr) {
+        obs::QueryTrace& trace = *request.trace;
+        trace.generation = generation;
+        trace.cache_hit = cache_hit;
+        trace.dequeue_ns = dequeue_ns;
+        trace.reply_ns = reply_ns;
+        if (traces_.Record(trace)) traces_slow_total_->Increment();
+      }
     }
     queries_served_.fetch_add(taken, std::memory_order_relaxed);
     micro_batches_.fetch_add(1, std::memory_order_relaxed);
+    queries_total_->Increment(taken);
+    micro_batches_total_->Increment();
+    cache_hits_total_->Increment(hits);
+    cache_misses_total_->Increment(taken - hits);
+    micro_batch_size_->Record(static_cast<double>(taken));
     FinishRequests(taken);
   }
 }

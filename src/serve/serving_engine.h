@@ -15,6 +15,8 @@
 #include "src/dynamic/dynamic_dspc_index.h"
 #include "src/dynamic/dynamic_spc_index.h"
 #include "src/label/query_engine.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/request_queue.h"
 #include "src/serve/result_cache.h"
 #include "src/serve/snapshot_manager.h"
@@ -50,6 +52,20 @@ struct ServingOptions {
   /// zero capacity disables caching.
   size_t cache_shards = 16;
   size_t cache_capacity_per_shard = 1 << 14;
+  /// Registry receiving the `serve.*` metrics (latency histograms,
+  /// counters, publication gauges). Null selects the process-global
+  /// registry. Note the index's `dynamic.*` metrics follow the
+  /// registry *it* was configured with, not this one.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Trace one in N submitted queries (0 = tracing off). Sampling is
+  /// deterministic: the k-th submission (process-wide order) is traced
+  /// iff `k % n == trace_seed % n`.
+  uint64_t trace_sample_every_n = 0;
+  uint64_t trace_seed = 0;
+  /// Traced queries slower than this end-to-end (microseconds) land in
+  /// the bounded slow-trace log (`Traces().SlowTraceLog()`).
+  double slow_trace_us = 10'000.0;
+  size_t slow_trace_capacity = 64;
 };
 
 /// Monotonic totals since construction (point-in-time copies).
@@ -123,11 +139,22 @@ class ServingEngine {
   /// Stop aborts. Idempotent.
   void Stop();
 
+  /// Point-in-time totals. Lock-free: every field reads an atomic (or
+  /// a registry counter, itself sharded atomics), so pollers can call
+  /// this at any rate without ever contending with the write path.
   ServingCounters Counters() const;
+
+  /// The sampled-trace sink: slow-query log and sampling totals.
+  const obs::TraceCollector& Traces() const { return traces_; }
+
+  /// The registry this engine's serve.* metrics land in.
+  obs::MetricsRegistry& Metrics() const { return *metrics_; }
 
  private:
   void WorkerLoop();
   void StartWorkers();
+  void BindMetrics();
+  void AttachTrace(ServeRequest* request);
   bool Enqueue(ServeRequest request);
   void FinishRequests(size_t n);
 
@@ -144,12 +171,12 @@ class ServingEngine {
   ResultCache cache_;
   std::vector<std::thread> workers_;
 
-  // Write path (also guards the writer-side snapshot bookkeeping;
-  // mutable so const Counters() can read that bookkeeping safely).
-  mutable std::mutex writer_mu_;
+  // Write path. Counters() no longer takes this: every counter it
+  // reports lives in an atomic any thread can read.
+  std::mutex writer_mu_;
   uint64_t published_generation_;  // guarded by writer_mu_
-  uint64_t updates_applied_ = 0;   // guarded by writer_mu_
-  uint64_t publishes_ = 0;         // guarded by writer_mu_
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> publishes_{0};
 
   // Completion tracking for Drain().
   std::atomic<uint64_t> pending_{0};
@@ -159,6 +186,33 @@ class ServingEngine {
   std::atomic<uint64_t> queries_served_{0};
   std::atomic<uint64_t> micro_batches_{0};
   std::atomic<bool> stopped_{false};
+
+  // Observability. The per-engine atomics above stay authoritative for
+  // Counters() (a registry may be shared across engines); the registry
+  // handles below are fed the identical deltas at the identical sites,
+  // so an exported snapshot of a per-engine registry always agrees
+  // with Counters().
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* queries_total_;
+  obs::Counter* micro_batches_total_;
+  obs::Counter* cache_hits_total_;
+  obs::Counter* cache_misses_total_;
+  obs::Counter* updates_applied_total_;
+  obs::Counter* generations_published_total_;
+  obs::Counter* traces_sampled_total_;
+  obs::Counter* traces_slow_total_;
+  obs::Gauge* published_generation_gauge_;
+  obs::Histogram* query_latency_us_;
+  obs::Histogram* query_latency_cache_hit_us_;
+  obs::Histogram* query_latency_merge_us_;
+  obs::Histogram* queue_wait_us_;
+  obs::Histogram* micro_batch_size_;
+  obs::Histogram* update_latency_us_;
+  obs::Histogram* publish_us_;
+
+  obs::TraceSampler sampler_;
+  obs::TraceCollector traces_;
+  std::atomic<uint64_t> next_trace_id_{1};
 };
 
 }  // namespace pspc

@@ -3,12 +3,27 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/metric_names.h"
 
 namespace pspc {
 
-SnapshotManager::SnapshotManager(std::unique_ptr<const IndexSnapshot> initial)
+SnapshotManager::SnapshotManager(std::unique_ptr<const IndexSnapshot> initial,
+                                 obs::MetricsRegistry* registry)
     : current_(initial.release()) {
   PSPC_CHECK(current_.load(std::memory_order_relaxed) != nullptr);
+  if (registry == nullptr) registry = &obs::MetricsRegistry::Global();
+  reclaimed_total_counter_ =
+      registry->GetCounter(obs::kServeSnapshotsReclaimedTotal);
+  copied_total_counter_ =
+      registry->GetCounter(obs::kServePublishCopiedVerticesTotal);
+  retired_pending_gauge_ =
+      registry->GetGauge(obs::kServeSnapshotsRetiredPending);
+  copied_last_gauge_ = registry->GetGauge(obs::kServePublishCopiedVerticesLast);
+  active_readers_gauge_ = registry->GetGauge(obs::kServeActiveReaders);
+  copied_hist_ = registry->GetHistogram(obs::kServePublishCopiedVertices);
+  pin_us_ = registry->GetHistogram(obs::kServeReaderPinUs);
+  epochs_.BindOverflowPinCounter(
+      registry->GetCounter(obs::kServeEpochOverflowPinsTotal));
 }
 
 SnapshotManager::~SnapshotManager() {
@@ -24,13 +39,17 @@ SnapshotRef SnapshotManager::Acquire() const {
   // observed the post-swap pointer (see epoch_manager.h).
   const size_t slot = epochs_.Enter();
   const IndexSnapshot* snapshot = current_.load(std::memory_order_seq_cst);
-  return SnapshotRef(&epochs_, slot, snapshot);
+  return SnapshotRef(&epochs_, slot, snapshot, pin_us_, obs::TraceNowNs());
 }
 
 void SnapshotManager::Publish(std::unique_ptr<const IndexSnapshot> next) {
   PSPC_CHECK(next != nullptr);
-  copied_last_ = next->CopiedVertices();
-  copied_total_ += copied_last_;
+  const size_t copied = next->CopiedVertices();
+  copied_last_.store(copied, std::memory_order_relaxed);
+  copied_total_.fetch_add(copied, std::memory_order_relaxed);
+  copied_total_counter_->Increment(copied);
+  copied_last_gauge_->Set(static_cast<int64_t>(copied));
+  copied_hist_->Record(static_cast<double>(copied));
   const IndexSnapshot* old =
       current_.exchange(next.release(), std::memory_order_seq_cst);
   // Swap before advancing: any reader that still holds `old` pinned at
@@ -39,6 +58,7 @@ void SnapshotManager::Publish(std::unique_ptr<const IndexSnapshot> next) {
   const uint64_t retire_epoch = epochs_.AdvanceEpoch();
   retired_.push_back({old, retire_epoch});
   Reclaim();
+  active_readers_gauge_->Set(static_cast<int64_t>(epochs_.ActiveReaders()));
 }
 
 void SnapshotManager::Reclaim() {
@@ -50,9 +70,12 @@ void SnapshotManager::Reclaim() {
       [min_active](const Retired& r) { return r.epoch > min_active; });
   for (auto it = dead; it != retired_.end(); ++it) {
     delete it->snapshot;
-    ++reclaimed_;
+    reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    reclaimed_total_counter_->Increment();
   }
   retired_.erase(dead, retired_.end());
+  retired_count_.store(retired_.size(), std::memory_order_relaxed);
+  retired_pending_gauge_->Set(static_cast<int64_t>(retired_.size()));
 }
 
 }  // namespace pspc

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/epoch_manager.h"
 #include "src/serve/index_snapshot.h"
 
@@ -32,13 +34,17 @@ class SnapshotRef {
   SnapshotRef(SnapshotRef&& other) noexcept
       : epochs_(std::exchange(other.epochs_, nullptr)),
         slot_(other.slot_),
-        snapshot_(other.snapshot_) {}
+        snapshot_(other.snapshot_),
+        pin_us_(other.pin_us_),
+        enter_ns_(other.enter_ns_) {}
   SnapshotRef& operator=(SnapshotRef&& other) noexcept {
     if (this != &other) {
       Release();
       epochs_ = std::exchange(other.epochs_, nullptr);
       slot_ = other.slot_;
       snapshot_ = other.snapshot_;
+      pin_us_ = other.pin_us_;
+      enter_ns_ = other.enter_ns_;
     }
     return *this;
   }
@@ -53,24 +59,39 @@ class SnapshotRef {
  private:
   friend class SnapshotManager;
   SnapshotRef(EpochManager* epochs, size_t slot,
-              const IndexSnapshot* snapshot)
-      : epochs_(epochs), slot_(slot), snapshot_(snapshot) {}
+              const IndexSnapshot* snapshot, obs::Histogram* pin_us,
+              int64_t enter_ns)
+      : epochs_(epochs),
+        slot_(slot),
+        snapshot_(snapshot),
+        pin_us_(pin_us),
+        enter_ns_(enter_ns) {}
 
   void Release() {
     if (epochs_ != nullptr) {
       epochs_->Exit(slot_);
       epochs_ = nullptr;
+      // How long this pin delayed reclamation — the RCU health signal
+      // (a fat tail here explains a growing retired backlog).
+      pin_us_->Record(static_cast<double>(obs::TraceNowNs() - enter_ns_) *
+                      1e-3);
     }
   }
 
   EpochManager* epochs_ = nullptr;
   size_t slot_ = 0;
   const IndexSnapshot* snapshot_ = nullptr;
+  obs::Histogram* pin_us_ = nullptr;
+  int64_t enter_ns_ = 0;
 };
 
 class SnapshotManager {
  public:
-  explicit SnapshotManager(std::unique_ptr<const IndexSnapshot> initial);
+  /// `registry == nullptr` selects the process-global registry for the
+  /// publication metrics (publish cost, reclaim backlog, reader-pin
+  /// duration, epoch-overflow pins).
+  explicit SnapshotManager(std::unique_ptr<const IndexSnapshot> initial,
+                           obs::MetricsRegistry* registry = nullptr);
 
   /// Requires no reader still pinned (the owning engine joins its
   /// workers first); frees the current and all retired snapshots.
@@ -94,18 +115,27 @@ class SnapshotManager {
   /// Generation of the currently published snapshot.
   uint64_t PublishedGeneration() const { return Acquire()->Generation(); }
 
-  /// Retired-but-not-yet-reclaimed generations (writer thread only).
-  size_t RetiredCount() const { return retired_.size(); }
+  /// Retired-but-not-yet-reclaimed generations. Readable from any
+  /// thread (relaxed mirror of the writer's list size).
+  size_t RetiredCount() const {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
 
-  /// Generations freed so far (writer thread only).
-  size_t ReclaimedCount() const { return reclaimed_; }
+  /// Generations freed so far. Readable from any thread.
+  size_t ReclaimedCount() const {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
 
-  /// Publish-cost bookkeeping (writer thread only): vertices whose
-  /// label chunk the most recent / every Publish had to copy — the
-  /// O(delta) the persistent overlay buys (the map-copy design paid
-  /// the whole overlay per publish).
-  size_t LastPublishCopiedVertices() const { return copied_last_; }
-  size_t TotalPublishCopiedVertices() const { return copied_total_; }
+  /// Publish-cost bookkeeping (readable from any thread): vertices
+  /// whose label chunk the most recent / every Publish had to copy —
+  /// the O(delta) the persistent overlay buys (the map-copy design
+  /// paid the whole overlay per publish).
+  size_t LastPublishCopiedVertices() const {
+    return copied_last_.load(std::memory_order_relaxed);
+  }
+  size_t TotalPublishCopiedVertices() const {
+    return copied_total_.load(std::memory_order_relaxed);
+  }
 
   /// Currently pinned readers (diagnostics).
   size_t ActiveReaders() const { return epochs_.ActiveReaders(); }
@@ -121,9 +151,21 @@ class SnapshotManager {
   mutable EpochManager epochs_;
   std::atomic<const IndexSnapshot*> current_;
   std::vector<Retired> retired_;  // writer thread only
-  size_t reclaimed_ = 0;          // writer thread only
-  size_t copied_last_ = 0;        // writer thread only
-  size_t copied_total_ = 0;       // writer thread only
+  // Writer-updated, any-thread-readable mirrors of the bookkeeping
+  // above (Counters() polls them without the writer mutex).
+  std::atomic<size_t> retired_count_{0};
+  std::atomic<size_t> reclaimed_{0};
+  std::atomic<size_t> copied_last_{0};
+  std::atomic<size_t> copied_total_{0};
+
+  // Registry handles (resolved once at construction).
+  obs::Counter* reclaimed_total_counter_;
+  obs::Counter* copied_total_counter_;
+  obs::Gauge* retired_pending_gauge_;
+  obs::Gauge* copied_last_gauge_;
+  obs::Gauge* active_readers_gauge_;
+  obs::Histogram* copied_hist_;
+  obs::Histogram* pin_us_;
 };
 
 }  // namespace pspc

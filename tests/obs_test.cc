@@ -1,0 +1,347 @@
+// The observability layer in isolation: sharded counter exactness
+// under contention, histograms checked against a sorted-vector
+// percentile oracle, deterministic trace sampling, and golden tests
+// for both export formats (the JSON snapshot serializes sorted-name
+// state byte-identically, so a golden string is a stable contract).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/percentile.h"
+#include "src/common/random.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace pspc {
+namespace obs {
+namespace {
+
+// ------------------------------------------------------------ counters
+
+TEST(CounterTest, MultiThreadIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.hits_total");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50'000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Sharding must lose nothing: the merged value is the exact total.
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, DeltaIncrementsAccumulate) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.bytes_total");
+  counter->Increment(10);
+  counter->Increment(0);
+  counter->Increment(32);
+  EXPECT_EQ(counter->Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.depth");
+  gauge->Set(7);
+  gauge->Add(-10);
+  EXPECT_EQ(gauge->Value(), -3);
+  gauge->Set(5);
+  EXPECT_EQ(gauge->Value(), 5);
+}
+
+TEST(MetricsRegistryTest, LookupIsIdempotent) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("a"), registry.GetCounter("a"));
+  EXPECT_EQ(registry.GetGauge("b"), registry.GetGauge("b"));
+  EXPECT_EQ(registry.GetHistogram("c"), registry.GetHistogram("c"));
+}
+
+// ---------------------------------------------------------- histograms
+
+TEST(HistogramTest, CountSumMinMaxAreExact) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.latency_us");
+  hist->Record(3.0);
+  hist->Record(100.0);
+  hist->Record(0.25);
+
+  const HistogramSnapshot snapshot = hist->Snapshot();
+  EXPECT_EQ(snapshot.count, 3u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 103.25);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.25);
+  EXPECT_DOUBLE_EQ(snapshot.max, 100.0);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 103.25 / 3.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  MetricsRegistry registry;
+  const HistogramSnapshot snapshot =
+      registry.GetHistogram("test.empty")->Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.Percentile(0.5), 0.0);
+}
+
+// The contract against the raw series: a bucketed percentile cannot
+// reproduce the oracle exactly, but it must land inside the bucket the
+// oracle's nearest-rank sample falls in (clamped to the observed
+// range) — that is the whole accuracy claim of a fixed-bucket
+// histogram.
+TEST(HistogramTest, PercentilesMatchSortedVectorOracleWithinBucket) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.oracle_us");
+  const std::span<const double> bounds = hist->UpperBounds();
+
+  Rng rng(20260808);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    // Spread over ~6 decades so many buckets participate.
+    const double exponent =
+        static_cast<double>(rng.NextBounded(6'000'000)) * 1e-6;
+    values.push_back(std::pow(10.0, exponent));
+  }
+  for (const double v : values) hist->Record(v);
+  std::sort(values.begin(), values.end());
+
+  const HistogramSnapshot snapshot = hist->Snapshot();
+  for (const double p : {0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const double oracle = PercentileSorted(values, p);
+    const double estimate = snapshot.Percentile(p);
+    // Bucket k covers (upper_bounds[k-1], upper_bounds[k]].
+    const auto it = std::lower_bound(bounds.begin(), bounds.end(), oracle);
+    const size_t k = static_cast<size_t>(std::distance(bounds.begin(), it));
+    const double lower = k == 0 ? 0.0 : bounds[k - 1];
+    const double upper = k < bounds.size() ? bounds[k] : snapshot.max;
+    EXPECT_GE(estimate, std::max(lower, snapshot.min)) << "p=" << p;
+    EXPECT_LE(estimate, std::min(upper, snapshot.max)) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, OverflowBucketClampsToObservedMax) {
+  MetricsRegistry registry;
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  Histogram* hist = registry.GetHistogram("test.overflow", bounds);
+  hist->Record(100.0);
+  hist->Record(150.0);
+
+  const HistogramSnapshot snapshot = hist->Snapshot();
+  EXPECT_EQ(snapshot.bucket_counts.back(), 2u);
+  // Both samples overflowed; every percentile stays inside [min, max].
+  EXPECT_GE(snapshot.Percentile(0.5), 100.0);
+  EXPECT_LE(snapshot.Percentile(0.99), 150.0);
+}
+
+TEST(HistogramTest, MultiThreadRecordLosesNothing) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.mt_us");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist->Record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const HistogramSnapshot snapshot = hist->Snapshot();
+  EXPECT_EQ(snapshot.count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snapshot.min, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, static_cast<double>(kThreads));
+}
+
+TEST(ExponentialBoundariesTest, DefaultLatencyLadderIsPowerOfTwo) {
+  const std::span<const double> bounds = DefaultLatencyBoundariesUs();
+  ASSERT_EQ(bounds.size(), 27u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bounds[i], 2.0 * bounds[i - 1]);
+  }
+}
+
+// ------------------------------------------------------------- sampler
+
+TEST(TraceSamplerTest, DeterministicAcrossInstances) {
+  TraceSampler a(5, 7);
+  TraceSampler b(5, 7);
+  int sampled = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const bool hit = a.Sample();
+    EXPECT_EQ(hit, b.Sample()) << "tick " << i;
+    sampled += hit ? 1 : 0;
+  }
+  EXPECT_EQ(sampled, 200);  // exactly 1 in 5
+  EXPECT_EQ(a.Ticks(), 1000u);
+}
+
+TEST(TraceSamplerTest, SeedRotatesThePhase) {
+  // seed % n selects which residue class is sampled: seed 7, n 5 picks
+  // ticks 2, 7, 12, ...
+  TraceSampler sampler(5, 7);
+  std::vector<int> hits;
+  for (int i = 0; i < 15; ++i) {
+    if (sampler.Sample()) hits.push_back(i);
+  }
+  EXPECT_EQ(hits, (std::vector<int>{2, 7, 12}));
+}
+
+TEST(TraceSamplerTest, ZeroDisablesAndOneSamplesEverything) {
+  TraceSampler off(0, 3);
+  EXPECT_FALSE(off.Enabled());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(off.Sample());
+
+  TraceSampler all(1, 3);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(all.Sample());
+}
+
+// ------------------------------------------------------------ tracing
+
+TEST(TraceCollectorTest, KeepsOnlySlowTracesBounded) {
+  TraceCollector collector(/*capacity=*/2, /*slow_threshold_us=*/100.0);
+  QueryTrace fast;
+  fast.enqueue_ns = 0;
+  fast.reply_ns = 50'000;  // 50us
+  EXPECT_FALSE(collector.Record(fast));
+
+  for (uint64_t id = 1; id <= 3; ++id) {
+    QueryTrace slow;
+    slow.trace_id = id;
+    slow.enqueue_ns = 0;
+    slow.reply_ns = 200'000 + static_cast<int64_t>(id);  // >100us
+    EXPECT_TRUE(collector.Record(slow));
+  }
+
+  EXPECT_EQ(collector.TracesRecorded(), 4u);
+  EXPECT_EQ(collector.SlowTraces(), 3u);
+  const std::vector<QueryTrace> log = collector.SlowTraceLog();
+  ASSERT_EQ(log.size(), 2u);  // capacity bound, newest win
+  EXPECT_EQ(log[0].trace_id, 2u);
+  EXPECT_EQ(log[1].trace_id, 3u);
+}
+
+TEST(TraceSpanTest, StampsOnDestructionAndIgnoresNull) {
+  QueryTrace trace;
+  {
+    TraceSpan span(&trace, &QueryTrace::merge_done_ns);
+    EXPECT_EQ(trace.merge_done_ns, 0);
+  }
+  EXPECT_GT(trace.merge_done_ns, 0);
+  {
+    TraceSpan noop(nullptr, &QueryTrace::merge_done_ns);  // must not crash
+  }
+}
+
+TEST(QueryTraceTest, StageMathAndJson) {
+  QueryTrace trace;
+  trace.trace_id = 9;
+  trace.s = 1;
+  trace.t = 2;
+  trace.generation = 4;
+  trace.cache_hit = true;
+  trace.enqueue_ns = 1'000;
+  trace.dequeue_ns = 3'000;
+  trace.merge_done_ns = 6'000;
+  trace.reply_ns = 11'000;
+  EXPECT_DOUBLE_EQ(trace.QueueWaitMicros(), 2.0);
+  EXPECT_DOUBLE_EQ(trace.MergeMicros(), 3.0);
+  EXPECT_DOUBLE_EQ(trace.TotalMicros(), 10.0);
+  EXPECT_EQ(trace.ToJson(),
+            "{\"trace_id\":9,\"s\":1,\"t\":2,\"generation\":4,"
+            "\"cache_hit\":true,\"queue_wait_us\":2,\"merge_us\":3,"
+            "\"total_us\":10}");
+}
+
+// ------------------------------------------------------------- exports
+
+// One registry with one metric of each kind and hand-computable
+// values; both exports are compared against full golden strings.
+//
+// Histogram "t.h" (bounds 1, 10): samples 0.5 and 5 -> counts
+// [1, 1, 0]; p50/p95/p99 resolve rank 1, interpolating bucket
+// (1, 10] at fraction 0.5 = 5.5, clamped to the observed max 5.
+TEST(MetricsExportTest, JsonGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("t.c_total")->Increment(3);
+  registry.GetGauge("t.g")->Set(-2);
+  const std::vector<double> bounds = {1.0, 10.0};
+  Histogram* hist = registry.GetHistogram("t.h", bounds);
+  hist->Record(0.5);
+  hist->Record(5.0);
+
+  EXPECT_EQ(registry.ToJson(),
+            "{\"schema_version\":1,"
+            "\"counters\":{\"t.c_total\":3},"
+            "\"gauges\":{\"t.g\":-2},"
+            "\"histograms\":{\"t.h\":{"
+            "\"count\":2,\"sum\":5.5,\"min\":0.5,\"max\":5,\"mean\":2.75,"
+            "\"p50\":5,\"p95\":5,\"p99\":5,"
+            "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":10,\"count\":1},"
+            "{\"le\":\"+Inf\",\"count\":0}]}}}");
+}
+
+TEST(MetricsExportTest, PrometheusGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("t.c_total")->Increment(3);
+  registry.GetGauge("t.g")->Set(-2);
+  const std::vector<double> bounds = {1.0, 10.0};
+  Histogram* hist = registry.GetHistogram("t.h", bounds);
+  hist->Record(0.5);
+  hist->Record(5.0);
+
+  EXPECT_EQ(registry.ToPrometheusText(),
+            "# TYPE pspc_t_c_total counter\n"
+            "pspc_t_c_total 3\n"
+            "# TYPE pspc_t_g gauge\n"
+            "pspc_t_g -2\n"
+            "# TYPE pspc_t_h histogram\n"
+            "pspc_t_h_bucket{le=\"1\"} 1\n"
+            "pspc_t_h_bucket{le=\"10\"} 2\n"
+            "pspc_t_h_bucket{le=\"+Inf\"} 2\n"
+            "pspc_t_h_sum 5.5\n"
+            "pspc_t_h_count 2\n");
+}
+
+TEST(MetricsExportTest, EverythingInTheCatalogIsKnown) {
+  for (const auto name : kCounterNames) EXPECT_TRUE(IsKnownMetricName(name));
+  for (const auto name : kGaugeNames) EXPECT_TRUE(IsKnownMetricName(name));
+  for (const auto name : kHistogramNames) {
+    EXPECT_TRUE(IsKnownMetricName(name));
+  }
+  for (const auto name : kRequiredServeMetrics) {
+    EXPECT_TRUE(IsKnownMetricName(name));
+  }
+  for (const auto name : kRequiredDynamicMetrics) {
+    EXPECT_TRUE(IsKnownMetricName(name));
+  }
+  EXPECT_FALSE(IsKnownMetricName("serve.bogus_total"));
+}
+
+TEST(ScopedLatencyTimerTest, RecordsOneSampleAndNullIsNoop) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("t.scoped_us");
+  { ScopedLatencyTimer timer(hist); }
+  { ScopedLatencyTimer disabled(nullptr); }
+  const HistogramSnapshot snapshot = hist->Snapshot();
+  EXPECT_EQ(snapshot.count, 1u);
+  EXPECT_GE(snapshot.min, 0.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pspc
