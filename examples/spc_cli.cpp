@@ -14,7 +14,9 @@
 //                    [--duration-seconds S] [--workers N] [--loaders N]
 //                    [--batch B] [--batch-size N] [--write-share P]
 //                    [--update-stream <updates.txt>] [--seed X] [--no-cache]
-//                    [--metrics-json <path>] [--metrics-interval-ms N]
+//                    [--metrics-json <path>] [--metrics-prom <path>]
+//                    [--metrics-interval-ms N] [--obs-port N]
+//                    [--bundle <path>]
 //                    [--trace-sample N] [--slow-trace-ms X]
 //
 // Observability: `--metrics-json` writes the versioned metrics
@@ -22,8 +24,21 @@
 // to the given path — once at exit for `update`, and additionally
 // every `--metrics-interval-ms` while `serve` runs (atomic
 // rename-free overwrite; scrape by re-reading the file).
+// `--metrics-prom` does the same in Prometheus text format.
 // `--trace-sample N` traces one in N queries; traced queries slower
 // than `--slow-trace-ms` end-to-end are dumped as JSON at exit.
+//
+// Live ops plane (`serve` only): `--obs-port N` starts the embedded
+// HTTP introspection endpoint on 127.0.0.1:N (0 = ephemeral; the
+// bound port is printed) serving /metrics, /metrics.json, /healthz,
+// /varz, /tracez and /flightrecorder, with the health watchdog
+// ticking in the background. `--bundle <path>` is where a transition
+// to UNHEALTHY dumps the diagnostic bundle (flight-recorder ring +
+// metrics + traces).
+//
+// SIGINT/SIGTERM stop `serve` and `update` cleanly: the workload
+// winds down, the final metrics snapshots still flush, and the
+// process exits through the normal reporting path.
 //
 // Directed variants (paper §II-A; the index is built in-process from
 // the graph, each edge-list line read as one directed edge u -> v; a
@@ -50,10 +65,12 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -78,10 +95,24 @@
 #include "src/graph/graph_io.h"
 #include "src/label/query_engine.h"
 #include "src/label/spc_index.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
+#include "src/obs/obs_server.h"
 #include "src/serve/serving_engine.h"
 
 namespace {
+
+// SIGINT/SIGTERM request a clean wind-down: the long-running loops
+// poll this and exit through the normal path, so the final metrics
+// flush (and bundle dump) still runs.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void HandleStopSignal(int) { g_interrupted = 1; }
+
+void InstallStopHandlers() {
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+}
 
 // Writes `content` (already-serialized JSON) plus a trailing newline.
 bool WriteTextFile(const std::string& path, const std::string& content) {
@@ -98,22 +129,28 @@ bool WriteTextFile(const std::string& path, const std::string& content) {
   return ok;
 }
 
-// Periodic metrics exporter: rewrites `path` with the registry's JSON
-// snapshot every `interval_ms` until stopped (plus one final write
-// from the owner). Interval 0 = no thread, final write only.
+// Periodic metrics exporter: rewrites `json_path` (JSON snapshot) and
+// `prom_path` (Prometheus text) every `interval_ms` until stopped,
+// plus one final write from the destructor — which also runs on a
+// signal-driven wind-down, so an interrupted run still leaves a
+// current snapshot behind. Interval 0 = no thread, final write only.
 class MetricsReporter {
  public:
-  MetricsReporter(pspc::obs::MetricsRegistry* registry, std::string path,
-                  long long interval_ms)
-      : registry_(registry), path_(std::move(path)) {
-    if (path_.empty() || interval_ms <= 0) return;
+  MetricsReporter(pspc::obs::MetricsRegistry* registry, std::string json_path,
+                  std::string prom_path, long long interval_ms)
+      : registry_(registry),
+        json_path_(std::move(json_path)),
+        prom_path_(std::move(prom_path)) {
+    if ((json_path_.empty() && prom_path_.empty()) || interval_ms <= 0) {
+      return;
+    }
     thread_ = std::thread([this, interval_ms] {
       std::unique_lock<std::mutex> lock(mu_);
       while (!stop_) {
         cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
                      [this] { return stop_; });
         if (stop_) break;
-        WriteTextFile(path_, registry_->ToJson());
+        WriteSnapshots();
       }
     });
   }
@@ -127,12 +164,20 @@ class MetricsReporter {
       cv_.notify_all();
       thread_.join();
     }
-    if (!path_.empty()) WriteTextFile(path_, registry_->ToJson());
+    WriteSnapshots();
   }
 
  private:
+  void WriteSnapshots() {
+    if (!json_path_.empty()) WriteTextFile(json_path_, registry_->ToJson());
+    if (!prom_path_.empty()) {
+      WriteTextFile(prom_path_, registry_->ToPrometheusText());
+    }
+  }
+
   pspc::obs::MetricsRegistry* registry_;
-  std::string path_;
+  std::string json_path_;
+  std::string prom_path_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
@@ -149,17 +194,19 @@ int Usage() {
                "  spc_cli update <graph-or-dataset> <index.bin> "
                "--update-stream <updates.txt> [--batch-size N] "
                "[--rebuild-threshold R] [--save <out.bin>] "
-               "[--metrics-json <path>]\n"
+               "[--metrics-json <path>] [--metrics-prom <path>]\n"
                "  spc_cli serve <graph-or-dataset> <index.bin> "
                "[--duration-seconds S] [--workers N] [--loaders N] "
                "[--batch B] [--batch-size N] [--write-share P] "
                "[--update-stream <updates.txt>] [--seed X] [--no-cache] "
-               "[--metrics-json <path>] [--metrics-interval-ms N] "
+               "[--metrics-json <path>] [--metrics-prom <path>] "
+               "[--metrics-interval-ms N] [--obs-port N] [--bundle <path>] "
                "[--trace-sample N] [--slow-trace-ms X]\n"
                "  spc_cli query --directed <graph-or-dataset> <s> <t> ...\n"
                "  spc_cli update --directed <graph-or-dataset> "
                "--update-stream <updates.txt> [--batch-size N] "
-               "[--rebuild-threshold R] [--metrics-json <path>]\n"
+               "[--rebuild-threshold R] [--metrics-json <path>] "
+               "[--metrics-prom <path>]\n"
                "  spc_cli serve --directed <graph-or-dataset> "
                "[the serve flags]\n");
   return 2;
@@ -301,7 +348,7 @@ int CmdUpdateDirected(int argc, char** argv) {
   pspc::DiGraph graph;
   if (!LoadDiGraphArg(argv[3], &graph)) return 1;
 
-  std::string stream_path, metrics_json;
+  std::string stream_path, metrics_json, metrics_prom;
   pspc::DynamicDiOptions options;
   size_t batch_size = 1;
   for (int i = 4; i < argc; ++i) {
@@ -319,6 +366,8 @@ int CmdUpdateDirected(int argc, char** argv) {
       batch_size = static_cast<size_t>(value);
     } else if (flag == "--metrics-json" && i + 1 < argc) {
       metrics_json = argv[++i];
+    } else if (flag == "--metrics-prom" && i + 1 < argc) {
+      metrics_prom = argv[++i];
     } else {
       return Usage();
     }
@@ -341,10 +390,12 @@ int CmdUpdateDirected(int argc, char** argv) {
               index.NumVertices(),
               static_cast<unsigned long long>(index.NumEdges()), batch_size);
 
+  InstallStopHandlers();
   pspc::WallTimer timer;
   size_t applied = 0;
   if (batch_size <= 1) {
     for (const pspc::EdgeUpdate& up : stream.value()) {
+      if (g_interrupted != 0) break;
       const pspc::Status st = index.Apply(up);
       if (!st.ok()) {
         std::fprintf(stderr, "update %zu (%c %u %u) failed: %s\n", applied,
@@ -356,7 +407,8 @@ int CmdUpdateDirected(int argc, char** argv) {
     }
   } else {
     const auto& updates = stream.value().Updates();
-    for (size_t pos = 0; pos < updates.size(); pos += batch_size) {
+    for (size_t pos = 0; pos < updates.size() && g_interrupted == 0;
+         pos += batch_size) {
       pspc::EdgeUpdateBatch chunk;
       const size_t end = std::min(pos + batch_size, updates.size());
       for (size_t i = pos; i < end; ++i) chunk.Add(updates[i]);
@@ -369,6 +421,9 @@ int CmdUpdateDirected(int argc, char** argv) {
     }
   }
   const double total = timer.ElapsedSeconds();
+  if (g_interrupted != 0) {
+    std::printf("interrupted after %zu updates; flushing metrics\n", applied);
+  }
 
   std::printf("applied %zu updates in %.3fs (%.3f ms/update)\n%s\n", applied,
               total, applied == 0 ? 0.0 : total * 1e3 / applied,
@@ -379,6 +434,11 @@ int CmdUpdateDirected(int argc, char** argv) {
   if (!metrics_json.empty() &&
       !WriteTextFile(metrics_json,
                      pspc::obs::MetricsRegistry::Global().ToJson())) {
+    return 1;
+  }
+  if (!metrics_prom.empty() &&
+      !WriteTextFile(metrics_prom,
+                     pspc::obs::MetricsRegistry::Global().ToPrometheusText())) {
     return 1;
   }
   return 0;
@@ -397,9 +457,13 @@ struct ServeParams {
   bool no_cache = false;
   std::string stream_path;
   std::string metrics_json;
+  std::string metrics_prom;
   long long metrics_interval_ms = 0;
   long long trace_sample = 0;
   double slow_trace_ms = 10.0;
+  // Ops plane: -1 = no endpoint; 0 = ephemeral port (printed).
+  long long obs_port = -1;
+  std::string bundle_path;
 };
 
 bool ParseServeFlags(int argc, char** argv, int first, ServeParams* params) {
@@ -442,6 +506,16 @@ bool ParseServeFlags(int argc, char** argv, int first, ServeParams* params) {
       params->no_cache = true;
     } else if (flag == "--metrics-json" && i + 1 < argc) {
       params->metrics_json = argv[++i];
+    } else if (flag == "--metrics-prom" && i + 1 < argc) {
+      params->metrics_prom = argv[++i];
+    } else if (flag == "--obs-port" && i + 1 < argc) {
+      if (!ParseIntFlag("--obs-port", argv[++i], 0, &params->obs_port) ||
+          params->obs_port > 65535) {
+        std::fprintf(stderr, "--obs-port expects a port in [0, 65535]\n");
+        return false;
+      }
+    } else if (flag == "--bundle" && i + 1 < argc) {
+      params->bundle_path = argv[++i];
     } else if (flag == "--metrics-interval-ms" && i + 1 < argc) {
       if (!ParseIntFlag("--metrics-interval-ms", argv[++i], 1,
                         &params->metrics_interval_ms)) {
@@ -492,9 +566,39 @@ int RunServeWorkload(pspc::ServingEngine& engine, pspc::VertexId n,
                      const ServeParams& params, pspc::EdgeUpdateBatch stream,
                      pspc::ClosureChurn& churn,
                      const std::function<size_t()>& quiesce_check) {
+  InstallStopHandlers();
   // Periodic metrics exporter (and final snapshot on scope exit).
   MetricsReporter reporter(&engine.Metrics(), params.metrics_json,
-                           params.metrics_interval_ms);
+                           params.metrics_prom, params.metrics_interval_ms);
+
+  // Live ops plane: health watchdog over the engine's registry, and
+  // (with --obs-port) the HTTP introspection endpoint in front of it.
+  pspc::obs::HealthOptions health_options;
+  health_options.metrics = &engine.Metrics();
+  health_options.traces = &engine.Traces();
+  health_options.update_traces = &engine.UpdateTraces();
+  health_options.bundle_path = params.bundle_path;
+  pspc::obs::HealthWatchdog watchdog(health_options);
+  std::unique_ptr<pspc::obs::ObsServer> obs_server;
+  if (params.obs_port >= 0) {
+    watchdog.Start();
+    pspc::obs::ObsServerContext context;
+    context.metrics = &engine.Metrics();
+    context.health = &watchdog;
+    context.traces = &engine.Traces();
+    context.update_traces = &engine.UpdateTraces();
+    obs_server = std::make_unique<pspc::obs::ObsServer>(
+        static_cast<uint16_t>(params.obs_port), context);
+    if (const pspc::Status st = obs_server->Start(); !st.ok()) {
+      std::fprintf(stderr, "ops endpoint failed to start: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("ops plane listening on http://127.0.0.1:%u "
+                "(/metrics /metrics.json /healthz /varz /tracez "
+                "/flightrecorder)\n",
+                obs_server->Port());
+  }
   std::atomic<uint64_t> reads{0};
   std::atomic<bool> stop{false};
   std::vector<std::vector<double>> batch_ms(
@@ -524,7 +628,8 @@ int RunServeWorkload(pspc::ServingEngine& engine, pspc::VertexId n,
   uint64_t writes = 0, write_errors = 0;
   size_t stream_pos = 0;
   pspc::WallTimer wall;
-  while (wall.ElapsedSeconds() < params.duration_seconds) {
+  while (wall.ElapsedSeconds() < params.duration_seconds &&
+         g_interrupted == 0) {
     const double quota =
         params.write_share >= 0.95
             ? 1e18
@@ -564,6 +669,9 @@ int RunServeWorkload(pspc::ServingEngine& engine, pspc::VertexId n,
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& t : loader_threads) t.join();
   engine.Drain();
+  if (g_interrupted != 0) {
+    std::printf("interrupted after %.2fs; winding down cleanly\n", elapsed);
+  }
 
   std::vector<double> all_batch_ms;
   for (const auto& v : batch_ms) {
@@ -774,7 +882,7 @@ int CmdUpdate(int argc, char** argv) {
     return 1;
   }
 
-  std::string stream_path, save_path, metrics_json;
+  std::string stream_path, save_path, metrics_json, metrics_prom;
   pspc::DynamicOptions options;
   size_t batch_size = 1;
   for (int i = 4; i < argc; ++i) {
@@ -794,6 +902,8 @@ int CmdUpdate(int argc, char** argv) {
       save_path = argv[++i];
     } else if (flag == "--metrics-json" && i + 1 < argc) {
       metrics_json = argv[++i];
+    } else if (flag == "--metrics-prom" && i + 1 < argc) {
+      metrics_prom = argv[++i];
     } else {
       return Usage();
     }
@@ -819,10 +929,12 @@ int CmdUpdate(int argc, char** argv) {
               stream.value().Size(), index.NumVertices(),
               static_cast<unsigned long long>(index.NumEdges()), batch_size);
 
+  InstallStopHandlers();
   pspc::WallTimer timer;
   size_t applied = 0;
   if (batch_size <= 1) {
     for (const pspc::EdgeUpdate& up : stream.value()) {
+      if (g_interrupted != 0) break;
       const pspc::Status st = index.Apply(up);
       if (!st.ok()) {
         std::fprintf(stderr, "update %zu (%c %u %u) failed: %s\n", applied,
@@ -836,7 +948,8 @@ int CmdUpdate(int argc, char** argv) {
     // Atomic coalesced batches: a failure rejects its whole batch (and
     // stops the replay) with the prior batches applied.
     const auto& updates = stream.value().Updates();
-    for (size_t pos = 0; pos < updates.size(); pos += batch_size) {
+    for (size_t pos = 0; pos < updates.size() && g_interrupted == 0;
+         pos += batch_size) {
       pspc::EdgeUpdateBatch chunk;
       const size_t end = std::min(pos + batch_size, updates.size());
       for (size_t i = pos; i < end; ++i) chunk.Add(updates[i]);
@@ -849,6 +962,9 @@ int CmdUpdate(int argc, char** argv) {
     }
   }
   const double total = timer.ElapsedSeconds();
+  if (g_interrupted != 0) {
+    std::printf("interrupted after %zu updates; flushing metrics\n", applied);
+  }
 
   std::printf("applied %zu updates in %.3fs (%.3f ms/update)\n%s\n", applied,
               total, applied == 0 ? 0.0 : total * 1e3 / applied,
@@ -869,6 +985,11 @@ int CmdUpdate(int argc, char** argv) {
   if (!metrics_json.empty() &&
       !WriteTextFile(metrics_json,
                      pspc::obs::MetricsRegistry::Global().ToJson())) {
+    return 1;
+  }
+  if (!metrics_prom.empty() &&
+      !WriteTextFile(metrics_prom,
+                     pspc::obs::MetricsRegistry::Global().ToPrometheusText())) {
     return 1;
   }
   return 0;

@@ -48,7 +48,10 @@ Status DynamicSpcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
     return graph_.HasEdge(u, v);
   });
   PSPC_RETURN_IF_ERROR(planned.status());
-  obs_.plan_us()->Record(plan_timer.ElapsedSeconds() * 1e6);
+  const double plan_us = plan_timer.ElapsedSeconds() * 1e6;
+  obs_.plan_us()->Record(plan_us);
+  stats_.last_plan_us = plan_us;
+  stats_.last_repair_us = 0.0;
   const BatchPlan& plan = planned.value();
   ++stats_.batches_applied;
   stats_.updates_coalesced += plan.coalesced_updates;
@@ -59,13 +62,19 @@ Status DynamicSpcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
   if (plan.NetSize() == 1) {
     // One net update: the tuned single-update path (its deletion
     // classification is strictly sharper than the batch one).
-    return plan.net_deletions.empty()
-               ? InsertEdge(plan.net_insertions[0].first,
-                            plan.net_insertions[0].second)
-               : DeleteEdge(plan.net_deletions[0].first,
-                            plan.net_deletions[0].second);
+    const Status status =
+        plan.net_deletions.empty()
+            ? InsertEdge(plan.net_insertions[0].first,
+                         plan.net_insertions[0].second)
+            : DeleteEdge(plan.net_deletions[0].first,
+                         plan.net_deletions[0].second);
+    // The delegated path stamps its own last_* fields with plan cost
+    // zero; this batch did plan.
+    stats_.last_plan_us = plan_us;
+    return status;
   }
 
+  const double repair_before = stats_.repair_seconds;
   {
     ScopedTimer timer(&stats_.repair_seconds);
     obs::ScopedLatencyTimer latency(obs_.repair_us());
@@ -88,6 +97,7 @@ Status DynamicSpcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
       RepairInsertions(plan.net_insertions);
     }
   }
+  stats_.last_repair_us = (stats_.repair_seconds - repair_before) * 1e6;
   stats_.insertions_applied += plan.net_insertions.size();
   stats_.deletions_applied += plan.net_deletions.size();
   ++generation_;  // one published generation per batch

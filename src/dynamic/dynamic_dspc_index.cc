@@ -20,7 +20,10 @@ DynamicDspcIndex::DynamicDspcIndex(DiGraph graph, DiSpcIndex index,
       out_overlay_(base_->OutLabelMap()),
       in_overlay_(base_->InLabelMap()),
       options_(options),
-      obs_(options.metrics) {
+      obs_(options.metrics),
+      recorder_(options.flight_recorder != nullptr
+                    ? options.flight_recorder
+                    : &obs::FlightRecorder::Global()) {
   PSPC_CHECK_MSG(base_->NumVertices() == base_graph_.NumVertices(),
                  "index (" << base_->NumVertices() << " vertices) does not "
                  "match graph (" << base_graph_.NumVertices() << ")");
@@ -73,6 +76,10 @@ void DynamicDspcIndex::PublishMetrics() {
 
 void DynamicDspcIndex::Rebuild() {
   WallTimer timer;
+  obs_.rebuild_in_progress()->Set(1);
+  recorder_->Record(obs::FlightEventKind::kRebuildStart, generation_,
+                    out_overlay_.OverlaidEntries() +
+                        in_overlay_.OverlaidEntries());
   DiGraph current = graph_.Materialize();
   DiPspcBuildResult result = BuildDirectedPspcIndex(
       current, DirectedDegreeOrder(current), options_.rebuild_options);
@@ -89,17 +96,24 @@ void DynamicDspcIndex::Rebuild() {
   const double elapsed = timer.ElapsedSeconds();
   stats_.rebuild_seconds += elapsed;
   obs_.rebuild_us()->Record(elapsed * 1e6);
+  obs_.rebuild_in_progress()->Set(0);
+  recorder_->Record(obs::FlightEventKind::kRebuildEnd, generation_,
+                    static_cast<uint64_t>(elapsed * 1e6),
+                    base_->TotalEntries());
   PublishMetrics();
 }
 
 Status DynamicDspcIndex::InsertEdge(VertexId u, VertexId v) {
   PSPC_RETURN_IF_ERROR(graph_.AddEdge(u, v));
+  const double repair_before = stats_.repair_seconds;
   {
     ScopedTimer timer(&stats_.repair_seconds);
     obs::ScopedLatencyTimer latency(obs_.repair_us());
     const std::pair<VertexId, VertexId> edge{u, v};
     RepairInsertions({&edge, 1});
   }
+  stats_.last_plan_us = 0.0;
+  stats_.last_repair_us = (stats_.repair_seconds - repair_before) * 1e6;
   ++stats_.insertions_applied;
   ++generation_;
   MaybeRebuild();
@@ -113,11 +127,14 @@ Status DynamicDspcIndex::DeleteEdge(VertexId u, VertexId v) {
     return Status::NotFound("edge (" + std::to_string(u) + " -> " +
                             std::to_string(v) + ") does not exist");
   }
+  const double repair_before = stats_.repair_seconds;
   {
     ScopedTimer timer(&stats_.repair_seconds);
     obs::ScopedLatencyTimer latency(obs_.repair_us());
     RepairDeletion(u, v);
   }
+  stats_.last_plan_us = 0.0;
+  stats_.last_repair_us = (stats_.repair_seconds - repair_before) * 1e6;
   ++stats_.deletions_applied;
   ++generation_;
   MaybeRebuild();
@@ -139,7 +156,10 @@ Status DynamicDspcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
       [this](VertexId u, VertexId v) { return graph_.HasEdge(u, v); },
       /*directed=*/true);
   PSPC_RETURN_IF_ERROR(planned.status());
-  obs_.plan_us()->Record(plan_timer.ElapsedSeconds() * 1e6);
+  const double plan_us = plan_timer.ElapsedSeconds() * 1e6;
+  obs_.plan_us()->Record(plan_us);
+  stats_.last_plan_us = plan_us;
+  stats_.last_repair_us = 0.0;
   const BatchPlan& plan = planned.value();
   ++stats_.batches_applied;
   stats_.updates_coalesced += plan.coalesced_updates;
@@ -149,13 +169,19 @@ Status DynamicDspcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
   }
   if (plan.NetSize() == 1) {
     // One net update: the single-update path.
-    return plan.net_deletions.empty()
-               ? InsertEdge(plan.net_insertions[0].first,
-                            plan.net_insertions[0].second)
-               : DeleteEdge(plan.net_deletions[0].first,
-                            plan.net_deletions[0].second);
+    const Status status =
+        plan.net_deletions.empty()
+            ? InsertEdge(plan.net_insertions[0].first,
+                         plan.net_insertions[0].second)
+            : DeleteEdge(plan.net_deletions[0].first,
+                         plan.net_deletions[0].second);
+    // The delegated path stamps its own last_* fields with plan cost
+    // zero; this batch did plan.
+    stats_.last_plan_us = plan_us;
+    return status;
   }
 
+  const double repair_before = stats_.repair_seconds;
   {
     ScopedTimer timer(&stats_.repair_seconds);
     obs::ScopedLatencyTimer latency(obs_.repair_us());
@@ -174,6 +200,7 @@ Status DynamicDspcIndex::ApplyBatch(const EdgeUpdateBatch& batch) {
       RepairInsertions(plan.net_insertions);
     }
   }
+  stats_.last_repair_us = (stats_.repair_seconds - repair_before) * 1e6;
   stats_.insertions_applied += plan.net_insertions.size();
   stats_.deletions_applied += plan.net_deletions.size();
   ++generation_;  // one published generation per batch

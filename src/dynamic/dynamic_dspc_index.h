@@ -16,6 +16,7 @@
 #include "src/dynamic/dynamic_digraph.h"
 #include "src/dynamic/edge_update.h"
 #include "src/dynamic/repair_core.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/stats_export.h"
 #include "src/order/vertex_order.h"
 
@@ -82,6 +83,9 @@ struct DynamicDiOptions {
   /// from `Stats()`, stage-timing histograms, overlay gauges; both
   /// overlay sides summed). Null selects the process-global registry.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Flight recorder receiving rebuild start/end events. Null selects
+  /// the process-global one.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 /// Directed kernel view (see repair_core.h for the contract). The
@@ -249,6 +253,7 @@ class DynamicDspcIndex {
   DynamicDiOptions options_;
   DynamicStats stats_;
   obs::DynamicStatsExporter obs_;
+  obs::FlightRecorder* recorder_;
   uint64_t generation_ = 0;
 
   RepairScratch scratch_;

@@ -39,7 +39,10 @@ DynamicSpcIndex::DynamicSpcIndex(Graph graph, SpcIndex index,
       graph_(&base_graph_),
       overlay_(base_->LabelMap()),
       options_(options),
-      obs_(options.metrics) {
+      obs_(options.metrics),
+      recorder_(options.flight_recorder != nullptr
+                    ? options.flight_recorder
+                    : &obs::FlightRecorder::Global()) {
   PSPC_CHECK_MSG(base_->NumVertices() == base_graph_.NumVertices(),
                  "index (" << base_->NumVertices() << " vertices) does not "
                  "match graph (" << base_graph_.NumVertices() << ")");
@@ -90,6 +93,9 @@ void DynamicSpcIndex::PublishMetrics() {
 
 void DynamicSpcIndex::Rebuild() {
   WallTimer timer;
+  obs_.rebuild_in_progress()->Set(1);
+  recorder_->Record(obs::FlightEventKind::kRebuildStart, generation_,
+                    overlay_.OverlaidEntries());
   Graph current = graph_.Materialize();
   BuildResult result = BuildIndex(current, options_.rebuild_options);
   base_graph_ = std::move(current);
@@ -104,17 +110,24 @@ void DynamicSpcIndex::Rebuild() {
   const double elapsed = timer.ElapsedSeconds();
   stats_.rebuild_seconds += elapsed;
   obs_.rebuild_us()->Record(elapsed * 1e6);
+  obs_.rebuild_in_progress()->Set(0);
+  recorder_->Record(obs::FlightEventKind::kRebuildEnd, generation_,
+                    static_cast<uint64_t>(elapsed * 1e6),
+                    base_->TotalEntries());
   PublishMetrics();
 }
 
 Status DynamicSpcIndex::InsertEdge(VertexId u, VertexId v) {
   PSPC_RETURN_IF_ERROR(graph_.AddEdge(u, v));
+  const double repair_before = stats_.repair_seconds;
   {
     ScopedTimer timer(&stats_.repair_seconds);
     obs::ScopedLatencyTimer latency(obs_.repair_us());
     const std::pair<VertexId, VertexId> edge{u, v};
     RepairInsertions({&edge, 1});
   }
+  stats_.last_plan_us = 0.0;
+  stats_.last_repair_us = (stats_.repair_seconds - repair_before) * 1e6;
   ++stats_.insertions_applied;
   ++generation_;
   MaybeRebuild();
@@ -128,11 +141,14 @@ Status DynamicSpcIndex::DeleteEdge(VertexId u, VertexId v) {
     return Status::NotFound("edge (" + std::to_string(u) + ", " +
                             std::to_string(v) + ") does not exist");
   }
+  const double repair_before = stats_.repair_seconds;
   {
     ScopedTimer timer(&stats_.repair_seconds);
     obs::ScopedLatencyTimer latency(obs_.repair_us());
     RepairDeletion(u, v);
   }
+  stats_.last_plan_us = 0.0;
+  stats_.last_repair_us = (stats_.repair_seconds - repair_before) * 1e6;
   ++stats_.deletions_applied;
   ++generation_;
   MaybeRebuild();

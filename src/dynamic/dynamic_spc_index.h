@@ -17,6 +17,7 @@
 #include "src/dynamic/repair_core.h"
 #include "src/graph/graph.h"
 #include "src/label/spc_index.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/stats_export.h"
 #include "src/order/vertex_order.h"
 
@@ -120,6 +121,9 @@ struct DynamicOptions {
   /// from `Stats()`, stage-timing histograms, overlay gauges).
   /// Null selects the process-global registry.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Flight recorder receiving rebuild start/end events. Null selects
+  /// the process-global one.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 // DynamicStats (and the repair scratch/sink/kernel machinery this
@@ -324,6 +328,7 @@ class DynamicSpcIndex {
   DynamicOptions options_;
   DynamicStats stats_;
   obs::DynamicStatsExporter obs_;
+  obs::FlightRecorder* recorder_;
   uint64_t generation_ = 0;
 
   RepairScratch scratch_;                    // sequential paths

@@ -78,6 +78,12 @@ struct DynamicStats {
   size_t deferred_hub_runs = 0;  ///< wave aborts re-run sequentially
   double repair_seconds = 0.0;
   double rebuild_seconds = 0.0;
+  /// Per-batch stage costs of the most recent public mutation
+  /// (microseconds), stamped at the ApplyBatch / InsertEdge /
+  /// DeleteEdge tails — the write-path trace reads them right after
+  /// the call, on the same thread.
+  double last_plan_us = 0.0;
+  double last_repair_us = 0.0;
 
   /// Every per-hub repair launch, the unit `ApplyBatch` coalescing
   /// amortizes (bench_dynamic_updates reports the batched-vs-

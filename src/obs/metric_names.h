@@ -50,6 +50,8 @@ inline constexpr char kServeSnapshotsRetiredPending[] =
 inline constexpr char kServePublishCopiedVerticesLast[] =
     "serve.publish_copied_vertices_last";
 inline constexpr char kServeActiveReaders[] = "serve.active_readers";
+inline constexpr char kServeQueueDepth[] = "serve.queue_depth";
+inline constexpr char kServeQueueCapacity[] = "serve.queue_capacity";
 
 inline constexpr char kServeQueryLatencyUs[] = "serve.query_latency_us";
 inline constexpr char kServeQueryLatencyCacheHitUs[] =
@@ -97,6 +99,13 @@ inline constexpr char kDynamicGeneration[] = "dynamic.generation";
 inline constexpr char kDynamicOverlayEntries[] = "dynamic.overlay_entries";
 inline constexpr char kDynamicOverlayVertices[] = "dynamic.overlay_vertices";
 inline constexpr char kDynamicBaseEntries[] = "dynamic.base_entries";
+inline constexpr char kDynamicRebuildInProgress[] =
+    "dynamic.rebuild_in_progress";
+
+// --------------------------------------------------------- ops plane
+inline constexpr char kObsHealthStatus[] = "obs.health_status";
+inline constexpr char kObsHealthTransitionsTotal[] =
+    "obs.health_transitions_total";
 
 inline constexpr char kDynamicPlanUs[] = "dynamic.plan_us";
 inline constexpr char kDynamicRepairUs[] = "dynamic.repair_us";
@@ -129,6 +138,7 @@ inline constexpr std::string_view kCounterNames[] = {
     kDynamicParallelHubRunsTotal,
     kDynamicDeferredHubRunsTotal,
     kDynamicRebuildsTotal,
+    kObsHealthTransitionsTotal,
 };
 
 inline constexpr std::string_view kGaugeNames[] = {
@@ -136,10 +146,14 @@ inline constexpr std::string_view kGaugeNames[] = {
     kServeSnapshotsRetiredPending,
     kServePublishCopiedVerticesLast,
     kServeActiveReaders,
+    kServeQueueDepth,
+    kServeQueueCapacity,
     kDynamicGeneration,
     kDynamicOverlayEntries,
     kDynamicOverlayVertices,
     kDynamicBaseEntries,
+    kDynamicRebuildInProgress,
+    kObsHealthStatus,
 };
 
 inline constexpr std::string_view kHistogramNames[] = {

@@ -6,6 +6,7 @@
 
 #include "src/common/json_writer.h"
 #include "src/obs/metric_names.h"
+#include "src/obs/prom_validate.h"
 
 namespace pspc {
 namespace obs {
@@ -44,13 +45,18 @@ void AtomicMax(std::atomic<double>* target, double value) {
   }
 }
 
-// `pspc_` prefix + dots to underscores: "serve.queries_total" ->
-// "pspc_serve_queries_total".
+// Name mapping lives in prom_validate.h so the exporter and the
+// validator can never disagree about it.
 std::string PrometheusName(const std::string& name) {
-  std::string out = "pspc_";
-  out.reserve(out.size() + name.size());
-  for (const char c : name) out += c == '.' ? '_' : c;
-  return out;
+  return PrometheusMetricName(name);
+}
+
+// HELP text derived from the dotted name and metric kind — enough for
+// a human reading the scrape, and it keeps the HELP/TYPE pairing the
+// text format expects without a second per-metric table to drift.
+std::string HelpLine(const std::string& prom, const std::string& name,
+                     const char* kind) {
+  return "# HELP " + prom + " pspc " + kind + " " + name + "\n";
 }
 
 std::string FormatNumber(double value) { return benchjson::NumberToJson(value); }
@@ -213,17 +219,20 @@ std::string MetricsRegistry::ToPrometheusText() const {
   std::string out;
   for (const auto& [name, counter] : counters_) {
     const std::string prom = PrometheusName(name);
+    out += HelpLine(prom, name, "counter");
     out += "# TYPE " + prom + " counter\n";
     out += prom + " " + std::to_string(counter->Value()) + "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
     const std::string prom = PrometheusName(name);
+    out += HelpLine(prom, name, "gauge");
     out += "# TYPE " + prom + " gauge\n";
     out += prom + " " + std::to_string(gauge->Value()) + "\n";
   }
   for (const auto& [name, histogram] : histograms_) {
     const HistogramSnapshot snapshot = histogram->Snapshot();
     const std::string prom = PrometheusName(name);
+    out += HelpLine(prom, name, "histogram");
     out += "# TYPE " + prom + " histogram\n";
     uint64_t cumulative = 0;
     for (size_t b = 0; b < snapshot.bucket_counts.size(); ++b) {

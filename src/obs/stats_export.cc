@@ -26,6 +26,7 @@ DynamicStatsExporter::DynamicStatsExporter(MetricsRegistry* registry)
       overlay_entries_(registry_->GetGauge(kDynamicOverlayEntries)),
       overlay_vertices_(registry_->GetGauge(kDynamicOverlayVertices)),
       base_entries_(registry_->GetGauge(kDynamicBaseEntries)),
+      rebuild_in_progress_(registry_->GetGauge(kDynamicRebuildInProgress)),
       plan_us_(registry_->GetHistogram(kDynamicPlanUs)),
       repair_us_(registry_->GetHistogram(kDynamicRepairUs)),
       rebuild_us_(registry_->GetHistogram(kDynamicRebuildUs)) {}

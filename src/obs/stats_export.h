@@ -42,6 +42,11 @@ class DynamicStatsExporter {
   void SetGauges(uint64_t generation, size_t overlay_entries,
                  size_t overlay_vertices, size_t base_entries);
 
+  /// 1 while a staleness rebuild is running, 0 otherwise — the health
+  /// watchdog reports a long-running rebuild as DEGRADED rather than
+  /// misreading its publish gap as a stall.
+  Gauge* rebuild_in_progress() const { return rebuild_in_progress_; }
+
   /// Stage-timing histograms (microseconds) the index records into
   /// directly: batch-plan validation/coalescing, label repair, and
   /// staleness rebuild.
@@ -74,6 +79,7 @@ class DynamicStatsExporter {
   Gauge* overlay_entries_;
   Gauge* overlay_vertices_;
   Gauge* base_entries_;
+  Gauge* rebuild_in_progress_;
 
   Histogram* plan_us_;
   Histogram* repair_us_;

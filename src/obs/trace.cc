@@ -49,5 +49,40 @@ std::string TraceCollector::SlowTracesToJson() const {
   return array.Serialize();
 }
 
+std::string UpdateTrace::ToJson() const {
+  benchjson::Object object;
+  object.Add("batch_id", batch_id);
+  object.Add("submitted", submitted);
+  object.Add("applied", applied);
+  object.Add("generation", generation);
+  object.Add("ok", ok);
+  object.Add("plan_us", plan_us);
+  object.Add("repair_us", repair_us);
+  object.Add("publish_us", publish_us);
+  object.Add("reclaim_us", reclaim_us);
+  object.Add("total_us", total_us);
+  return object.Serialize();
+}
+
+void UpdateTraceLog::Record(const UpdateTrace& trace) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_.size() == capacity_) log_.pop_front();
+  log_.push_back(trace);
+}
+
+std::vector<UpdateTrace> UpdateTraceLog::Log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {log_.begin(), log_.end()};
+}
+
+std::string UpdateTraceLog::ToJson() const {
+  benchjson::Array array;
+  for (const UpdateTrace& trace : Log()) {
+    array.AddRaw(trace.ToJson());
+  }
+  return array.Serialize();
+}
+
 }  // namespace obs
 }  // namespace pspc

@@ -144,6 +144,59 @@ class TraceCollector {
   std::deque<QueryTrace> slow_log_;  // guarded by mu_
 };
 
+/// The life of one update batch through the write path, batch-id
+/// correlated: plan (validation + coalescing), repair (label surgery),
+/// publish (snapshot swap), reclaim (retired-generation free). Stage
+/// costs are microseconds; zero means the stage did not run (e.g. a
+/// rejected batch never publishes).
+struct UpdateTrace {
+  uint64_t batch_id = 0;
+  uint64_t submitted = 0;  ///< updates handed to ApplyBatch
+  uint64_t applied = 0;    ///< net insertions + deletions after coalescing
+  uint64_t generation = 0; ///< generation published (0 if none)
+  bool ok = false;         ///< batch accepted (validation passed)
+  int64_t start_ns = 0;    ///< TraceNowNs() at submission
+  double plan_us = 0.0;
+  double repair_us = 0.0;
+  double publish_us = 0.0;
+  double reclaim_us = 0.0;
+  double total_us = 0.0;
+
+  /// One-object JSON rendering (stage timings in microseconds).
+  std::string ToJson() const;
+};
+
+/// Bounded log of recent update-batch traces, newest kept. The write
+/// path is single-writer (the engine serializes ApplyUpdates), but the
+/// log is read by scrape threads, so it locks — one acquisition per
+/// batch is noise next to the repair itself.
+class UpdateTraceLog {
+ public:
+  explicit UpdateTraceLog(size_t capacity = 64)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  UpdateTraceLog(const UpdateTraceLog&) = delete;
+  UpdateTraceLog& operator=(const UpdateTraceLog&) = delete;
+
+  void Record(const UpdateTrace& trace);
+
+  uint64_t TracesRecorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  /// Point-in-time copy of the retained traces, oldest first.
+  std::vector<UpdateTrace> Log() const;
+
+  /// JSON array of the retained traces.
+  std::string ToJson() const;
+
+ private:
+  const size_t capacity_;
+  std::atomic<uint64_t> recorded_{0};
+  mutable std::mutex mu_;
+  std::deque<UpdateTrace> log_;  // guarded by mu_
+};
+
 }  // namespace obs
 }  // namespace pspc
 

@@ -1,6 +1,7 @@
 #include "src/serve/epoch_manager.h"
 
 #include "src/common/logging.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 
 namespace pspc {
@@ -38,6 +39,11 @@ size_t EpochManager::Enter() {
   overflow_epochs_[idx] = epoch;
   overflow_pins_.fetch_add(1, std::memory_order_relaxed);
   RefreshOverflowMin();
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->Record(
+        obs::FlightEventKind::kEpochOverflowPin,
+        overflow_pins_.load(std::memory_order_relaxed), epoch);
+  }
   return kMaxSlots + idx;
 }
 

@@ -45,6 +45,7 @@ namespace pspc {
 
 namespace obs {
 class Counter;
+class FlightRecorder;
 }  // namespace obs
 
 class EpochManager {
@@ -94,6 +95,13 @@ class EpochManager {
     overflow_pin_counter_ = counter;
   }
 
+  /// Emits a flight-recorder event per overflow pin (slot-exhaustion
+  /// forensics); null disables. Same wiring-time contract as
+  /// BindOverflowPinCounter.
+  void BindFlightRecorder(obs::FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
+
  private:
   // One cache line per slot so reader pins do not false-share.
   struct alignas(64) Slot {
@@ -116,6 +124,7 @@ class EpochManager {
   std::atomic<size_t> overflow_pins_{0};   // mutated under overflow_mu_
   std::atomic<uint64_t> overflow_min_{0};  // mutated under overflow_mu_
   obs::Counter* overflow_pin_counter_ = nullptr;  // set before readers
+  obs::FlightRecorder* flight_recorder_ = nullptr;  // set before readers
 };
 
 }  // namespace pspc

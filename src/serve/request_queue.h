@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 /// The serving front-end's MPMC request plumbing: completion tickets
@@ -74,6 +75,7 @@ class RequestQueue {
                    [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(request));
+    NoteDepthLocked();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -101,6 +103,7 @@ class RequestQueue {
             ++pushed;
             ++added;
           }
+          NoteDepthLocked();
         }
       }
       // Notify outside the lock (woken workers would otherwise block
@@ -131,6 +134,9 @@ class RequestQueue {
       out->push_back(std::move(items_.front()));
       items_.pop_front();
     }
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->Set(static_cast<int64_t>(items_.size()));
+    }
     lock.unlock();
     not_full_.notify_all();
     return take;
@@ -152,13 +158,39 @@ class RequestQueue {
     return items_.size();
   }
 
+  size_t Capacity() const { return capacity_; }
+
+  /// Deepest the backlog has ever been (relaxed; exact once quiesced).
+  size_t HighWater() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// Mirrors the live depth into `gauge` on every push/pop (under the
+  /// queue lock the paths already hold; the gauge store itself is one
+  /// relaxed atomic). Wire before the first producer/consumer touches
+  /// the queue.
+  void BindDepthGauge(obs::Gauge* gauge) { depth_gauge_ = gauge; }
+
  private:
+  // Callers hold mu_.
+  void NoteDepthLocked() {
+    const size_t depth = items_.size();
+    if (depth > high_water_.load(std::memory_order_relaxed)) {
+      high_water_.store(depth, std::memory_order_relaxed);
+    }
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->Set(static_cast<int64_t>(depth));
+    }
+  }
+
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<ServeRequest> items_;
   const size_t capacity_;
   bool closed_ = false;
+  std::atomic<size_t> high_water_{0};
+  obs::Gauge* depth_gauge_ = nullptr;
 };
 
 }  // namespace pspc

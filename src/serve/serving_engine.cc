@@ -1,5 +1,6 @@
 #include "src/serve/serving_engine.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -32,12 +33,14 @@ ServingEngine::ServingEngine(DynamicSpcIndex* index, ServingOptions options)
       num_workers_(options.num_workers > 0
                        ? static_cast<size_t>(options.num_workers)
                        : static_cast<size_t>(MaxThreads())),
-      snapshots_(IndexSnapshot::Capture(*index), options.metrics),
+      snapshots_(IndexSnapshot::Capture(*index), options.metrics,
+                 options.flight_recorder),
       queue_(options.queue_capacity),
       cache_(options.cache_shards, options.cache_capacity_per_shard),
       published_generation_(index->Generation()),
       sampler_(options.trace_sample_every_n, options.trace_seed),
-      traces_(options.slow_trace_capacity, options.slow_trace_us) {
+      traces_(options.slow_trace_capacity, options.slow_trace_us),
+      update_traces_(options.update_trace_capacity) {
   BindMetrics();
   StartWorkers();
 }
@@ -49,7 +52,8 @@ ServingEngine::ServingEngine(DynamicDspcIndex* index, ServingOptions options)
       num_workers_(options.num_workers > 0
                        ? static_cast<size_t>(options.num_workers)
                        : static_cast<size_t>(MaxThreads())),
-      snapshots_(IndexSnapshot::Capture(*index), options.metrics),
+      snapshots_(IndexSnapshot::Capture(*index), options.metrics,
+                 options.flight_recorder),
       queue_(options.queue_capacity),
       // Ordered-pair keys: directed SPC(s -> t) must never be answered
       // from a cached SPC(t -> s).
@@ -57,7 +61,8 @@ ServingEngine::ServingEngine(DynamicDspcIndex* index, ServingOptions options)
              /*symmetric=*/false),
       published_generation_(index->Generation()),
       sampler_(options.trace_sample_every_n, options.trace_seed),
-      traces_(options.slow_trace_capacity, options.slow_trace_us) {
+      traces_(options.slow_trace_capacity, options.slow_trace_us),
+      update_traces_(options.update_trace_capacity) {
   BindMetrics();
   StartWorkers();
 }
@@ -88,6 +93,15 @@ void ServingEngine::BindMetrics() {
   publish_us_ = metrics_->GetHistogram(obs::kServePublishUs);
   published_generation_gauge_->Set(
       static_cast<int64_t>(published_generation_));
+  recorder_ = options_.flight_recorder != nullptr
+                  ? options_.flight_recorder
+                  : &obs::FlightRecorder::Global();
+  queue_depth_gauge_ = metrics_->GetGauge(obs::kServeQueueDepth);
+  queue_capacity_gauge_ = metrics_->GetGauge(obs::kServeQueueCapacity);
+  queue_capacity_gauge_->Set(static_cast<int64_t>(queue_.Capacity()));
+  // Wired before StartWorkers spawns any consumer, so the pointer is
+  // published to the worker threads by thread creation.
+  queue_.BindDepthGauge(queue_depth_gauge_);
 }
 
 void ServingEngine::StartWorkers() {
@@ -183,7 +197,11 @@ Status ServingEngine::ApplyUpdates(const EdgeUpdateBatch& batch) {
       directed ? directed_index_->Stats() : index_->Stats();
   const uint64_t applied_before =
       stats.insertions_applied + stats.deletions_applied;
+  obs::UpdateTrace update_trace;
+  update_trace.batch_id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+  update_trace.submitted = batch.Size();
   const int64_t apply_start_ns = obs::TraceNowNs();
+  update_trace.start_ns = apply_start_ns;
   const Status status = directed ? directed_index_->ApplyBatch(batch)
                                  : index_->ApplyBatch(batch);
   update_latency_us_->Record(
@@ -192,6 +210,14 @@ Status ServingEngine::ApplyUpdates(const EdgeUpdateBatch& batch) {
       stats.insertions_applied + stats.deletions_applied - applied_before;
   updates_applied_.fetch_add(applied, std::memory_order_relaxed);
   updates_applied_total_->Increment(applied);
+  update_trace.ok = status.ok();
+  update_trace.applied = applied;
+  if (status.ok()) {
+    // The index stamps per-batch plan/repair wall costs into its stats
+    // at the ApplyBatch tail; same thread, same writer_mu_ scope.
+    update_trace.plan_us = stats.last_plan_us;
+    update_trace.repair_us = stats.last_repair_us;
+  }
   // ApplyBatch is atomic and bumps the generation once per batch, so
   // this publishes exactly one snapshot for a batch that changed
   // anything and none for a rejected or fully coalesced one.
@@ -201,13 +227,23 @@ Status ServingEngine::ApplyUpdates(const EdgeUpdateBatch& batch) {
     const int64_t publish_start_ns = obs::TraceNowNs();
     snapshots_.Publish(directed ? IndexSnapshot::Capture(*directed_index_)
                                 : IndexSnapshot::Capture(*index_));
-    publish_us_->Record(
-        static_cast<double>(obs::TraceNowNs() - publish_start_ns) * 1e-3);
+    const double publish_micros =
+        static_cast<double>(obs::TraceNowNs() - publish_start_ns) * 1e-3;
+    publish_us_->Record(publish_micros);
+    update_trace.reclaim_us = snapshots_.LastReclaimMicros();
+    update_trace.publish_us = publish_micros - update_trace.reclaim_us;
+    update_trace.generation = generation;
     published_generation_ = generation;
     publishes_.fetch_add(1, std::memory_order_relaxed);
     generations_published_total_->Increment();
     published_generation_gauge_->Set(static_cast<int64_t>(generation));
   }
+  update_trace.total_us =
+      static_cast<double>(obs::TraceNowNs() - apply_start_ns) * 1e-3;
+  update_traces_.Record(update_trace);
+  recorder_->Record(obs::FlightEventKind::kBatchApply,
+                    update_trace.batch_id, update_trace.submitted, applied,
+                    static_cast<uint64_t>(update_trace.total_us));
   return status;
 }
 
@@ -257,6 +293,20 @@ void ServingEngine::WorkerLoop() {
     const size_t taken =
         queue_.PopBatch(&local, options_.max_batch, num_workers_);
     if (taken == 0) return;  // closed and drained
+
+    // Announce new queue high-water marks to the flight recorder in
+    // capacity/8 steps (one relaxed load per micro-batch otherwise).
+    {
+      const size_t high_water = queue_.HighWater();
+      size_t reported = reported_high_water_.load(std::memory_order_relaxed);
+      const size_t step = std::max<size_t>(1, queue_.Capacity() / 8);
+      if (high_water >= reported + step &&
+          reported_high_water_.compare_exchange_strong(
+              reported, high_water, std::memory_order_relaxed)) {
+        recorder_->Record(obs::FlightEventKind::kQueueHighWater, high_water,
+                          queue_.Capacity());
+      }
+    }
 
     // One clock read covers the whole dequeue: the micro-batch left
     // the queue as a unit, so its queue waits share the instant.

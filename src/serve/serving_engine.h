@@ -15,6 +15,7 @@
 #include "src/dynamic/dynamic_dspc_index.h"
 #include "src/dynamic/dynamic_spc_index.h"
 #include "src/label/query_engine.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/serve/request_queue.h"
@@ -66,6 +67,11 @@ struct ServingOptions {
   /// the bounded slow-trace log (`Traces().SlowTraceLog()`).
   double slow_trace_us = 10'000.0;
   size_t slow_trace_capacity = 64;
+  /// Flight recorder receiving publish / reclaim / batch-apply /
+  /// queue-high-water events. Null selects the process-global one.
+  obs::FlightRecorder* flight_recorder = nullptr;
+  /// Recent update-batch traces retained for `/tracez`.
+  size_t update_trace_capacity = 64;
 };
 
 /// Monotonic totals since construction (point-in-time copies).
@@ -147,8 +153,23 @@ class ServingEngine {
   /// The sampled-trace sink: slow-query log and sampling totals.
   const obs::TraceCollector& Traces() const { return traces_; }
 
+  /// Write-path traces: one entry per ApplyUpdates batch, batch-id
+  /// correlated, with plan/repair/publish/reclaim stage costs.
+  const obs::UpdateTraceLog& UpdateTraces() const { return update_traces_; }
+
   /// The registry this engine's serve.* metrics land in.
   obs::MetricsRegistry& Metrics() const { return *metrics_; }
+
+  /// Pins the currently published snapshot until the returned ref is
+  /// released — a consistent multi-query read (every Query against the
+  /// ref sees one generation). Operationally a held pin delays
+  /// reclamation of every later generation, which is exactly what the
+  /// health watchdog's reclaim_backlog rule watches for; tests use
+  /// this as the reclaim-stall fault injection.
+  SnapshotRef PinSnapshot() const { return snapshots_.Acquire(); }
+
+  /// Deepest the request queue has been (diagnostics).
+  size_t QueueHighWater() const { return queue_.HighWater(); }
 
  private:
   void WorkerLoop();
@@ -209,10 +230,18 @@ class ServingEngine {
   obs::Histogram* micro_batch_size_;
   obs::Histogram* update_latency_us_;
   obs::Histogram* publish_us_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Gauge* queue_capacity_gauge_;
+  obs::FlightRecorder* recorder_;
 
   obs::TraceSampler sampler_;
   obs::TraceCollector traces_;
+  obs::UpdateTraceLog update_traces_;
   std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> next_batch_id_{1};
+  // Queue high-water mark last announced to the flight recorder;
+  // workers race benignly on it (CAS, at most one event per new mark).
+  std::atomic<size_t> reported_high_water_{0};
 };
 
 }  // namespace pspc

@@ -3,13 +3,17 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/timer.h"
 #include "src/obs/metric_names.h"
 
 namespace pspc {
 
 SnapshotManager::SnapshotManager(std::unique_ptr<const IndexSnapshot> initial,
-                                 obs::MetricsRegistry* registry)
-    : current_(initial.release()) {
+                                 obs::MetricsRegistry* registry,
+                                 obs::FlightRecorder* recorder)
+    : current_(initial.release()),
+      recorder_(recorder != nullptr ? recorder
+                                    : &obs::FlightRecorder::Global()) {
   PSPC_CHECK(current_.load(std::memory_order_relaxed) != nullptr);
   if (registry == nullptr) registry = &obs::MetricsRegistry::Global();
   reclaimed_total_counter_ =
@@ -24,6 +28,7 @@ SnapshotManager::SnapshotManager(std::unique_ptr<const IndexSnapshot> initial,
   pin_us_ = registry->GetHistogram(obs::kServeReaderPinUs);
   epochs_.BindOverflowPinCounter(
       registry->GetCounter(obs::kServeEpochOverflowPinsTotal));
+  epochs_.BindFlightRecorder(recorder_);
 }
 
 SnapshotManager::~SnapshotManager() {
@@ -59,23 +64,36 @@ void SnapshotManager::Publish(std::unique_ptr<const IndexSnapshot> next) {
   retired_.push_back({old, retire_epoch});
   Reclaim();
   active_readers_gauge_->Set(static_cast<int64_t>(epochs_.ActiveReaders()));
+  recorder_->Record(
+      obs::FlightEventKind::kPublish,
+      current_.load(std::memory_order_relaxed)->Generation(),
+      static_cast<uint64_t>(copied), static_cast<uint64_t>(retired_.size()));
 }
 
 void SnapshotManager::Reclaim() {
+  WallTimer timer;
   // kNoActiveReader compares greater than every retire epoch, so an
   // idle reader side drains the whole list.
   const uint64_t min_active = epochs_.MinActiveEpoch();
   auto dead = std::partition(
       retired_.begin(), retired_.end(),
       [min_active](const Retired& r) { return r.epoch > min_active; });
+  size_t freed = 0;
   for (auto it = dead; it != retired_.end(); ++it) {
     delete it->snapshot;
+    ++freed;
     reclaimed_.fetch_add(1, std::memory_order_relaxed);
     reclaimed_total_counter_->Increment();
   }
   retired_.erase(dead, retired_.end());
   retired_count_.store(retired_.size(), std::memory_order_relaxed);
   retired_pending_gauge_->Set(static_cast<int64_t>(retired_.size()));
+  const double micros = timer.ElapsedMicros();
+  last_reclaim_us_.store(micros, std::memory_order_relaxed);
+  if (freed > 0) {
+    recorder_->Record(obs::FlightEventKind::kReclaim, freed, retired_.size(),
+                      static_cast<uint64_t>(micros));
+  }
 }
 
 }  // namespace pspc

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/serve/epoch_manager.h"
@@ -89,9 +90,11 @@ class SnapshotManager {
  public:
   /// `registry == nullptr` selects the process-global registry for the
   /// publication metrics (publish cost, reclaim backlog, reader-pin
-  /// duration, epoch-overflow pins).
+  /// duration, epoch-overflow pins); `recorder == nullptr` likewise
+  /// selects the global flight recorder for publish/reclaim events.
   explicit SnapshotManager(std::unique_ptr<const IndexSnapshot> initial,
-                           obs::MetricsRegistry* registry = nullptr);
+                           obs::MetricsRegistry* registry = nullptr,
+                           obs::FlightRecorder* recorder = nullptr);
 
   /// Requires no reader still pinned (the owning engine joins its
   /// workers first); frees the current and all retired snapshots.
@@ -140,6 +143,12 @@ class SnapshotManager {
   /// Currently pinned readers (diagnostics).
   size_t ActiveReaders() const { return epochs_.ActiveReaders(); }
 
+  /// Wall cost of the most recent Publish's reclaim sweep
+  /// (microseconds; the write-path trace's reclaim span).
+  double LastReclaimMicros() const {
+    return last_reclaim_us_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Retired {
     const IndexSnapshot* snapshot;
@@ -157,6 +166,7 @@ class SnapshotManager {
   std::atomic<size_t> reclaimed_{0};
   std::atomic<size_t> copied_last_{0};
   std::atomic<size_t> copied_total_{0};
+  std::atomic<double> last_reclaim_us_{0.0};
 
   // Registry handles (resolved once at construction).
   obs::Counter* reclaimed_total_counter_;
@@ -166,6 +176,7 @@ class SnapshotManager {
   obs::Gauge* active_readers_gauge_;
   obs::Histogram* copied_hist_;
   obs::Histogram* pin_us_;
+  obs::FlightRecorder* recorder_;
 };
 
 }  // namespace pspc

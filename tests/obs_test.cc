@@ -305,10 +305,13 @@ TEST(MetricsExportTest, PrometheusGolden) {
   hist->Record(5.0);
 
   EXPECT_EQ(registry.ToPrometheusText(),
+            "# HELP pspc_t_c_total pspc counter t.c_total\n"
             "# TYPE pspc_t_c_total counter\n"
             "pspc_t_c_total 3\n"
+            "# HELP pspc_t_g pspc gauge t.g\n"
             "# TYPE pspc_t_g gauge\n"
             "pspc_t_g -2\n"
+            "# HELP pspc_t_h pspc histogram t.h\n"
             "# TYPE pspc_t_h histogram\n"
             "pspc_t_h_bucket{le=\"1\"} 1\n"
             "pspc_t_h_bucket{le=\"10\"} 2\n"

@@ -5,8 +5,9 @@
 // the build instead of silently breaking dashboards.
 //
 //   metrics_schema_check <snapshot.json> [--require serve,dynamic]
+//   metrics_schema_check --prom <scrape.txt>
 //
-// Checks, all fatal:
+// JSON mode checks, all fatal:
 //   * the file parses as one JSON object with the three metric
 //     sections (counters/gauges/histograms) and a schema_version
 //     matching kMetricsSchemaVersion;
@@ -14,6 +15,13 @@
 //     catalog section matching where the snapshot placed it;
 //   * with --require, every name in the named required groups
 //     (kRequiredServeMetrics / kRequiredDynamicMetrics) is present.
+//
+// --prom validates a Prometheus text-format scrape (what the obs
+// server's /metrics endpoint returns, or --metrics-prom wrote):
+// name charset, HELP/TYPE pairing, histogram _bucket/_sum/_count
+// completeness with cumulative buckets — see src/obs/prom_validate.h.
+// CI runs it against a live scrape so the text exporter cannot drift
+// from what Prometheus actually ingests.
 //
 // The scanner below is not a general JSON parser — it only walks the
 // machine-generated snapshot shape: object keys by brace depth, with
@@ -31,6 +39,7 @@
 #include <vector>
 
 #include "src/obs/metric_names.h"
+#include "src/obs/prom_validate.h"
 
 namespace {
 
@@ -107,10 +116,13 @@ int Fail(const char* what, const std::string& detail) {
 
 int main(int argc, char** argv) {
   std::string path;
+  std::string prom_path;
   std::vector<std::string> require;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--require" && i + 1 < argc) {
+    if (arg == "--prom" && i + 1 < argc) {
+      prom_path = argv[++i];
+    } else if (arg == "--require" && i + 1 < argc) {
       std::stringstream groups(argv[++i]);
       std::string group;
       while (std::getline(groups, group, ',')) {
@@ -124,15 +136,29 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: metrics_schema_check <snapshot.json> "
-                   "[--require serve,dynamic]\n");
+                   "[--require serve,dynamic] | --prom <scrape.txt>\n");
       return 2;
     }
   }
-  if (path.empty()) {
+  if (path.empty() == prom_path.empty()) {  // exactly one mode
     std::fprintf(stderr,
                  "usage: metrics_schema_check <snapshot.json> "
-                 "[--require serve,dynamic]\n");
+                 "[--require serve,dynamic] | --prom <scrape.txt>\n");
     return 2;
+  }
+
+  if (!prom_path.empty()) {
+    std::ifstream in(prom_path, std::ios::binary);
+    if (!in) return Fail("cannot open", prom_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    const pspc::obs::PromValidationResult result =
+        pspc::obs::ValidatePrometheusText(text, /*require_catalog=*/true);
+    if (!result.ok) return Fail("invalid Prometheus text", result.error);
+    std::printf("metrics_schema_check: OK (%zu Prometheus families)\n",
+                result.families);
+    return 0;
   }
 
   std::ifstream in(path, std::ios::binary);
