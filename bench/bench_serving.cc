@@ -43,7 +43,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -51,6 +50,7 @@
 
 #include "bench/bench_json.h"
 #include "src/baseline/bfs_spc.h"
+#include "src/common/mutex.h"
 #include "src/common/percentile.h"
 #include "src/common/random.h"
 #include "src/common/timer.h"
@@ -104,6 +104,8 @@ RunResult RunMixed(
     threads.emplace_back([&, out, seed] {
       pspc::Rng rng(seed);
       pspc::QueryBatch batch(kBatch);
+      // relaxed: stop flag and read tally are statistics/poll-only;
+      // no payload is published through them.
       while (!stop.load(std::memory_order_relaxed)) {
         for (auto& query : batch) {
           if (rng.NextBool(kHotShare)) {
@@ -116,6 +118,7 @@ RunResult RunMixed(
         pspc::WallTimer timer;
         run_batch(batch);
         out->push_back(timer.ElapsedMillis());
+        // relaxed: throughput tally, read approximately by the pacer.
         reads.fetch_add(batch.size(), std::memory_order_relaxed);
       }
     });
@@ -127,6 +130,7 @@ RunResult RunMixed(
   while (wall.ElapsedSeconds() < duration) {
     const double quota =
         write_share / (1.0 - write_share) *
+        // relaxed: pacing estimate; staleness only skews the mix.
         static_cast<double>(reads.load(std::memory_order_relaxed));
     if (write_share == 0.0 || churn->Empty() ||
         static_cast<double>(writes) >= quota) {
@@ -136,6 +140,7 @@ RunResult RunMixed(
     if (apply(churn->Next(write_rng)).ok()) ++writes;
   }
   const double elapsed = wall.ElapsedSeconds();
+  // relaxed: join() below is the synchronization point.
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& thread : threads) thread.join();
 
@@ -198,24 +203,24 @@ Row RunEngine(const pspc::Graph& graph, const pspc::SpcIndex& index,
 Row RunGlobalLock(const pspc::Graph& graph, const pspc::SpcIndex& index,
                   double write_share, int loaders, double duration) {
   pspc::DynamicSpcIndex dynamic(graph, index);  // fresh copy per run
-  std::mutex whole_index;  // the snapshot-off design: one lock for all
+  pspc::spc::Mutex whole_index;  // the snapshot-off design: one lock for all
   pspc::ClosureChurn churn(graph);
   RunResult result = RunMixed(
       graph.NumVertices(), write_share, loaders, duration,
       [&](const pspc::QueryBatch& batch) {
         for (const auto& [s, t] : batch) {
-          std::lock_guard<std::mutex> lock(whole_index);
+          pspc::spc::MutexLock lock(whole_index);
           dynamic.Query(s, t);
         }
       },
       [&](const pspc::EdgeUpdate& update) {
-        std::lock_guard<std::mutex> lock(whole_index);
+        pspc::spc::MutexLock lock(whole_index);
         return dynamic.Apply(update);
       },
       &churn);
   const size_t mismatches =
       OracleMismatches(&dynamic, [&](pspc::VertexId s, pspc::VertexId t) {
-        std::lock_guard<std::mutex> lock(whole_index);
+        pspc::spc::MutexLock lock(whole_index);
         return dynamic.Query(s, t);
       });
   return {"lock  ", write_share, loaders, result, mismatches};

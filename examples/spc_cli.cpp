@@ -64,22 +64,22 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/baseline/bfs_spc.h"
+#include "src/common/mutex.h"
 #include "src/common/percentile.h"
 #include "src/common/random.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/timer.h"
 #include "src/core/builder_facade.h"
 #include "src/digraph/dbfs_spc.h"
@@ -145,11 +145,15 @@ class MetricsReporter {
       return;
     }
     thread_ = std::thread([this, interval_ms] {
-      std::unique_lock<std::mutex> lock(mu_);
-      while (!stop_) {
-        cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
-                     [this] { return stop_; });
-        if (stop_) break;
+      for (;;) {
+        {
+          pspc::spc::MutexLock lock(mu_);
+          if (stop_) return;
+          cv_.WaitFor(mu_, std::chrono::milliseconds(interval_ms));
+          if (stop_) return;
+        }
+        // Outside mu_: snapshot serialization has no business blocking
+        // the destructor's stop handshake.
         WriteSnapshots();
       }
     });
@@ -158,10 +162,10 @@ class MetricsReporter {
   ~MetricsReporter() {
     if (thread_.joinable()) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        pspc::spc::MutexLock lock(mu_);
         stop_ = true;
       }
-      cv_.notify_all();
+      cv_.NotifyAll();
       thread_.join();
     }
     WriteSnapshots();
@@ -178,9 +182,9 @@ class MetricsReporter {
   pspc::obs::MetricsRegistry* registry_;
   std::string json_path_;
   std::string prom_path_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  pspc::spc::Mutex mu_;
+  pspc::spc::CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 
@@ -609,12 +613,15 @@ int RunServeWorkload(pspc::ServingEngine& engine, pspc::VertexId n,
     pspc::Rng rng = seeder.Split();
     auto* out = &batch_ms[static_cast<size_t>(i)];
     loader_threads.emplace_back([&, rng, out]() mutable {
+      // relaxed: stop flag and read tally are poll-only statistics;
+      // join() is the synchronization point.
       while (!stop.load(std::memory_order_relaxed)) {
         pspc::QueryBatch queries =
             pspc::MakeRandomQueries(n, params.batch, rng.Next());
         pspc::WallTimer timer;
         engine.SubmitBatch(queries).get();
         out->push_back(timer.ElapsedMillis());
+        // relaxed: throughput tally, read approximately by the pacer.
         reads.fetch_add(queries.size(), std::memory_order_relaxed);
       }
     });
@@ -634,6 +641,7 @@ int RunServeWorkload(pspc::ServingEngine& engine, pspc::VertexId n,
         params.write_share >= 0.95
             ? 1e18
             : params.write_share / (1.0 - params.write_share) *
+                  // relaxed: pacing estimate; staleness only skews mix.
                   static_cast<double>(reads.load(std::memory_order_relaxed));
     if (params.write_share == 0.0 ||
         static_cast<double>(writes) >= quota) {
@@ -666,6 +674,7 @@ int RunServeWorkload(pspc::ServingEngine& engine, pspc::VertexId n,
     }
   }
   const double elapsed = wall.ElapsedSeconds();
+  // relaxed: join() below is the synchronization point.
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& t : loader_threads) t.join();
   engine.Drain();

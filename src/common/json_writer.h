@@ -72,7 +72,13 @@ class Object {
     return AddRaw(key, value ? "true" : "false");
   }
   Object& Add(const std::string& key, const std::string& value) {
-    return AddRaw(key, "\"" + EscapeString(value) + "\"");
+    // Built via append rather than `"\"" + s + "\""`: the char*+rvalue
+    // operator+ chain trips GCC 12's -Wrestrict false positive
+    // (PR105651) at every inlined call site.
+    std::string quoted = "\"";
+    quoted += EscapeString(value);
+    quoted += '"';
+    return AddRaw(key, quoted);
   }
   Object& Add(const std::string& key, const char* value) {
     return Add(key, std::string(value));
@@ -86,8 +92,10 @@ class Object {
     std::string out = "{";
     for (size_t i = 0; i < fields_.size(); ++i) {
       if (i != 0) out += ",";
-      out += "\"" + EscapeString(fields_[i].first) + "\":" +
-             fields_[i].second;
+      out += '"';
+      out += EscapeString(fields_[i].first);
+      out += "\":";
+      out += fields_[i].second;
     }
     out += "}";
     return out;

@@ -30,6 +30,8 @@ void SetLogLevel(LogLevel level) {
 }
 
 LogLevel GetLogLevel() {
+  // relaxed: the level is an independent config word; no data is
+  // published through it.
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 

@@ -198,6 +198,8 @@ size_t PullIteration(BuildContext& ctx, Distance d, int num_threads) {
     const auto u = static_cast<VertexId>(ui);
     ctx.store.CommitLevel(u, ctx.staging[u]);
     if (!ctx.staging[u].empty()) {
+      // relaxed: per-thread tally; the parallel-for join orders it
+      // before the final load.
       committed.fetch_add(ctx.staging[u].size(), std::memory_order_relaxed);
       ctx.staging[u].clear();
     }
@@ -231,6 +233,8 @@ size_t PushIteration(BuildContext& ctx, Distance d, int num_threads) {
         if (e.hub_rank >= ru) break;
         ++cnt;
       }
+      // relaxed: independent per-slot counts; the parallel-for join
+      // publishes them to the offset pass.
       if (cnt != 0) incoming[u].fetch_add(cnt, std::memory_order_relaxed);
     }
   });
@@ -264,6 +268,8 @@ size_t PushIteration(BuildContext& ctx, Distance d, int num_threads) {
       const Rank ru = rank_of[u];
       for (const LabelEntry& e : level) {
         if (e.hub_rank >= ru) break;
+        // relaxed: slot reservation only needs atomicity; the
+        // parallel-for join orders tuple writes before readers.
         const uint64_t slot =
             offset[u] + cursor[u].fetch_add(1, std::memory_order_relaxed);
         tuples[slot] = {e.hub_rank, SatMul(e.count, factor)};
@@ -305,6 +311,8 @@ size_t PushIteration(BuildContext& ctx, Distance d, int num_threads) {
     const auto u = static_cast<VertexId>(ui);
     ctx.store.CommitLevel(u, ctx.staging[u]);
     if (!ctx.staging[u].empty()) {
+      // relaxed: per-thread tally; the parallel-for join orders it
+      // before the final load.
       committed.fetch_add(ctx.staging[u].size(), std::memory_order_relaxed);
       ctx.staging[u].clear();
     }

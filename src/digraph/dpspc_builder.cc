@@ -109,6 +109,8 @@ size_t RunSide(const DiGraph& graph, const VertexOrder& order,
     const auto u = static_cast<VertexId>(ui);
     side.pull_side->CommitLevel(u, staging[u]);
     if (!staging[u].empty()) {
+      // relaxed: per-thread tally; the parallel-for join orders it
+      // before the final load.
       committed.fetch_add(staging[u].size(), std::memory_order_relaxed);
       staging[u].clear();
     }

@@ -521,6 +521,8 @@ void DynamicSpcIndex::ExecuteDeletionTasks(
     pool.emplace_back([&, w] {
       RepairScratch& s = scratch_pool_[w];
       for (;;) {
+        // relaxed: work-stealing cursor; only the claimed index
+        // matters, slot writes are ordered by the pool join.
         const size_t idx = next.fetch_add(1, std::memory_order_relaxed);
         if (idx >= count) return;
         if (in_wave[idx] == 0) continue;  // deferred: sequential fixup

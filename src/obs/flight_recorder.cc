@@ -72,6 +72,8 @@ FlightRecorder& FlightRecorder::Global() {
 
 void FlightRecorder::Record(FlightEventKind kind, uint64_t a0, uint64_t a1,
                             uint64_t a2, uint64_t a3) {
+  // relaxed: slot reservation only needs atomicity; the seqlock
+  // version protocol below carries the ordering.
   const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[seq & (capacity_ - 1)];
   // Seqlock write: odd version while the payload is in flux, even
@@ -103,9 +105,13 @@ std::vector<FlightEvent> FlightRecorder::Events() const {
       event.kind = static_cast<FlightEventKind>(
           slot.kind.load(std::memory_order_relaxed));
       for (size_t a = 0; a < 4; ++a) {
+        // relaxed: seqlock payload read, bracketed by the acquire
+        // load above and the acquire fence below.
         event.args[a] = slot.args[a].load(std::memory_order_relaxed);
       }
       std::atomic_thread_fence(std::memory_order_acquire);
+      // relaxed: the fence above pairs the recheck with the writer's
+      // release commit; a changed version means a torn copy.
       if (slot.version.load(std::memory_order_relaxed) != before) {
         continue;  // torn copy: the writer moved under us, retry
       }

@@ -68,6 +68,10 @@ HealthWatchdog::HealthWatchdog(const HealthOptions& options)
                                             : &FlightRecorder::Global()),
       status_gauge_(metrics_->GetGauge(kObsHealthStatus)),
       transitions_counter_(metrics_->GetCounter(kObsHealthTransitionsTotal)) {
+  // Locked for the thread-safety analysis, not for contention: the
+  // object is not yet shared, but pre-Clang-15 analysis has no
+  // constructor exemption for guarded members.
+  spc::MutexLock lock(mu_);
   current_.reason = "ok";
 }
 
@@ -76,7 +80,7 @@ HealthWatchdog::~HealthWatchdog() { Stop(); }
 void HealthWatchdog::Start() {
   if (options_.interval_ms == 0 || thread_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lock(thread_mu_);
+    spc::MutexLock lock(thread_mu_);
     stop_requested_ = false;
   }
   thread_ = std::thread([this] { RunLoop(); });
@@ -84,21 +88,25 @@ void HealthWatchdog::Start() {
 
 void HealthWatchdog::Stop() {
   {
-    std::lock_guard<std::mutex> lock(thread_mu_);
+    spc::MutexLock lock(thread_mu_);
     stop_requested_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 void HealthWatchdog::RunLoop() {
-  std::unique_lock<std::mutex> lock(thread_mu_);
-  while (!stop_requested_) {
-    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms));
-    if (stop_requested_) break;
-    lock.unlock();
+  for (;;) {
+    {
+      spc::MutexLock lock(thread_mu_);
+      if (stop_requested_) return;
+      cv_.WaitFor(thread_mu_,
+                  std::chrono::milliseconds(options_.interval_ms));
+      if (stop_requested_) return;
+    }
+    // Evaluate outside thread_mu_: it takes mu_ and reads the registry,
+    // and Stop() must never wait behind a tick.
     Evaluate();
-    lock.lock();
   }
 }
 
@@ -119,11 +127,11 @@ HealthReport HealthWatchdog::Evaluate() {
   const int64_t rebuild_in_progress =
       metrics_->GetGauge(kDynamicRebuildInProgress)->Value();
 
-  std::unique_lock<std::mutex> lock(mu_);
+  HealthReport report;
+  bool went_unhealthy = false;
+  spc::MutexLock lock(mu_);
   ++tick_;
   const HealthStatus prev_status = current_.status;
-
-  HealthReport report;
   report.tick = tick_;
 
   // -- queue_saturation ----------------------------------------------
@@ -263,6 +271,7 @@ HealthReport HealthWatchdog::Evaluate() {
   status_gauge_->Set(static_cast<int64_t>(report.status));
   const bool transitioned = report.status != prev_status;
   if (transitioned) {
+    // relaxed: tally mirrored into the registry counter; pollers only.
     transitions_.fetch_add(1, std::memory_order_relaxed);
     transitions_counter_->Increment();
     recorder_->Record(FlightEventKind::kHealthTransition,
@@ -270,12 +279,13 @@ HealthReport HealthWatchdog::Evaluate() {
                       static_cast<uint64_t>(report.status),
                       static_cast<uint64_t>(report.worst_rule));
   }
-  if (transitioned && report.status == HealthStatus::kUnhealthy) {
+  went_unhealthy = transitioned && report.status == HealthStatus::kUnhealthy;
+  if (went_unhealthy) {
     // MakeBundle re-enters mu_ through Current(), so drop it first;
     // `current_` already carries this tick's report.
-    lock.unlock();
+    lock.Unlock();
     const std::string bundle = MakeBundle(report.reason);
-    lock.lock();
+    lock.Lock();
     last_bundle_ = bundle;
     if (!options_.bundle_path.empty()) {
       std::FILE* f = std::fopen(options_.bundle_path.c_str(), "w");
@@ -293,12 +303,12 @@ HealthReport HealthWatchdog::Evaluate() {
 }
 
 HealthReport HealthWatchdog::Current() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  spc::MutexLock lock(mu_);
   return current_;
 }
 
 std::string HealthWatchdog::LastBundle() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  spc::MutexLock lock(mu_);
   return last_bundle_;
 }
 

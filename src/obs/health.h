@@ -2,14 +2,14 @@
 #define PSPC_SRC_OBS_HEALTH_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -118,27 +118,28 @@ class HealthWatchdog {
   HealthWatchdog& operator=(const HealthWatchdog&) = delete;
 
   /// Spawns the watchdog thread (no-op when `interval_ms == 0`).
-  void Start();
-  void Stop();
+  void Start() EXCLUDES(thread_mu_);
+  void Stop() EXCLUDES(thread_mu_);
 
   /// One rule-engine tick; also what the thread calls. Serialized
   /// internally, so manual calls compose with the thread.
-  HealthReport Evaluate();
+  HealthReport Evaluate() EXCLUDES(mu_);
 
   /// Last report (a default OK report before the first tick).
-  HealthReport Current() const;
+  HealthReport Current() const EXCLUDES(mu_);
 
   /// Completed status transitions (mirrors obs.health_transitions_total).
   uint64_t Transitions() const {
+    // relaxed: monotonic tally mirrored into the registry counter.
     return transitions_.load(std::memory_order_relaxed);
   }
 
   /// Most recent UNHEALTHY diagnostic bundle; empty if none yet.
-  std::string LastBundle() const;
+  std::string LastBundle() const EXCLUDES(mu_);
 
   /// Assembles a diagnostic bundle on demand (also used for the
   /// operator-requested dump at process exit).
-  std::string MakeBundle(const std::string& reason) const;
+  std::string MakeBundle(const std::string& reason) const EXCLUDES(mu_);
 
   const HealthOptions& options() const { return options_; }
 
@@ -153,24 +154,24 @@ class HealthWatchdog {
 
   std::atomic<uint64_t> transitions_{0};
 
-  mutable std::mutex mu_;  // guards everything below + rule state
-  HealthReport current_;
-  std::string last_bundle_;
-  uint64_t tick_ = 0;
+  mutable spc::Mutex mu_;  // guards the report + rule state below
+  HealthReport current_ GUARDED_BY(mu_);
+  std::string last_bundle_ GUARDED_BY(mu_);
+  uint64_t tick_ GUARDED_BY(mu_) = 0;
   // Per-rule consecutive-fire counters and previous-tick readings.
-  uint64_t queue_ticks_ = 0;
-  uint64_t reclaim_ticks_ = 0;
-  uint64_t overflow_ticks_ = 0;
-  uint64_t stall_ticks_ = 0;
-  int64_t prev_retired_ = 0;
-  uint64_t prev_overflow_total_ = 0;
-  uint64_t prev_applied_total_ = 0;
-  uint64_t prev_published_total_ = 0;
-  bool have_prev_ = false;
+  uint64_t queue_ticks_ GUARDED_BY(mu_) = 0;
+  uint64_t reclaim_ticks_ GUARDED_BY(mu_) = 0;
+  uint64_t overflow_ticks_ GUARDED_BY(mu_) = 0;
+  uint64_t stall_ticks_ GUARDED_BY(mu_) = 0;
+  int64_t prev_retired_ GUARDED_BY(mu_) = 0;
+  uint64_t prev_overflow_total_ GUARDED_BY(mu_) = 0;
+  uint64_t prev_applied_total_ GUARDED_BY(mu_) = 0;
+  uint64_t prev_published_total_ GUARDED_BY(mu_) = 0;
+  bool have_prev_ GUARDED_BY(mu_) = false;
 
-  std::mutex thread_mu_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;
+  spc::Mutex thread_mu_;
+  spc::CondVar cv_;
+  bool stop_requested_ GUARDED_BY(thread_mu_) = false;
   std::thread thread_;
 };
 

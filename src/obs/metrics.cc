@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string_view>
 #include <utility>
 
 #include "src/common/json_writer.h"
@@ -22,6 +23,8 @@ int64_t NowNs() {
 // Relaxed CAS folds for the double-valued shard aggregates. Contention
 // is a same-shard rarity, so the loops almost always succeed first
 // try.
+// relaxed throughout: shard aggregates are merged by polls that
+// tolerate trailing values; no cross-field ordering is implied.
 void AtomicAdd(std::atomic<double>* target, double delta) {
   double observed = target->load(std::memory_order_relaxed);
   while (!target->compare_exchange_weak(observed, observed + delta,
@@ -30,6 +33,7 @@ void AtomicAdd(std::atomic<double>* target, double delta) {
 }
 
 void AtomicMin(std::atomic<double>* target, double value) {
+  // relaxed: shard aggregate, merged by tolerance-to-staleness polls.
   double observed = target->load(std::memory_order_relaxed);
   while (value < observed &&
          !target->compare_exchange_weak(observed, value,
@@ -38,6 +42,7 @@ void AtomicMin(std::atomic<double>* target, double value) {
 }
 
 void AtomicMax(std::atomic<double>* target, double value) {
+  // relaxed: shard aggregate, merged by tolerance-to-staleness polls.
   double observed = target->load(std::memory_order_relaxed);
   while (value > observed &&
          !target->compare_exchange_weak(observed, value,
@@ -96,6 +101,7 @@ void Histogram::Record(double value) {
       std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
   const auto bucket =
       static_cast<size_t>(std::distance(upper_bounds_.begin(), it));
+  // relaxed: sharded tally; Snapshot's merge is racy-by-design.
   shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(&shard.sum, value);
   AtomicMin(&shard.min, value);
@@ -109,6 +115,7 @@ HistogramSnapshot Histogram::Snapshot() const {
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
   for (const Shard& shard : shards_) {
+    // relaxed: merged view may trail in-flight records (class comment).
     for (size_t b = 0; b < snapshot.bucket_counts.size(); ++b) {
       snapshot.bucket_counts[b] +=
           shard.buckets[b].load(std::memory_order_relaxed);
@@ -129,7 +136,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  spc::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -141,7 +148,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  spc::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -154,7 +161,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::span<const double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  spc::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     if (bounds.empty()) bounds = DefaultLatencyBoundariesUs();
@@ -168,7 +175,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  spc::MutexLock lock(mu_);
   benchjson::Object root;
   root.Add("schema_version", kMetricsSchemaVersion);
 
@@ -215,36 +222,49 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToPrometheusText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  spc::MutexLock lock(mu_);
+  // Append-only (no operator+ temporaries): the export walks every
+  // metric, so each line would otherwise allocate a chain of
+  // intermediate strings.
   std::string out;
+  const auto line = [&out](std::string_view a, std::string_view b,
+                           std::string_view c) {
+    out += a;
+    out += b;
+    out += c;
+    out += '\n';
+  };
   for (const auto& [name, counter] : counters_) {
     const std::string prom = PrometheusName(name);
     out += HelpLine(prom, name, "counter");
-    out += "# TYPE " + prom + " counter\n";
-    out += prom + " " + std::to_string(counter->Value()) + "\n";
+    line("# TYPE ", prom, " counter");
+    line(prom, " ", std::to_string(counter->Value()));
   }
   for (const auto& [name, gauge] : gauges_) {
     const std::string prom = PrometheusName(name);
     out += HelpLine(prom, name, "gauge");
-    out += "# TYPE " + prom + " gauge\n";
-    out += prom + " " + std::to_string(gauge->Value()) + "\n";
+    line("# TYPE ", prom, " gauge");
+    line(prom, " ", std::to_string(gauge->Value()));
   }
   for (const auto& [name, histogram] : histograms_) {
     const HistogramSnapshot snapshot = histogram->Snapshot();
     const std::string prom = PrometheusName(name);
     out += HelpLine(prom, name, "histogram");
-    out += "# TYPE " + prom + " histogram\n";
+    line("# TYPE ", prom, " histogram");
     uint64_t cumulative = 0;
     for (size_t b = 0; b < snapshot.bucket_counts.size(); ++b) {
       cumulative += snapshot.bucket_counts[b];
-      const std::string le = b < snapshot.upper_bounds.size()
-                                 ? FormatNumber(snapshot.upper_bounds[b])
-                                 : "+Inf";
-      out += prom + "_bucket{le=\"" + le +
-             "\"} " + std::to_string(cumulative) + "\n";
+      out += prom;
+      out += "_bucket{le=\"";
+      out += b < snapshot.upper_bounds.size()
+                 ? FormatNumber(snapshot.upper_bounds[b])
+                 : "+Inf";
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += '\n';
     }
-    out += prom + "_sum " + FormatNumber(snapshot.sum) + "\n";
-    out += prom + "_count " + std::to_string(snapshot.count) + "\n";
+    line(prom, "_sum ", FormatNumber(snapshot.sum));
+    line(prom, "_count ", std::to_string(snapshot.count));
   }
   return out;
 }

@@ -8,13 +8,14 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/percentile.h"
+#include "src/common/thread_annotations.h"
 
 /// Process-wide observability: named counters, gauges, and
 /// fixed-boundary latency histograms behind a `MetricsRegistry`.
@@ -50,6 +51,8 @@ namespace obs {
 /// shard count.
 inline size_t ThreadShardIndex() {
   static std::atomic<size_t> next{0};
+  // relaxed: the counter only hands out distinct indices; no other
+  // state is published through it.
   thread_local const size_t index =
       next.fetch_add(1, std::memory_order_relaxed);
   return index;
@@ -62,6 +65,8 @@ class Counter {
   static constexpr size_t kShards = 16;  // power of two
 
   void Increment(uint64_t delta = 1) {
+    // relaxed: metrics tolerate reordering; a poll merging the shards
+    // may trail in-flight increments (see the class comment).
     shards_[ThreadShardIndex() & (kShards - 1)].value.fetch_add(
         delta, std::memory_order_relaxed);
   }
@@ -69,6 +74,7 @@ class Counter {
   uint64_t Value() const {
     uint64_t total = 0;
     for (const Shard& shard : shards_) {
+      // relaxed: monotonically fresh merge; exact once writers quiesce.
       total += shard.value.load(std::memory_order_relaxed);
     }
     return total;
@@ -92,11 +98,15 @@ class Counter {
 /// are written from one owner (or rarely) so they are not sharded.
 class Gauge {
  public:
+  // relaxed: a gauge is a free-standing point-in-time value; no reader
+  // infers other state from it.
   void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
   void Add(int64_t delta) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
+    value_.fetch_add(delta, std::memory_order_relaxed);  // relaxed: ditto
   }
-  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);  // relaxed: ditto
+  }
 
   const std::string& Name() const { return name_; }
 
@@ -214,12 +224,15 @@ class MetricsRegistry {
   std::string ToPrometheusText() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable spc::Mutex mu_;
   // std::map: stable iteration order for deterministic export, and
   // node-based so metric pointers never move.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// Records the scope's elapsed wall time, in microseconds, into a

@@ -43,6 +43,8 @@ ObsServer::ObsServer(uint16_t port, ObsServerContext context)
 ObsServer::~ObsServer() { Stop(); }
 
 Status ObsServer::Start() {
+  // relaxed: Start/Stop are externally serialized; the flag only
+  // gates idempotence.
   if (running_.load(std::memory_order_relaxed)) return Status::OK();
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -74,12 +76,16 @@ Status ObsServer::Start() {
     port_ = ntohs(addr.sin_port);
   }
   start_ns_ = TraceNowNs();
+  // relaxed: the std::thread constructor below orders this store
+  // before AcceptLoop's first load.
   running_.store(true, std::memory_order_relaxed);
   thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
 void ObsServer::Stop() {
+  // relaxed: only the flag flips here; join() is the synchronization
+  // point with the accept thread.
   if (!running_.exchange(false, std::memory_order_relaxed)) {
     if (thread_.joinable()) thread_.join();
     return;
@@ -92,6 +98,8 @@ void ObsServer::Stop() {
 }
 
 void ObsServer::AcceptLoop() {
+  // relaxed: shutdown poll; the 100ms poll() bound makes staleness
+  // harmless.
   while (running_.load(std::memory_order_relaxed)) {
     // Poll with a short timeout so Stop() is prompt without resorting
     // to cross-thread close() races on the listen fd.
@@ -152,6 +160,7 @@ void ObsServer::ServeConnection(int fd) {
   } else {
     response = Handle(path);
   }
+  // relaxed: monotonic request tally for /varz.
   requests_.fetch_add(1, std::memory_order_relaxed);
 
   std::string out = "HTTP/1.1 ";
@@ -210,6 +219,7 @@ ObsServer::Response ObsServer::Handle(const std::string& path) const {
 #endif
     object.Add("uptime_seconds",
                static_cast<double>(TraceNowNs() - start_ns_) * 1e-9);
+    // relaxed: point-in-time tally read.
     object.Add("requests_served",
                requests_.load(std::memory_order_relaxed));
     auto gauge = [this](const char* name) {

@@ -81,7 +81,10 @@ inline PromValidationResult ValidatePrometheusText(std::string_view text,
   PromValidationResult result;
   auto fail = [&result](size_t line_no, const std::string& what) {
     result.ok = false;
-    result.error = "line " + std::to_string(line_no) + ": " + what;
+    result.error = "line ";
+    result.error += std::to_string(line_no);
+    result.error += ": ";
+    result.error += what;
     return result;
   };
 

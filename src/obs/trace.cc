@@ -27,17 +27,18 @@ std::string QueryTrace::ToJson() const {
 }
 
 bool TraceCollector::Record(const QueryTrace& trace) {
+  // relaxed: tallies are diagnostics; the log itself is mutex-guarded.
   recorded_.fetch_add(1, std::memory_order_relaxed);
   if (trace.TotalMicros() <= slow_threshold_us_) return false;
-  slow_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  slow_.fetch_add(1, std::memory_order_relaxed);  // relaxed: ditto
+  spc::MutexLock lock(mu_);
   if (slow_log_.size() == capacity_) slow_log_.pop_front();
   slow_log_.push_back(trace);
   return true;
 }
 
 std::vector<QueryTrace> TraceCollector::SlowTraceLog() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  spc::MutexLock lock(mu_);
   return {slow_log_.begin(), slow_log_.end()};
 }
 
@@ -65,14 +66,15 @@ std::string UpdateTrace::ToJson() const {
 }
 
 void UpdateTraceLog::Record(const UpdateTrace& trace) {
+  // relaxed: tally is a diagnostic; the log itself is mutex-guarded.
   recorded_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  spc::MutexLock lock(mu_);
   if (log_.size() == capacity_) log_.pop_front();
   log_.push_back(trace);
 }
 
 std::vector<UpdateTrace> UpdateTraceLog::Log() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  spc::MutexLock lock(mu_);
   return {log_.begin(), log_.end()};
 }
 

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/types.h"
 
 /// Sampled per-request tracing for the serving path.
@@ -46,11 +47,14 @@ class TraceSampler {
 
   bool Sample() {
     if (every_n_ == 0) return false;
+    // relaxed: the decision only needs a unique tick, not ordering.
     const uint64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed);
     return tick % every_n_ == offset_;
   }
 
-  uint64_t Ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  uint64_t Ticks() const {
+    return ticks_.load(std::memory_order_relaxed);  // relaxed: diagnostic
+  }
 
  private:
   const uint64_t every_n_;
@@ -121,11 +125,12 @@ class TraceCollector {
   /// retained).
   bool Record(const QueryTrace& trace);
 
+  // relaxed: monotonic tallies read by pollers.
   uint64_t TracesRecorded() const {
     return recorded_.load(std::memory_order_relaxed);
   }
   uint64_t SlowTraces() const {
-    return slow_.load(std::memory_order_relaxed);
+    return slow_.load(std::memory_order_relaxed);  // relaxed: ditto
   }
   double SlowThresholdMicros() const { return slow_threshold_us_; }
 
@@ -140,8 +145,8 @@ class TraceCollector {
   const double slow_threshold_us_;
   std::atomic<uint64_t> recorded_{0};
   std::atomic<uint64_t> slow_{0};
-  mutable std::mutex mu_;
-  std::deque<QueryTrace> slow_log_;  // guarded by mu_
+  mutable spc::Mutex mu_;
+  std::deque<QueryTrace> slow_log_ GUARDED_BY(mu_);
 };
 
 /// The life of one update batch through the write path, batch-id
@@ -181,7 +186,7 @@ class UpdateTraceLog {
   void Record(const UpdateTrace& trace);
 
   uint64_t TracesRecorded() const {
-    return recorded_.load(std::memory_order_relaxed);
+    return recorded_.load(std::memory_order_relaxed);  // relaxed: tally
   }
 
   /// Point-in-time copy of the retained traces, oldest first.
@@ -193,8 +198,8 @@ class UpdateTraceLog {
  private:
   const size_t capacity_;
   std::atomic<uint64_t> recorded_{0};
-  mutable std::mutex mu_;
-  std::deque<UpdateTrace> log_;  // guarded by mu_
+  mutable spc::Mutex mu_;
+  std::deque<UpdateTrace> log_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -1,6 +1,7 @@
 #include "src/serve/epoch_manager.h"
 
 #include "src/common/logging.h"
+#include "src/common/mutex.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 
@@ -27,7 +28,7 @@ size_t EpochManager::Enter() {
   // the sweep) is sound even if the global epoch has advanced since —
   // an older pin only makes reclamation more conservative, never less.
   if (overflow_pin_counter_ != nullptr) overflow_pin_counter_->Increment();
-  std::lock_guard<std::mutex> lock(overflow_mu_);
+  spc::MutexLock lock(overflow_mu_);
   size_t idx = overflow_epochs_.size();
   for (size_t i = 0; i < overflow_epochs_.size(); ++i) {
     if (overflow_epochs_[i] == 0) {
@@ -37,11 +38,14 @@ size_t EpochManager::Enter() {
   }
   if (idx == overflow_epochs_.size()) overflow_epochs_.push_back(0);
   overflow_epochs_[idx] = epoch;
+  // relaxed: diagnostic count; the reclaimer's correctness rests on
+  // overflow_min_'s seq_cst publication, not this tally.
   overflow_pins_.fetch_add(1, std::memory_order_relaxed);
   RefreshOverflowMin();
   if (flight_recorder_ != nullptr) {
     flight_recorder_->Record(
         obs::FlightEventKind::kEpochOverflowPin,
+        // relaxed: event payload, freshness over ordering.
         overflow_pins_.load(std::memory_order_relaxed), epoch);
   }
   return kMaxSlots + idx;
@@ -50,15 +54,17 @@ size_t EpochManager::Enter() {
 void EpochManager::Exit(size_t slot) {
   if (IsOverflowSlot(slot)) {
     const size_t idx = slot - kMaxSlots;
-    std::lock_guard<std::mutex> lock(overflow_mu_);
+    spc::MutexLock lock(overflow_mu_);
     PSPC_CHECK(idx < overflow_epochs_.size() &&
                overflow_epochs_[idx] != 0);
     overflow_epochs_[idx] = 0;
+    // relaxed: see Enter — the tally is diagnostic only.
     overflow_pins_.fetch_sub(1, std::memory_order_relaxed);
     RefreshOverflowMin();
     return;
   }
   PSPC_CHECK(slot < kMaxSlots);
+  // relaxed: sanity check on the caller's own slot (it wrote the pin).
   PSPC_CHECK(slots_[slot].value.load(std::memory_order_relaxed) != 0);
   slots_[slot].value.store(0, std::memory_order_seq_cst);
 }

@@ -5,8 +5,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 /// Epoch-based reclamation for the serving subsystem.
 ///
@@ -73,10 +75,10 @@ class EpochManager {
   /// Pins the calling thread at the current epoch; returns the slot to
   /// pass to Exit. Never fails: with all kMaxSlots lock-free slots
   /// pinned it degrades to a mutex-guarded overflow pin (see above).
-  size_t Enter();
+  size_t Enter() EXCLUDES(overflow_mu_);
 
   /// Releases a slot returned by Enter.
-  void Exit(size_t slot);
+  void Exit(size_t slot) EXCLUDES(overflow_mu_);
 
   /// Writer-side: bumps the global epoch; returns the new value (the
   /// retire epoch for a pointer unpublished just before the bump).
@@ -108,8 +110,8 @@ class EpochManager {
     std::atomic<uint64_t> value{0};  // 0 = free, else pinned epoch
   };
 
-  // Recomputes overflow_min_ from the table. Call under overflow_mu_.
-  void RefreshOverflowMin();
+  // Recomputes overflow_min_ from the table.
+  void RefreshOverflowMin() REQUIRES(overflow_mu_);
 
   std::atomic<uint64_t> epoch_{1};
   std::array<Slot, kMaxSlots> slots_{};
@@ -119,10 +121,12 @@ class EpochManager {
   // the minimum non-zero entry (0 = table empty) so MinActiveEpoch
   // can read it from the writer without the lock; the mutex
   // serializes table updates against that cache refresh.
-  std::mutex overflow_mu_;
-  std::vector<uint64_t> overflow_epochs_;  // guarded by overflow_mu_
-  std::atomic<size_t> overflow_pins_{0};   // mutated under overflow_mu_
-  std::atomic<uint64_t> overflow_min_{0};  // mutated under overflow_mu_
+  spc::Mutex overflow_mu_;
+  std::vector<uint64_t> overflow_epochs_ GUARDED_BY(overflow_mu_);
+  // Atomics, not GUARDED_BY: mutated only under overflow_mu_ but read
+  // lock-free by the writer (MinActiveEpoch / ActiveReaders).
+  std::atomic<size_t> overflow_pins_{0};
+  std::atomic<uint64_t> overflow_min_{0};
   obs::Counter* overflow_pin_counter_ = nullptr;  // set before readers
   obs::FlightRecorder* flight_recorder_ = nullptr;  // set before readers
 };

@@ -2,16 +2,16 @@
 #define PSPC_SRC_SERVE_REQUEST_QUEUE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/types.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -69,15 +69,14 @@ class RequestQueue {
 
   /// Enqueues one request; blocks while the queue is full. Returns
   /// false (dropping the request) once the queue is closed.
-  bool Push(ServeRequest request) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
+  bool Push(ServeRequest request) EXCLUDES(mu_) {
+    spc::MutexLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
     if (closed_) return false;
     items_.push_back(std::move(request));
     NoteDepthLocked();
-    lock.unlock();
-    not_empty_.notify_one();
+    lock.Unlock();
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -86,15 +85,14 @@ class RequestQueue {
   /// at serving rates). Blocks for space in chunks while the queue is
   /// full. Returns the number actually enqueued: `requests.size()`
   /// normally, less once the queue is closed mid-push.
-  size_t PushAll(std::vector<ServeRequest>* requests) {
+  size_t PushAll(std::vector<ServeRequest>* requests) EXCLUDES(mu_) {
     size_t pushed = 0;
     bool open = true;
     while (open && pushed < requests->size()) {
       size_t added = 0;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        not_full_.wait(lock,
-                       [&] { return closed_ || items_.size() < capacity_; });
+        spc::MutexLock lock(mu_);
+        while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
         if (closed_) {
           open = false;
         } else {
@@ -109,7 +107,7 @@ class RequestQueue {
       // Notify outside the lock (woken workers would otherwise block
       // right back on it); every worker, since a bulk push usually
       // carries work for all.
-      if (added > 0) not_empty_.notify_all();
+      if (added > 0) not_empty_.NotifyAll();
     }
     return pushed;
   }
@@ -121,11 +119,11 @@ class RequestQueue {
   /// never spans an unbounded run of queries). Returns the number
   /// taken; 0 means closed *and* drained.
   size_t PopBatch(std::vector<ServeRequest>* out, size_t max_batch,
-                  size_t num_consumers) {
+                  size_t num_consumers) EXCLUDES(mu_) {
     if (max_batch == 0) max_batch = 1;
     if (num_consumers == 0) num_consumers = 1;
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    spc::MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
     if (items_.empty()) return 0;
     const size_t fair =
         (items_.size() + num_consumers - 1) / num_consumers;
@@ -137,24 +135,24 @@ class RequestQueue {
     if (depth_gauge_ != nullptr) {
       depth_gauge_->Set(static_cast<int64_t>(items_.size()));
     }
-    lock.unlock();
-    not_full_.notify_all();
+    lock.Unlock();
+    not_full_.NotifyAll();
     return take;
   }
 
   /// Wakes every blocked producer (which then fail) and lets consumers
   /// drain the backlog and exit.
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      spc::MutexLock lock(mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t Size() const EXCLUDES(mu_) {
+    spc::MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -162,6 +160,7 @@ class RequestQueue {
 
   /// Deepest the backlog has ever been (relaxed; exact once quiesced).
   size_t HighWater() const {
+    // relaxed: monotonic watermark, no ordering with queue contents.
     return high_water_.load(std::memory_order_relaxed);
   }
 
@@ -172,9 +171,10 @@ class RequestQueue {
   void BindDepthGauge(obs::Gauge* gauge) { depth_gauge_ = gauge; }
 
  private:
-  // Callers hold mu_.
-  void NoteDepthLocked() {
+  void NoteDepthLocked() REQUIRES(mu_) {
     const size_t depth = items_.size();
+    // relaxed: the watermark is a diagnostic maximum published under
+    // mu_; readers only need eventual visibility, not ordering.
     if (depth > high_water_.load(std::memory_order_relaxed)) {
       high_water_.store(depth, std::memory_order_relaxed);
     }
@@ -183,14 +183,14 @@ class RequestQueue {
     }
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<ServeRequest> items_;
+  mutable spc::Mutex mu_;
+  spc::CondVar not_empty_;
+  spc::CondVar not_full_;
+  std::deque<ServeRequest> items_ GUARDED_BY(mu_);
   const size_t capacity_;
-  bool closed_ = false;
+  bool closed_ GUARDED_BY(mu_) = false;
   std::atomic<size_t> high_water_{0};
-  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Gauge* depth_gauge_ = nullptr;  // wired before threads start
 };
 
 }  // namespace pspc

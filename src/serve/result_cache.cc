@@ -50,7 +50,7 @@ bool ResultCache::Lookup(uint64_t generation, VertexId s, VertexId t,
   if (capacity_per_shard_ == 0) return false;
   const uint64_t key = PairKey(s, t);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  spc::MutexLock lock(shard.mu);
   if (shard.generation != generation) {
     if (generation > shard.generation) {
       // First sight of a newer generation: everything cached here was
@@ -58,15 +58,18 @@ bool ResultCache::Lookup(uint64_t generation, VertexId s, VertexId t,
       shard.entries.clear();
       shard.generation = generation;
     }
+    // relaxed: hit/miss tallies are diagnostics, no ordering needed.
     misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   const auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
+    // relaxed: diagnostic tally.
     misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   *out = it->second;
+  // relaxed: diagnostic tally.
   hits_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -76,7 +79,7 @@ void ResultCache::Insert(uint64_t generation, VertexId s, VertexId t,
   if (capacity_per_shard_ == 0) return;
   const uint64_t key = PairKey(s, t);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  spc::MutexLock lock(shard.mu);
   if (generation < shard.generation) return;  // stale micro-batch
   if (generation > shard.generation) {
     shard.entries.clear();

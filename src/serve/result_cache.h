@@ -4,9 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/types.h"
 
 /// Sharded query-result cache, invalidated per published generation.
@@ -45,6 +46,7 @@ class ResultCache {
   /// Records `result` for (s, t) at `generation`.
   void Insert(uint64_t generation, VertexId s, VertexId t, SpcResult result);
 
+  // relaxed: monotonic tallies; pollers tolerate trailing reads.
   uint64_t Hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t Misses() const { return misses_.load(std::memory_order_relaxed); }
 
@@ -52,9 +54,9 @@ class ResultCache {
 
  private:
   struct Shard {
-    std::mutex mu;
-    uint64_t generation = 0;
-    std::unordered_map<uint64_t, SpcResult> entries;
+    spc::Mutex mu;
+    uint64_t generation GUARDED_BY(mu) = 0;
+    std::unordered_map<uint64_t, SpcResult> entries GUARDED_BY(mu);
   };
 
   Shard& ShardFor(uint64_t key);

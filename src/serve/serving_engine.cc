@@ -41,7 +41,7 @@ ServingEngine::ServingEngine(DynamicSpcIndex* index, ServingOptions options)
       sampler_(options.trace_sample_every_n, options.trace_seed),
       traces_(options.slow_trace_capacity, options.slow_trace_us),
       update_traces_(options.update_trace_capacity) {
-  BindMetrics();
+  BindMetrics(index->Generation());
   StartWorkers();
 }
 
@@ -63,11 +63,11 @@ ServingEngine::ServingEngine(DynamicDspcIndex* index, ServingOptions options)
       sampler_(options.trace_sample_every_n, options.trace_seed),
       traces_(options.slow_trace_capacity, options.slow_trace_us),
       update_traces_(options.update_trace_capacity) {
-  BindMetrics();
+  BindMetrics(index->Generation());
   StartWorkers();
 }
 
-void ServingEngine::BindMetrics() {
+void ServingEngine::BindMetrics(uint64_t generation) {
   metrics_ = options_.metrics != nullptr ? options_.metrics
                                          : &obs::MetricsRegistry::Global();
   queries_total_ = metrics_->GetCounter(obs::kServeQueriesTotal);
@@ -91,8 +91,7 @@ void ServingEngine::BindMetrics() {
   micro_batch_size_ = metrics_->GetHistogram(obs::kServeMicroBatchSize);
   update_latency_us_ = metrics_->GetHistogram(obs::kServeUpdateLatencyUs);
   publish_us_ = metrics_->GetHistogram(obs::kServePublishUs);
-  published_generation_gauge_->Set(
-      static_cast<int64_t>(published_generation_));
+  published_generation_gauge_->Set(static_cast<int64_t>(generation));
   recorder_ = options_.flight_recorder != nullptr
                   ? options_.flight_recorder
                   : &obs::FlightRecorder::Global();
@@ -115,6 +114,9 @@ void ServingEngine::StartWorkers() {
 ServingEngine::~ServingEngine() { Stop(); }
 
 bool ServingEngine::Enqueue(ServeRequest request) {
+  // relaxed: the increment only has to precede the request becoming
+  // visible to workers, which the queue's lock provides; the drain
+  // handshake is the acq_rel fetch_sub in FinishRequests.
   pending_.fetch_add(1, std::memory_order_relaxed);
   if (!queue_.Push(std::move(request))) {
     FinishRequests(1);
@@ -125,13 +127,14 @@ bool ServingEngine::Enqueue(ServeRequest request) {
 
 void ServingEngine::FinishRequests(size_t n) {
   if (pending_.fetch_sub(n, std::memory_order_acq_rel) == n) {
-    std::lock_guard<std::mutex> lock(drain_mu_);
-    drain_cv_.notify_all();
+    spc::MutexLock lock(drain_mu_);
+    drain_cv_.NotifyAll();
   }
 }
 
 void ServingEngine::AttachTrace(ServeRequest* request) {
   auto trace = std::make_shared<obs::QueryTrace>();
+  // relaxed: unique-id draw; only atomicity matters.
   trace->trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
   trace->s = request->s;
   trace->t = request->t;
@@ -181,6 +184,8 @@ std::future<std::vector<SpcResult>> ServingEngine::SubmitBatch(
     if (sampler_.Sample()) AttachTrace(&request);
     requests.push_back(std::move(request));
   }
+  // relaxed: as in Enqueue — queue lock publishes, FinishRequests'
+  // acq_rel decrement is the drain handshake.
   pending_.fetch_add(requests.size(), std::memory_order_relaxed);
   const size_t pushed = queue_.PushAll(&requests);
   if (pushed < requests.size()) {
@@ -191,13 +196,14 @@ std::future<std::vector<SpcResult>> ServingEngine::SubmitBatch(
 }
 
 Status ServingEngine::ApplyUpdates(const EdgeUpdateBatch& batch) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  spc::MutexLock lock(writer_mu_);
   const bool directed = directed_index_ != nullptr;
   const DynamicStats& stats =
       directed ? directed_index_->Stats() : index_->Stats();
   const uint64_t applied_before =
       stats.insertions_applied + stats.deletions_applied;
   obs::UpdateTrace update_trace;
+  // relaxed: unique-id draw; only atomicity matters.
   update_trace.batch_id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
   update_trace.submitted = batch.Size();
   const int64_t apply_start_ns = obs::TraceNowNs();
@@ -208,6 +214,8 @@ Status ServingEngine::ApplyUpdates(const EdgeUpdateBatch& batch) {
       static_cast<double>(obs::TraceNowNs() - apply_start_ns) * 1e-3);
   const uint64_t applied =
       stats.insertions_applied + stats.deletions_applied - applied_before;
+  // relaxed: Counters() tally; writer_mu_ serializes writers and
+  // pollers tolerate trailing reads.
   updates_applied_.fetch_add(applied, std::memory_order_relaxed);
   updates_applied_total_->Increment(applied);
   update_trace.ok = status.ok();
@@ -234,6 +242,8 @@ Status ServingEngine::ApplyUpdates(const EdgeUpdateBatch& batch) {
     update_trace.publish_us = publish_micros - update_trace.reclaim_us;
     update_trace.generation = generation;
     published_generation_ = generation;
+    // relaxed: Counters() tally; publication itself is ordered by the
+    // snapshot manager's release store.
     publishes_.fetch_add(1, std::memory_order_relaxed);
     generations_published_total_->Increment();
     published_generation_gauge_->Set(static_cast<int64_t>(generation));
@@ -254,10 +264,12 @@ Status ServingEngine::ApplyUpdate(const EdgeUpdate& update) {
 }
 
 void ServingEngine::Drain() {
-  std::unique_lock<std::mutex> lock(drain_mu_);
-  drain_cv_.wait(lock, [&] {
-    return pending_.load(std::memory_order_acquire) == 0;
-  });
+  spc::MutexLock lock(drain_mu_);
+  // acquire: pairs with the acq_rel fetch_sub in FinishRequests so a
+  // drained caller observes every completed request's side effects.
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    drain_cv_.Wait(drain_mu_);
+  }
 }
 
 void ServingEngine::Stop() {
@@ -269,13 +281,15 @@ void ServingEngine::Stop() {
 
 ServingCounters ServingEngine::Counters() const {
   ServingCounters counters;
+  // relaxed throughout: point-in-time statistics snapshot; fields are
+  // independent tallies, no cross-field consistency is promised.
   counters.queries_served = queries_served_.load(std::memory_order_relaxed);
   counters.micro_batches = micro_batches_.load(std::memory_order_relaxed);
   counters.cache_hits = cache_.Hits();
   counters.cache_misses = cache_.Misses();
   counters.updates_applied = updates_applied_.load(std::memory_order_relaxed);
   counters.generations_published =
-      publishes_.load(std::memory_order_relaxed);
+      publishes_.load(std::memory_order_relaxed);  // relaxed: as above.
   counters.snapshots_reclaimed = snapshots_.ReclaimedCount();
   counters.snapshots_retired_pending = snapshots_.RetiredCount();
   counters.publish_copied_vertices_last =
@@ -298,6 +312,8 @@ void ServingEngine::WorkerLoop() {
     // capacity/8 steps (one relaxed load per micro-batch otherwise).
     {
       const size_t high_water = queue_.HighWater();
+      // relaxed: dedup marker for flight events; the CAS only elects
+      // one reporter per new watermark, no payload rides on it.
       size_t reported = reported_high_water_.load(std::memory_order_relaxed);
       const size_t step = std::max<size_t>(1, queue_.Capacity() / 8);
       if (high_water >= reported + step &&
@@ -358,6 +374,8 @@ void ServingEngine::WorkerLoop() {
         if (traces_.Record(trace)) traces_slow_total_->Increment();
       }
     }
+    // relaxed: Counters() tallies; exactness is only promised once
+    // quiesced (Drain's acq_rel handshake).
     queries_served_.fetch_add(taken, std::memory_order_relaxed);
     micro_batches_.fetch_add(1, std::memory_order_relaxed);
     queries_total_->Increment(taken);

@@ -2,15 +2,15 @@
 #define PSPC_SRC_SERVE_SERVING_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/types.h"
 #include "src/dynamic/dynamic_dspc_index.h"
 #include "src/dynamic/dynamic_spc_index.h"
@@ -126,8 +126,8 @@ class ServingEngine {
   /// and nothing publishes; a batch that coalesces to a net no-op also
   /// publishes nothing. Serialized internally; thread-safe. Queries
   /// keep flowing against the previous generation while this runs.
-  Status ApplyUpdates(const EdgeUpdateBatch& batch);
-  Status ApplyUpdate(const EdgeUpdate& update);
+  Status ApplyUpdates(const EdgeUpdateBatch& batch) EXCLUDES(writer_mu_);
+  Status ApplyUpdate(const EdgeUpdate& update) EXCLUDES(writer_mu_);
 
   /// Generation readers are currently being served from.
   uint64_t PublishedGeneration() const {
@@ -139,7 +139,7 @@ class ServingEngine {
   /// Blocks until every previously submitted query has completed. With
   /// no concurrent submitters/writers this is a quiesce point: answers
   /// from here on reflect the current graph exactly.
-  void Drain();
+  void Drain() EXCLUDES(drain_mu_);
 
   /// Drains, closes the queue, joins the workers. Submitting after
   /// Stop aborts. Idempotent.
@@ -174,7 +174,10 @@ class ServingEngine {
  private:
   void WorkerLoop();
   void StartWorkers();
-  void BindMetrics();
+  /// `generation` is the initial published generation (the ctor's
+  /// init-list value of published_generation_, passed by value so the
+  /// gauge wiring never reads the writer_mu_-guarded field unlocked).
+  void BindMetrics(uint64_t generation);
   void AttachTrace(ServeRequest* request);
   bool Enqueue(ServeRequest request);
   void FinishRequests(size_t n);
@@ -194,15 +197,15 @@ class ServingEngine {
 
   // Write path. Counters() no longer takes this: every counter it
   // reports lives in an atomic any thread can read.
-  std::mutex writer_mu_;
-  uint64_t published_generation_;  // guarded by writer_mu_
+  spc::Mutex writer_mu_;
+  uint64_t published_generation_ GUARDED_BY(writer_mu_);
   std::atomic<uint64_t> updates_applied_{0};
   std::atomic<uint64_t> publishes_{0};
 
   // Completion tracking for Drain().
   std::atomic<uint64_t> pending_{0};
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  spc::Mutex drain_mu_;
+  spc::CondVar drain_cv_;
 
   std::atomic<uint64_t> queries_served_{0};
   std::atomic<uint64_t> micro_batches_{0};

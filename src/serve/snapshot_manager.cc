@@ -14,6 +14,7 @@ SnapshotManager::SnapshotManager(std::unique_ptr<const IndexSnapshot> initial,
     : current_(initial.release()),
       recorder_(recorder != nullptr ? recorder
                                     : &obs::FlightRecorder::Global()) {
+  // relaxed: single-threaded constructor, no concurrent publisher yet.
   PSPC_CHECK(current_.load(std::memory_order_relaxed) != nullptr);
   if (registry == nullptr) registry = &obs::MetricsRegistry::Global();
   reclaimed_total_counter_ =
@@ -34,6 +35,8 @@ SnapshotManager::SnapshotManager(std::unique_ptr<const IndexSnapshot> initial,
 SnapshotManager::~SnapshotManager() {
   PSPC_CHECK_MSG(epochs_.ActiveReaders() == 0,
                  "SnapshotManager destroyed with pinned readers");
+  // relaxed: destructor runs after all readers and writers (checked
+  // above), so nothing races this final load.
   delete current_.load(std::memory_order_relaxed);
   for (const Retired& r : retired_) delete r.snapshot;
 }
@@ -50,6 +53,8 @@ SnapshotRef SnapshotManager::Acquire() const {
 void SnapshotManager::Publish(std::unique_ptr<const IndexSnapshot> next) {
   PSPC_CHECK(next != nullptr);
   const size_t copied = next->CopiedVertices();
+  // relaxed: statistics mirrors; Publish is writer-serialized and
+  // pollers tolerate trailing values.
   copied_last_.store(copied, std::memory_order_relaxed);
   copied_total_.fetch_add(copied, std::memory_order_relaxed);
   copied_total_counter_->Increment(copied);
@@ -66,6 +71,8 @@ void SnapshotManager::Publish(std::unique_ptr<const IndexSnapshot> next) {
   active_readers_gauge_->Set(static_cast<int64_t>(epochs_.ActiveReaders()));
   recorder_->Record(
       obs::FlightEventKind::kPublish,
+      // relaxed: reading back the pointer this same thread just
+      // published; no cross-thread edge needed.
       current_.load(std::memory_order_relaxed)->Generation(),
       static_cast<uint64_t>(copied), static_cast<uint64_t>(retired_.size()));
 }
@@ -82,10 +89,13 @@ void SnapshotManager::Reclaim() {
   for (auto it = dead; it != retired_.end(); ++it) {
     delete it->snapshot;
     ++freed;
+    // relaxed: reclaim tally for Counters()/watchdog polls.
     reclaimed_.fetch_add(1, std::memory_order_relaxed);
     reclaimed_total_counter_->Increment();
   }
   retired_.erase(dead, retired_.end());
+  // relaxed: statistics mirrors of writer-serialized state, read by
+  // pollers that tolerate staleness.
   retired_count_.store(retired_.size(), std::memory_order_relaxed);
   retired_pending_gauge_->Set(static_cast<int64_t>(retired_.size()));
   const double micros = timer.ElapsedMicros();

@@ -213,8 +213,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 3, 6),
                        ::testing::Values(1, 2, 3)),
     [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
-      return "m" + std::to_string(std::get<0>(info.param)) + "n_seed" +
-             std::to_string(std::get<1>(info.param));
+      // Built via append: the char*+rvalue operator+ chain trips GCC
+      // 12's -Wrestrict false positive (PR105651).
+      std::string name = "m";
+      name += std::to_string(std::get<0>(info.param));
+      name += "n_seed";
+      name += std::to_string(std::get<1>(info.param));
+      return name;
     });
 
 }  // namespace

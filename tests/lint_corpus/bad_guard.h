@@ -1,0 +1,8 @@
+// Corpus: include-guard — guard name does not match the canonical
+// PSPC_<PATH>_H_ form for the path this is linted under.
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+inline int Answer() { return 42; }
+
+#endif  // WRONG_GUARD_H

@@ -1,0 +1,15 @@
+// Corpus: bare-relaxed — one justified load, one bare load.
+#include <atomic>
+
+std::atomic<int> g_counter{0};
+
+int Justified() {
+  // relaxed: corpus example of a justified read.
+  return g_counter.load(std::memory_order_relaxed);
+}
+
+int Unjustified() {
+  int padding = 0;
+  padding += 1;
+  return g_counter.load(std::memory_order_relaxed) + padding;
+}

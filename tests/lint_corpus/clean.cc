@@ -1,0 +1,19 @@
+// Corpus: clean — near-misses the rules must NOT flag (the test
+// lints this file as src/serve/clean.cc, the strictest class).
+#include <atomic>
+#include <cstdint>
+
+// A cataloged metric name and a C++14 digit separator are fine.
+const char* Name() { return "serve.queries_total"; }
+const uint64_t kBig = 10'000;
+
+std::atomic<uint64_t> g_ticks{0};
+
+// relaxed: one cluster comment covering both adjacent lines.
+inline void Bump() { g_ticks.fetch_add(1, std::memory_order_relaxed); }
+inline uint64_t Get() { return g_ticks.load(std::memory_order_relaxed); }
+
+// The word in a string (or a comment: std::mutex) is not a raw-mutex
+// use, and identifiers merely containing banned names are not calls.
+const char* Hint() { return "use spc::Mutex, not std::mutex"; }
+inline int TimeLike(int time_like) { return time_like + 1; }

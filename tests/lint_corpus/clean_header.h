@@ -1,0 +1,8 @@
+#ifndef PSPC_SRC_SERVE_CLEAN_HEADER_H_
+#define PSPC_SRC_SERVE_CLEAN_HEADER_H_
+
+// Corpus: a canonically guarded header (linted as
+// src/serve/clean_header.h) must produce no violations.
+inline int Clean() { return 0; }
+
+#endif  // PSPC_SRC_SERVE_CLEAN_HEADER_H_

@@ -1,0 +1,9 @@
+// Corpus: hot-path-call — rand()/time()/printf() on the serving hot
+// path (the test lints this file as src/serve/hot_path_calls.cc).
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+long Jitter() { return std::rand() % 7; }
+long Now() { return time(nullptr); }
+void Announce(long v) { std::printf("v=%ld\n", v); }

@@ -1,0 +1,5 @@
+// Corpus: metric-literal — uncataloged serve./dynamic. names fire,
+// cataloged ones do not.
+const char* CatalogedName() { return "serve.queries_total"; }
+const char* UncatalogedServe() { return "serve.bogus_total"; }
+const char* UncatalogedDynamic() { return "dynamic.bogus_gauge"; }

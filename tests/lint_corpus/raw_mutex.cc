@@ -1,0 +1,12 @@
+// Corpus: raw-mutex — std::mutex and std::lock_guard outside the
+// annotated src/common/mutex.h wrapper.
+#include <mutex>
+
+struct Counters {
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++value;
+  }
+  std::mutex mu;
+  long value = 0;
+};

@@ -1,0 +1,4 @@
+// Corpus: tsa-escape — NO_THREAD_SAFETY_ANALYSIS is banned outside
+// the macro's definition in src/common/thread_annotations.h.
+
+void SneakyUnlockedAccess() NO_THREAD_SAFETY_ANALYSIS;

@@ -67,7 +67,9 @@ TEST(FlightRecorderTest, WraparoundKeepsNewestEventsAgainstOracle) {
     EXPECT_EQ(events[i].args[0], oracle[seq].a0);
     EXPECT_EQ(events[i].args[1], oracle[seq].a1);
     EXPECT_GT(events[i].ns, 0);
-    if (i > 0) EXPECT_GT(events[i].seq, events[i - 1].seq);
+    if (i > 0) {
+      EXPECT_GT(events[i].seq, events[i - 1].seq);
+    }
   }
 }
 

@@ -403,7 +403,9 @@ TEST(ServingOpsTest, UpdateTracesCorrelateBatchesAcrossThePlane) {
     EXPECT_TRUE(event.args[0] == log[0].batch_id ||
                 event.args[0] == log[1].batch_id ||
                 event.args[0] == log[2].batch_id);
-    if (event.args[0] == log[2].batch_id) EXPECT_EQ(event.args[2], 0u);
+    if (event.args[0] == log[2].batch_id) {
+      EXPECT_EQ(event.args[2], 0u);
+    }
     ++batch_events;
   }
   EXPECT_EQ(batch_events, 3u);
