@@ -9,7 +9,10 @@
 namespace pspc {
 
 /// Outcome of a fallible operation. Cheap to copy for the OK case.
-class Status {
+/// `[[nodiscard]]` on the class makes every by-value `Status` return
+/// must-use: ignoring one is a compile warning (error in CI) and the
+/// `spc_analyze` must-use pass re-checks the same contract tree-wide.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -67,7 +70,7 @@ class Status {
 /// `status().ok()` / `has_value()` holds; accessing `value()` on an
 /// error aborts (programmer error, checked via PSPC_CHECK).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /*implicit*/ Result(T value) : value_(std::move(value)) {}
   /*implicit*/ Result(Status status) : status_(std::move(status)) {}

@@ -17,7 +17,7 @@
 #include "src/dynamic/edge_update.h"
 #include "src/dynamic/repair_core.h"
 #include "src/obs/flight_recorder.h"
-#include "src/obs/stats_export.h"
+#include "src/dynamic/stats_export.h"
 #include "src/order/vertex_order.h"
 
 /// Incremental maintenance of the directed 2-hop SPC index (paper

@@ -18,7 +18,7 @@
 #include "src/graph/graph.h"
 #include "src/label/spc_index.h"
 #include "src/obs/flight_recorder.h"
-#include "src/obs/stats_export.h"
+#include "src/dynamic/stats_export.h"
 #include "src/order/vertex_order.h"
 
 /// Incremental maintenance of the ESPC 2-hop index under edge churn.

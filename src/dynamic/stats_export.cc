@@ -1,4 +1,4 @@
-#include "src/obs/stats_export.h"
+#include "src/dynamic/stats_export.h"
 
 #include "src/obs/metric_names.h"
 

@@ -1,5 +1,5 @@
-#ifndef PSPC_SRC_OBS_STATS_EXPORT_H_
-#define PSPC_SRC_OBS_STATS_EXPORT_H_
+#ifndef PSPC_SRC_DYNAMIC_STATS_EXPORT_H_
+#define PSPC_SRC_DYNAMIC_STATS_EXPORT_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -89,4 +89,4 @@ class DynamicStatsExporter {
 }  // namespace obs
 }  // namespace pspc
 
-#endif  // PSPC_SRC_OBS_STATS_EXPORT_H_
+#endif  // PSPC_SRC_DYNAMIC_STATS_EXPORT_H_

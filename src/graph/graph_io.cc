@@ -62,6 +62,7 @@ Result<Graph> ParseEdgeStreamRemapped(std::istream& in) {
   auto intern = [&remap](uint64_t id) {
     auto [it, inserted] =
         remap.emplace(id, static_cast<VertexId>(remap.size()));
+    // Structured-binding field is unused on this path.
     (void)inserted;
     return it->second;
   };

@@ -122,6 +122,7 @@ EquivalenceReduction EquivalenceReduction::Build(const Graph& graph) {
     }
   }
   for (auto& [hash, bucket] : closed_buckets) {
+    // Structured-binding field is unused on this path.
     (void)hash;
     if (bucket.size() < 2) continue;
     for (size_t i = 1; i < bucket.size(); ++i) {

@@ -1,0 +1,14 @@
+#include "src/serve/worklist.h"
+
+Status Worklist::Push(int v) {
+  spc::MutexLock lock(mu_);
+  depth_ = depth_ + v;
+  return Status();
+}
+
+int Worklist::Pop() {
+  Status pushed = Push(0);
+  spc::MutexLock lock(mu_);
+  depth_ = depth_ - 1;
+  return pushed.ok() ? depth_ : 0;
+}

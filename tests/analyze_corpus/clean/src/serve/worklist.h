@@ -1,0 +1,15 @@
+#pragma once
+#include "src/common/mutex.h"
+#include "src/common/status.h"
+
+class Status;
+
+class Worklist {
+ public:
+  Status Push(int v);
+  int Pop();
+
+ private:
+  spc::Mutex mu_;
+  int depth_ = 0;
+};

@@ -1,0 +1,4 @@
+#pragma once
+#include "src/serve/engine.h"
+
+inline int Util() { return 1; }

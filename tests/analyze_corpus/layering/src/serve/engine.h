@@ -1,0 +1,5 @@
+#pragma once
+#include "src/common/util.h"
+#include "src/analytics/centrality.h"
+
+inline int Engine() { return 2; }

@@ -1,0 +1,12 @@
+#include "src/serve/epoch_manager.h"
+
+#include "src/serve/snapshot_manager.h"
+
+void EpochManager::Enter() {
+  spc::MutexLock lock(overflow_mu_);
+  snapshots_->NoteRelease();  // overflow_mu_ -> mu_: inverts the hierarchy.
+}
+
+void EpochManager::Attach(SnapshotManager* snapshots) {
+  snapshots_ = snapshots;
+}

@@ -1,0 +1,14 @@
+#pragma once
+#include "src/common/mutex.h"
+
+class SnapshotManager;
+
+class EpochManager {
+ public:
+  void Enter();
+  void Attach(SnapshotManager* snapshots);
+
+ private:
+  spc::Mutex overflow_mu_;
+  SnapshotManager* snapshots_ = nullptr;
+};

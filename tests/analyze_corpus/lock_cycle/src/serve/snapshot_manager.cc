@@ -1,0 +1,16 @@
+#include "src/serve/snapshot_manager.h"
+
+#include "src/serve/epoch_manager.h"
+
+void SnapshotManager::Publish() {
+  spc::MutexLock lock(mu_);
+  generation_ = generation_ + 1;
+  epochs_->Enter();  // Enter re-locks mu_ via NoteRelease: self-deadlock.
+}
+
+void SnapshotManager::NoteRelease() {
+  spc::MutexLock lock(mu_);
+  generation_ = generation_ - 1;
+}
+
+void SnapshotManager::Attach(EpochManager* epochs) { epochs_ = epochs; }

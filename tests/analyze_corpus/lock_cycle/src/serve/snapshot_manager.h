@@ -1,0 +1,16 @@
+#pragma once
+#include "src/common/mutex.h"
+
+class EpochManager;
+
+class SnapshotManager {
+ public:
+  void Publish();
+  void NoteRelease();
+  void Attach(EpochManager* epochs);
+
+ private:
+  spc::Mutex mu_;
+  EpochManager* epochs_ = nullptr;
+  int generation_ = 0;
+};

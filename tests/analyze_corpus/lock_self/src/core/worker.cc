@@ -1,0 +1,15 @@
+#include "src/core/worker.h"
+
+void Worker::Drain() {
+  spc::MutexLock outer(mu_);
+  work_ = work_ + 1;
+  {
+    spc::MutexLock inner(mu_);  // re-locks a held non-reentrant mutex
+    work_ = work_ + 1;
+  }
+}
+
+void Worker::Helper() {
+  spc::MutexLock lock(mu_);  // REQUIRES(mu_) already declares it held
+  work_ = work_ - 1;
+}

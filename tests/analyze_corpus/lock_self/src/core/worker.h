@@ -1,0 +1,12 @@
+#pragma once
+#include "src/common/mutex.h"
+
+class Worker {
+ public:
+  void Drain();
+  void Helper() REQUIRES(mu_);
+
+ private:
+  spc::Mutex mu_;
+  int work_ = 0;
+};

@@ -1,0 +1,19 @@
+#pragma once
+#include "src/common/mutex.h"
+
+class Cachelet {
+ public:
+  int Get();
+
+ private:
+  spc::Mutex mu_;  // not declared in tools/lock_hierarchy.txt
+  int value_ = 0;
+};
+
+class Journal {
+ public:
+  void Append();
+
+ private:
+  spc::Mutex log_mu_;  // not declared in tools/lock_hierarchy.txt
+};

@@ -1,0 +1,22 @@
+#include "src/label/store.h"
+
+Status Store::Flush() {
+  int pending = 0;
+  Write(pending);  // dropped Status from a bare member call
+  return Validate(pending);
+}
+
+Status Store::Write(int v) {
+  return Validate(v);
+}
+
+int Store::Size() {
+  Store other;
+  other.Flush();  // dropped Status from a receiver call
+  Status kept = other.Write(1);
+  return kept.ok() ? 1 : 0;
+}
+
+Status Validate(int v) {
+  return Status();
+}

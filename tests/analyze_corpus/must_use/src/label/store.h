@@ -1,0 +1,13 @@
+#pragma once
+#include "src/common/status.h"
+
+class Status;
+
+class Store {
+ public:
+  Status Flush();
+  Status Write(int v);
+  int Size();
+};
+
+Status Validate(int v);

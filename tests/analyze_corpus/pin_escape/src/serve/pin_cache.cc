@@ -1,0 +1,9 @@
+#include "src/serve/pin_cache.h"
+
+void PinCache::Remember(int hits) {
+  hits_ = hits_ + hits;
+}
+
+void PinHolder::Reset() {
+  ref_.Release();
+}

@@ -1,0 +1,11 @@
+#include <vector>
+
+#include "src/serve/snapshot_api.h"
+
+void BulkPin(SnapshotManager& snapshots, int n) {
+  std::vector<SnapshotRef> pins;  // container of pins in one scope
+  auto ref = snapshots.Acquire();
+  auto drop = [&ref, n]() { return n; };  // capture outlives the scope
+  drop();
+  pins.clear();
+}

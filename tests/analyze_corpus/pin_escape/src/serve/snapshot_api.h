@@ -1,0 +1,9 @@
+#pragma once
+#include "src/common/mutex.h"
+
+class SnapshotRef;
+
+class SnapshotManager {
+ public:
+  SnapshotRef Acquire();
+};

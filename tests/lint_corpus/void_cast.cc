@@ -1,0 +1,10 @@
+#include "src/common/status.h"
+
+int Probe(void);
+
+void Swallow() {
+  pspc::Status dropped = pspc::Status::OK();
+  (void)dropped;
+  // Best-effort: the fallback path repeats the write and checks it.
+  (void)dropped;
+}

@@ -90,6 +90,9 @@ INSTANTIATE_TEST_SUITE_P(
         CorpusCase{"tsa_escape.cc",
                    "src/serve/tsa_escape.cc",
                    {{"tsa-escape", 4}}},
+        CorpusCase{"void_cast.cc",
+                   "src/common/void_cast.cc",
+                   {{"void-cast", 7}}},
         CorpusCase{"clean.cc", "src/serve/clean.cc", {}},
         CorpusCase{"clean_header.h", "src/serve/clean_header.h", {}}),
     [](const ::testing::TestParamInfo<CorpusCase>& info) {

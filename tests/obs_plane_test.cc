@@ -96,6 +96,7 @@ TEST(FlightRecorderTest, ConcurrentWritersAndReaderStayConsistent) {
 
   std::atomic<bool> stop{false};
   std::thread reader([&] {
+    // relaxed: stop/progress flag only; thread join is the sync point.
     while (!stop.load(std::memory_order_relaxed)) {
       for (const FlightEvent& event : recorder.Events()) {
         // Writers encode thread (args[0]) and iteration (args[1]);
@@ -117,6 +118,7 @@ TEST(FlightRecorderTest, ConcurrentWritersAndReaderStayConsistent) {
     });
   }
   for (std::thread& w : writers) w.join();
+  // relaxed: stop/progress flag only; thread join is the sync point.
   stop.store(true, std::memory_order_relaxed);
   reader.join();
 

@@ -145,6 +145,7 @@ TEST(ServingMetricsTest, PollingThreadDuringMixedWorkload) {
   std::atomic<uint64_t> polls{0};
   std::thread poller([&] {
     uint64_t last_queries = 0;
+    // relaxed: stop/progress flag only; thread join is the sync point.
     while (!stop.load(std::memory_order_relaxed)) {
       const ServingCounters counters = engine.Counters();
       // Monotone under concurrent writers: a sharded read may trail,
@@ -175,6 +176,7 @@ TEST(ServingMetricsTest, PollingThreadDuringMixedWorkload) {
 
   loader.join();
   engine.Drain();
+  // relaxed: stop/progress flag only; thread join is the sync point.
   stop.store(true, std::memory_order_relaxed);
   poller.join();
 

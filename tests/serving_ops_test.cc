@@ -288,6 +288,7 @@ TEST(ServingOpsTest, ConcurrentScrapesDuringMixedWorkload) {
     const char* paths[] = {"/metrics", "/metrics.json", "/healthz",
                            "/varz", "/tracez", "/flightrecorder"};
     size_t i = 0;
+    // relaxed: stop/progress flag only; thread join is the sync point.
     while (!stop.load(std::memory_order_relaxed)) {
       const std::string path = paths[i++ % 6];
       const HttpResponse response = HttpGet(port, path);
@@ -301,6 +302,7 @@ TEST(ServingOpsTest, ConcurrentScrapesDuringMixedWorkload) {
     }
   });
   std::thread ticker([&] {
+    // relaxed: stop/progress flag only; thread join is the sync point.
     while (!stop.load(std::memory_order_relaxed)) {
       ops.watchdog.Evaluate();
     }
@@ -320,6 +322,7 @@ TEST(ServingOpsTest, ConcurrentScrapesDuringMixedWorkload) {
 
   loader.join();
   engine.Drain();
+  // relaxed: stop/progress flag only; thread join is the sync point.
   stop.store(true, std::memory_order_relaxed);
   scraper.join();
   ticker.join();

@@ -10,14 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/baseline/bfs_spc.h"
+#include "src/common/mutex.h"
 #include "src/common/random.h"
 #include "src/core/builder_facade.h"
 #include "src/dynamic/dynamic_spc_index.h"
@@ -41,34 +40,34 @@ constexpr VertexId kN = 48;
 class QuiesceGate {
  public:
   void Pause(int readers) {
-    std::unique_lock<std::mutex> lock(mu_);
+    spc::MutexLock lock(mu_);
     pause_ = true;
-    parked_cv_.wait(lock, [&] { return parked_ == readers; });
+    while (parked_ != readers) parked_cv_.Wait(mu_);
   }
 
   void Resume() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      spc::MutexLock lock(mu_);
       pause_ = false;
     }
-    resume_cv_.notify_all();
+    resume_cv_.NotifyAll();
   }
 
   void CheckIn() {
-    std::unique_lock<std::mutex> lock(mu_);
+    spc::MutexLock lock(mu_);
     if (!pause_) return;
     ++parked_;
-    parked_cv_.notify_all();
-    resume_cv_.wait(lock, [&] { return !pause_; });
+    parked_cv_.NotifyAll();
+    while (pause_) resume_cv_.Wait(mu_);
     --parked_;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable parked_cv_;
-  std::condition_variable resume_cv_;
-  int parked_ = 0;
-  bool pause_ = false;
+  spc::Mutex mu_;
+  spc::CondVar parked_cv_;
+  spc::CondVar resume_cv_;
+  int parked_ GUARDED_BY(mu_) = 0;
+  bool pause_ GUARDED_BY(mu_) = false;
 };
 
 void RunStress(double rebuild_threshold) {
@@ -102,6 +101,7 @@ void RunStress(double rebuild_threshold) {
   for (int r = 0; r < kReaders; ++r) {
     readers.emplace_back([&, r] {
       Rng rng(1000 + static_cast<uint64_t>(r));
+      // relaxed: stop/progress flag only; thread join is the sync point.
       while (!stop.load(std::memory_order_relaxed)) {
         gate.CheckIn();
         const QueryBatch batch =
@@ -165,6 +165,7 @@ void RunStress(double rebuild_threshold) {
     gate.Resume();
   }
 
+  // relaxed: stop/progress flag only; thread join is the sync point.
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& reader : readers) reader.join();
   engine.Stop();

@@ -40,6 +40,12 @@
 ///   tsa-escape        NO_THREAD_SAFETY_ANALYSIS is banned outside the
 ///                     macro's own definition — annotate or
 ///                     restructure, never opt out
+///   void-cast         `(void)expr` result discards carry a
+///                     justification comment on the same line or
+///                     within the five lines above — the escape hatch
+///                     for `[[nodiscard]]` Status/Result (and the
+///                     spc_analyze must-use pass) must say why the
+///                     value is safe to drop
 namespace spclint {
 
 struct Violation {
@@ -365,6 +371,33 @@ inline std::vector<Violation> LintFile(const std::string& relative_path,
           "NO_THREAD_SAFETY_ANALYSIS is banned: annotate the locking "
           "contract (or restructure) instead of opting out");
     }
+
+    // `(void)x` deliberately discards a value; the discard must be
+    // justified in a comment (same idiom as bare-relaxed). `f(void)`
+    // parameter lists and `(void*)` casts don't match: the cast must
+    // be followed by an identifier.
+    const size_t void_pos = code.find("(void)");
+    if (void_pos != std::string::npos) {
+      size_t after = void_pos + 6;
+      while (after < code.size() && code[after] == ' ') ++after;
+      const char target = after < code.size() ? code[after] : '\0';
+      if (std::isalpha(static_cast<unsigned char>(target)) ||
+          target == '_') {
+        bool justified = false;
+        for (size_t back = 0; back <= 5 && back <= i; ++back) {
+          if (src.has_comment[i - back]) {
+            justified = true;
+            break;
+          }
+        }
+        if (!justified) {
+          add(i, "void-cast",
+              "(void) cast without a justification comment on this line "
+              "or the five lines above — say why the value is safe to "
+              "drop");
+        }
+      }
+    }
   }
 
   if (fc.is_header) {
@@ -431,9 +464,10 @@ inline bool ReadFile(const std::filesystem::path& path, std::string* out) {
 }
 
 /// Lints the repo rooted at `root` (the directories the invariants
-/// cover: src/, tools/, examples/, bench/). Returns all violations,
-/// sorted by path then line. Missing metric catalog is itself an
-/// error (`*error` set, non-empty).
+/// cover: src/, tools/, examples/, bench/, tests/ — minus the golden
+/// violation corpora, which are deliberately bad). Returns all
+/// violations, sorted by path then line. Missing metric catalog is
+/// itself an error (`*error` set, non-empty).
 inline std::vector<Violation> LintTree(const std::filesystem::path& root,
                                        std::string* error) {
   std::vector<Violation> violations;
@@ -453,8 +487,8 @@ inline std::vector<Violation> LintTree(const std::filesystem::path& root,
     }
   }
 
-  static constexpr std::string_view kScannedDirs[] = {"src", "tools",
-                                                      "examples", "bench"};
+  static constexpr std::string_view kScannedDirs[] = {
+      "src", "tools", "examples", "bench", "tests"};
   std::vector<std::filesystem::path> files;
   for (const std::string_view dir : kScannedDirs) {
     const std::filesystem::path base = root / dir;
@@ -478,6 +512,11 @@ inline std::vector<Violation> LintTree(const std::filesystem::path& root,
     }
     const std::string relative =
         std::filesystem::relative(path, root).generic_string();
+    // The golden corpora are violations on purpose.
+    if (relative.rfind("tests/lint_corpus/", 0) == 0 ||
+        relative.rfind("tests/analyze_corpus/", 0) == 0) {
+      continue;
+    }
     std::vector<Violation> file_violations =
         LintFile(relative, content, options);
     violations.insert(violations.end(), file_violations.begin(),

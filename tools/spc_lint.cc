@@ -7,10 +7,12 @@
 #include "tools/lint_rules.h"
 
 /// spc_lint: the project-invariant linter. Scans src/, tools/,
-/// examples/ and bench/ for violations of the repo-specific rules in
-/// tools/lint_rules.h (metric-name catalog membership, the raw-mutex
-/// ban, memory_order_relaxed justification comments, hot-path libc
-/// bans, include-guard hygiene, NO_THREAD_SAFETY_ANALYSIS escapes).
+/// examples/, bench/ and tests/ (minus the golden corpora) for
+/// violations of the repo-specific rules in tools/lint_rules.h
+/// (metric-name catalog membership, the raw-mutex ban,
+/// memory_order_relaxed and (void)-cast justification comments,
+/// hot-path libc bans, include-guard hygiene,
+/// NO_THREAD_SAFETY_ANALYSIS escapes).
 ///
 ///   spc_lint [--root <repo-root>]
 ///
