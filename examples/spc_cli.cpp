@@ -6,6 +6,15 @@
 //                    [--order degree|sig|road|hybrid] [--threads N]
 //   ./spc_cli query  <graph-or-dataset> <index.bin> <s> <t> [s t ...]
 //   ./spc_cli stats  <graph-or-dataset>
+//   ./spc_cli index-stats <graph-or-dataset> <index.bin>
+//                    [--update-stream <updates.txt>]
+//
+// `index-stats` profiles a built index: label-size / distance / hub
+// distributions plus the memory-bandwidth view — raw label bytes vs
+// the packed-block mirror, bytes per entry. With `--update-stream` it
+// additionally replays the stream repair-only and reports the overlay
+// before and after a compaction pass (pack steps + fold): overlay
+// width, stale entries pruned, packed vs raw chunk bytes.
 //   ./spc_cli update <graph-or-dataset> <index.bin>
 //                    --update-stream <updates.txt>
 //                    [--batch-size N] [--rebuild-threshold R]
@@ -90,9 +99,11 @@
 #include "src/dynamic/dynamic_dspc_index.h"
 #include "src/dynamic/dynamic_spc_index.h"
 #include "src/dynamic/edge_update.h"
+#include "src/dynamic/compaction.h"
 #include "src/graph/algorithms.h"
 #include "src/graph/datasets.h"
 #include "src/graph/graph_io.h"
+#include "src/label/index_stats.h"
 #include "src/label/query_engine.h"
 #include "src/label/spc_index.h"
 #include "src/obs/health.h"
@@ -195,6 +206,8 @@ int Usage() {
                "[--hp-spc] [--order degree|sig|road|hybrid] [--threads N]\n"
                "  spc_cli query <graph-or-dataset> <index.bin> <s> <t> ...\n"
                "  spc_cli stats <graph-or-dataset>\n"
+               "  spc_cli index-stats <graph-or-dataset> <index.bin> "
+               "[--update-stream <updates.txt>]\n"
                "  spc_cli update <graph-or-dataset> <index.bin> "
                "--update-stream <updates.txt> [--batch-size N] "
                "[--rebuild-threshold R] [--save <out.bin>] "
@@ -876,6 +889,98 @@ int CmdStats(int argc, char** argv) {
   return 0;
 }
 
+// Profiles a built index: the classic label distributions plus the
+// memory-bandwidth view (raw vs packed bytes, bytes/entry). With
+// --update-stream, additionally replays the stream repair-only and
+// reports the overlay before/after a full compaction pass.
+int CmdIndexStats(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  pspc::Graph graph;
+  if (!LoadGraphArg(argv[2], &graph)) return 1;
+  auto loaded = pspc::SpcIndex::Load(argv[3]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "failed to load index %s: %s\n", argv[3],
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string stream_path;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-stream") == 0 && i + 1 < argc) {
+      stream_path = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+
+  const pspc::IndexProfile profile = pspc::ProfileIndex(loaded.value());
+  std::printf("%s\n", profile.ToString().c_str());
+  std::printf("label bytes: raw %zu (%.2f B/entry), packed %zu "
+              "(%.2f B/entry), %.2fx smaller\n",
+              profile.raw_bytes, profile.raw_bytes_per_entry,
+              profile.packed_bytes, profile.packed_bytes_per_entry,
+              profile.packed_bytes == 0
+                  ? 0.0
+                  : static_cast<double>(profile.raw_bytes) /
+                        static_cast<double>(profile.packed_bytes));
+  if (stream_path.empty()) return 0;
+
+  auto stream = pspc::LoadUpdateStream(stream_path);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "failed to load updates %s: %s\n",
+                 stream_path.c_str(), stream.status().ToString().c_str());
+    return 1;
+  }
+  if (loaded.value().NumVertices() != graph.NumVertices()) {
+    std::fprintf(stderr, "index (%u vertices) does not match graph (%u)\n",
+                 loaded.value().NumVertices(), graph.NumVertices());
+    return 1;
+  }
+  pspc::DynamicOptions options;
+  options.rebuild_threshold = 1e18;  // repair-only: compaction owns the fold
+  pspc::DynamicSpcIndex index(std::move(graph), std::move(loaded).value(),
+                              options);
+  size_t applied = 0;
+  for (const pspc::EdgeUpdate& up : stream.value()) {
+    if (const pspc::Status st = index.Apply(up); !st.ok()) {
+      std::fprintf(stderr, "update %zu failed: %s\n", applied,
+                   st.ToString().c_str());
+      return 1;
+    }
+    ++applied;
+  }
+  std::printf("\nreplayed %zu updates repair-only: overlay %zu vertices / "
+              "%zu entries (staleness %.4f)\n",
+              applied, index.Overlay().OverlaidVertices(),
+              index.Overlay().OverlaidEntries(), index.StalenessRatio());
+
+  pspc::OverlayCompactor compactor(&index);
+  while (compactor.PackStep() > 0) {
+  }
+  const pspc::CompactionStats packed = compactor.Stats();
+  std::printf("pack: %llu chunks, %llu raw B -> %llu packed B (%.2fx)\n",
+              static_cast<unsigned long long>(packed.chunks_packed),
+              static_cast<unsigned long long>(packed.raw_chunk_bytes),
+              static_cast<unsigned long long>(packed.packed_chunk_bytes),
+              packed.packed_chunk_bytes == 0
+                  ? 0.0
+                  : static_cast<double>(packed.raw_chunk_bytes) /
+                        static_cast<double>(packed.packed_chunk_bytes));
+  compactor.Fold();
+  std::printf("fold: overlay now %zu vertices / %zu entries, %llu stale "
+              "entries pruned, base %zu entries\n",
+              index.Overlay().OverlaidVertices(),
+              index.Overlay().OverlaidEntries(),
+              static_cast<unsigned long long>(compactor.Stats().entries_pruned),
+              index.BaseIndex().TotalEntries());
+  const pspc::IndexProfile after = pspc::ProfileIndex(index.BaseIndex());
+  std::printf("post-compaction label bytes: raw %zu, packed %zu "
+              "(%.2f B/entry)\n",
+              after.raw_bytes, after.packed_bytes,
+              after.packed_bytes_per_entry);
+  return 0;
+}
+
 // Replays an update stream against the dynamic index: per-update
 // repair latency, staleness growth, and optionally a compacted
 // (rebuilt) index written back to disk.
@@ -1088,6 +1193,9 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "build") == 0) return CmdBuild(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return CmdQuery(argc, argv);
   if (std::strcmp(argv[1], "stats") == 0) return CmdStats(argc, argv);
+  if (std::strcmp(argv[1], "index-stats") == 0) {
+    return CmdIndexStats(argc, argv);
+  }
   if (std::strcmp(argv[1], "update") == 0) return CmdUpdate(argc, argv);
   if (std::strcmp(argv[1], "serve") == 0) return CmdServe(argc, argv);
   return Usage();

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
-#include "src/label/label_merge.h"
+#include "src/label/label_merge_simd.h"
 
 namespace pspc {
 namespace {
@@ -40,7 +40,9 @@ SpcResult DiSpcIndex::Query(VertexId s, VertexId t) const {
   PSPC_CHECK_MSG(s < NumVertices() && t < NumVertices(),
                  "query (" << s << "," << t << ") out of range");
   if (s == t) return {0, 1};
-  return MergeLabelCounts(OutLabels(s), InLabels(t));
+  // Vectorized galloping merge — bit-identical to MergeLabelCounts
+  // (differential suite: tests/label_merge_simd_test.cc).
+  return MergeLabelCountsFast(OutLabels(s), InLabels(t));
 }
 
 }  // namespace pspc

@@ -1,0 +1,104 @@
+#include "src/dynamic/compaction.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/label/packed_label.h"
+
+namespace pspc {
+
+OverlayCompactor::OverlayCompactor(DynamicSpcIndex* index,
+                                   CompactionOptions options)
+    : index_(index), options_(options) {}
+
+size_t OverlayCompactor::PackStep() {
+  ChunkedOverlay& overlay = index_->overlay_;
+  std::vector<VertexId> candidates;
+  overlay.ForEachOverlaid([&](VertexId v, const LabelChunk& chunk) {
+    if (chunk.packed.empty()) candidates.push_back(v);
+  });
+  if (candidates.empty()) return 0;
+
+  // Resume after the previous step's last vertex so successive
+  // budgeted steps sweep the overlay round-robin instead of re-packing
+  // the lowest ids while a writer keeps dirtying them.
+  std::sort(candidates.begin(), candidates.end());
+  const auto resume =
+      std::lower_bound(candidates.begin(), candidates.end(), pack_cursor_);
+  std::rotate(candidates.begin(), resume, candidates.end());
+
+  const size_t todo = std::min(options_.chunk_budget_per_step, candidates.size());
+  for (size_t i = 0; i < todo; ++i) {
+    const VertexId v = candidates[i];
+    // Build the packed twin next to a fresh copy of the entries and
+    // swap it in under the overlay's COW discipline; captures that
+    // alias the old raw chunk keep serving it untouched.
+    auto packed_chunk = std::make_shared<LabelChunk>();
+    const std::span<const LabelEntry> entries = overlay.Labels(v);
+    packed_chunk->entries.assign(entries.begin(), entries.end());
+    AppendPackedBlock(ChunkSpan(*packed_chunk), &packed_chunk->packed);
+    stats_.raw_chunk_bytes += entries.size_bytes();
+    stats_.packed_chunk_bytes += packed_chunk->packed.size();
+    overlay.ReplaceChunk(v, std::move(packed_chunk));
+  }
+  pack_cursor_ = candidates[todo - 1] + 1;
+  stats_.chunks_packed += todo;
+  ++stats_.pack_steps;
+  return todo;
+}
+
+bool OverlayCompactor::FoldIfStale() {
+  if (index_->StalenessRatio() <= options_.fold_staleness_ratio) return false;
+  Fold();
+  return true;
+}
+
+void OverlayCompactor::Fold() {
+  DynamicSpcIndex& idx = *index_;
+  const VertexId n = idx.NumVertices();
+  stats_.last_fold_entries_folded = idx.overlay_.OverlaidEntries();
+
+  // Materialize base (+) overlay. No BFS, no re-ordering — the fold is
+  // a linear pass, unlike Rebuild().
+  std::vector<std::vector<LabelEntry>> labels(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::span<const LabelEntry> span = idx.overlay_.Labels(v);
+    labels[v].assign(span.begin(), span.end());
+  }
+
+  uint64_t pruned = 0;
+  if (options_.prune_stale_entries) {
+    // Stale-entry sweep over repaired vertices, decided against the
+    // still-live (exact) index: entry (v, h, d) is stale iff d exceeds
+    // the true distance sd(v, vertex(h)). Such an entry can never
+    // reach the minimum of any merge (d + d' > sd(v,h) + sd(h,t) >=
+    // sd(v,t)), so dropping it leaves every query bit-identical.
+    idx.overlay_.ForEachOverlaid([&](VertexId v, const LabelChunk&) {
+      std::vector<LabelEntry>& lv = labels[v];
+      const auto stale_from =
+          std::remove_if(lv.begin(), lv.end(), [&](const LabelEntry& e) {
+            const VertexId hub = idx.order_.VertexAt(e.hub_rank);
+            return static_cast<uint32_t>(e.dist) > idx.Query(v, hub).distance;
+          });
+      pruned += static_cast<uint64_t>(lv.end() - stale_from);
+      lv.erase(stale_from, lv.end());
+    });
+  }
+
+  // Publish through the standard rebase path: snapshots captured
+  // before the fold keep the old base + pages alive; the generation
+  // bump tells the serving layer the label state changed.
+  idx.base_ = std::make_shared<const SpcIndex>(
+      SpcIndex(idx.order_, std::move(labels)));
+  idx.RefreshPackedBase();
+  idx.overlay_.Rebase(idx.base_->LabelMap());
+  ++idx.generation_;
+  idx.PublishMetrics();
+
+  ++stats_.folds;
+  stats_.entries_pruned += pruned;
+}
+
+}  // namespace pspc

@@ -42,6 +42,16 @@ inline constexpr char kServeEpochOverflowPinsTotal[] =
 inline constexpr char kServeTracesSampledTotal[] =
     "serve.traces_sampled_total";
 inline constexpr char kServeTracesSlowTotal[] = "serve.traces_slow_total";
+inline constexpr char kServeLabelBytesMergedTotal[] =
+    "serve.label_bytes.merged_total";
+inline constexpr char kServeCompactionStepsTotal[] =
+    "serve.compaction.steps_total";
+inline constexpr char kServeCompactionChunksPackedTotal[] =
+    "serve.compaction.chunks_packed_total";
+inline constexpr char kServeCompactionFoldsTotal[] =
+    "serve.compaction.folds_total";
+inline constexpr char kServeCompactionEntriesPrunedTotal[] =
+    "serve.compaction.entries_pruned_total";
 
 inline constexpr char kServePublishedGeneration[] =
     "serve.published_generation";
@@ -65,6 +75,9 @@ inline constexpr char kServePublishUs[] = "serve.publish_us";
 inline constexpr char kServePublishCopiedVertices[] =
     "serve.publish_copied_vertices";
 inline constexpr char kServeReaderPinUs[] = "serve.reader_pin_us";
+inline constexpr char kServeLabelBytesPerQuery[] =
+    "serve.label_bytes.per_query";
+inline constexpr char kServeCompactionStepUs[] = "serve.compaction.step_us";
 
 // ------------------------------------------------------ dynamic layer
 inline constexpr char kDynamicInsertionsAppliedTotal[] =
@@ -124,6 +137,11 @@ inline constexpr std::string_view kCounterNames[] = {
     kServeEpochOverflowPinsTotal,
     kServeTracesSampledTotal,
     kServeTracesSlowTotal,
+    kServeLabelBytesMergedTotal,
+    kServeCompactionStepsTotal,
+    kServeCompactionChunksPackedTotal,
+    kServeCompactionFoldsTotal,
+    kServeCompactionEntriesPrunedTotal,
     kDynamicInsertionsAppliedTotal,
     kDynamicDeletionsAppliedTotal,
     kDynamicBatchesAppliedTotal,
@@ -166,6 +184,8 @@ inline constexpr std::string_view kHistogramNames[] = {
     kServePublishUs,
     kServePublishCopiedVertices,
     kServeReaderPinUs,
+    kServeLabelBytesPerQuery,
+    kServeCompactionStepUs,
     kDynamicPlanUs,
     kDynamicRepairUs,
     kDynamicRebuildUs,
@@ -189,6 +209,9 @@ inline constexpr std::string_view kRequiredServeMetrics[] = {
     kServePublishUs,
     kServePublishCopiedVertices,
     kServeReaderPinUs,
+    kServeLabelBytesMergedTotal,
+    kServeLabelBytesPerQuery,
+    kServeCompactionStepsTotal,
 };
 
 /// Names any run that applied updates through a dynamic index must

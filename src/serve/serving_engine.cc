@@ -1,6 +1,7 @@
 #include "src/serve/serving_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <utility>
 
@@ -42,7 +43,17 @@ ServingEngine::ServingEngine(DynamicSpcIndex* index, ServingOptions options)
       traces_(options.slow_trace_capacity, options.slow_trace_us),
       update_traces_(options.update_trace_capacity) {
   BindMetrics(index->Generation());
+  if (options_.enable_compaction) {
+    // Brief writer scope so the GUARDED_BY holds; no worker or
+    // compaction thread exists yet, so this never contends.
+    spc::MutexLock lock(writer_mu_);
+    compactor_ =
+        std::make_unique<OverlayCompactor>(index_, options_.compaction);
+  }
   StartWorkers();
+  if (options_.enable_compaction) {
+    compaction_thread_ = std::thread([this] { CompactionLoop(); });
+  }
 }
 
 ServingEngine::ServingEngine(DynamicDspcIndex* index, ServingOptions options)
@@ -91,6 +102,19 @@ void ServingEngine::BindMetrics(uint64_t generation) {
   micro_batch_size_ = metrics_->GetHistogram(obs::kServeMicroBatchSize);
   update_latency_us_ = metrics_->GetHistogram(obs::kServeUpdateLatencyUs);
   publish_us_ = metrics_->GetHistogram(obs::kServePublishUs);
+  label_bytes_merged_total_ =
+      metrics_->GetCounter(obs::kServeLabelBytesMergedTotal);
+  label_bytes_per_query_ =
+      metrics_->GetHistogram(obs::kServeLabelBytesPerQuery);
+  compaction_steps_total_ =
+      metrics_->GetCounter(obs::kServeCompactionStepsTotal);
+  compaction_chunks_packed_total_ =
+      metrics_->GetCounter(obs::kServeCompactionChunksPackedTotal);
+  compaction_folds_total_ =
+      metrics_->GetCounter(obs::kServeCompactionFoldsTotal);
+  compaction_entries_pruned_total_ =
+      metrics_->GetCounter(obs::kServeCompactionEntriesPrunedTotal);
+  compaction_step_us_ = metrics_->GetHistogram(obs::kServeCompactionStepUs);
   published_generation_gauge_->Set(static_cast<int64_t>(generation));
   recorder_ = options_.flight_recorder != nullptr
                   ? options_.flight_recorder
@@ -274,9 +298,79 @@ void ServingEngine::Drain() {
 
 void ServingEngine::Stop() {
   if (stopped_.exchange(true)) return;
+  StopCompaction();
   Drain();
   queue_.Close();
   for (std::thread& worker : workers_) worker.join();
+}
+
+void ServingEngine::StopCompaction() {
+  if (!compaction_thread_.joinable()) return;
+  {
+    spc::MutexLock lock(compaction_mu_);
+    compaction_stop_ = true;
+    compaction_cv_.NotifyAll();
+  }
+  compaction_thread_.join();
+}
+
+void ServingEngine::CompactionLoop() {
+  for (;;) {
+    {
+      spc::MutexLock lock(compaction_mu_);
+      if (!compaction_stop_) {
+        compaction_cv_.WaitFor(
+            compaction_mu_,
+            std::chrono::milliseconds(options_.compaction_interval_ms));
+      }
+      if (compaction_stop_) return;
+    }
+    CompactOnce();
+  }
+}
+
+bool ServingEngine::CompactOnce() {
+  spc::MutexLock lock(writer_mu_);
+  if (compactor_ == nullptr) return false;
+  const int64_t step_start_ns = obs::TraceNowNs();
+  const CompactionStats before = compactor_->Stats();
+  const size_t packed = compactor_->PackStep();
+  const bool folded = compactor_->FoldIfStale();
+  compaction_steps_total_->Increment();
+  compaction_chunks_packed_total_->Increment(packed);
+  if (folded) {
+    compaction_folds_total_->Increment();
+    compaction_entries_pruned_total_->Increment(
+        compactor_->Stats().entries_pruned - before.entries_pruned);
+  }
+  const bool changed = packed > 0 || folded;
+  if (changed) {
+    // Publish so readers pick up the packed chunks (and, after a fold,
+    // the fresh base). A pack-only step keeps the index generation —
+    // results are bit-identical, so cached entries tagged with it stay
+    // valid — which is why published_generation_ bookkeeping below only
+    // fires for folds.
+    const int64_t publish_start_ns = obs::TraceNowNs();
+    snapshots_.Publish(IndexSnapshot::Capture(*index_));
+    publish_us_->Record(
+        static_cast<double>(obs::TraceNowNs() - publish_start_ns) * 1e-3);
+    const uint64_t generation = index_->Generation();
+    if (generation != published_generation_) {
+      published_generation_ = generation;
+      // relaxed: Counters() tally, as in ApplyUpdates.
+      publishes_.fetch_add(1, std::memory_order_relaxed);
+      generations_published_total_->Increment();
+      published_generation_gauge_->Set(static_cast<int64_t>(generation));
+    }
+  }
+  compaction_step_us_->Record(
+      static_cast<double>(obs::TraceNowNs() - step_start_ns) * 1e-3);
+  return changed;
+}
+
+CompactionStats ServingEngine::CompactionTotals() {
+  spc::MutexLock lock(writer_mu_);
+  return compactor_ != nullptr ? compactor_->Stats() : CompactionStats{};
 }
 
 ServingCounters ServingEngine::Counters() const {
@@ -333,6 +427,7 @@ void ServingEngine::WorkerLoop() {
     SnapshotRef snapshot = snapshots_.Acquire();
     const uint64_t generation = snapshot->Generation();
     uint64_t hits = 0;
+    uint64_t merged_bytes_batch = 0;
     for (ServeRequest& request : local) {
       queue_wait_us_->Record(
           static_cast<double>(dequeue_ns - request.enqueue_ns) * 1e-3);
@@ -345,8 +440,11 @@ void ServingEngine::WorkerLoop() {
                                   &obs::QueryTrace::merge_done_ns);
         cache_hit = cache_.Lookup(generation, request.s, request.t, &result);
         if (!cache_hit) {
-          result = snapshot->Query(request.s, request.t);
+          size_t merged_bytes = 0;
+          result = snapshot->QueryMeasured(request.s, request.t, &merged_bytes);
           cache_.Insert(generation, request.s, request.t, result);
+          label_bytes_per_query_->Record(static_cast<double>(merged_bytes));
+          merged_bytes_batch += merged_bytes;
         }
       }
       hits += cache_hit ? 1 : 0;
@@ -382,6 +480,7 @@ void ServingEngine::WorkerLoop() {
     micro_batches_total_->Increment();
     cache_hits_total_->Increment(hits);
     cache_misses_total_->Increment(taken - hits);
+    label_bytes_merged_total_->Increment(merged_bytes_batch);
     micro_batch_size_->Record(static_cast<double>(taken));
     FinishRequests(taken);
   }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "src/common/status.h"
 #include "src/common/thread_annotations.h"
 #include "src/common/types.h"
+#include "src/dynamic/compaction.h"
 #include "src/dynamic/dynamic_dspc_index.h"
 #include "src/dynamic/dynamic_spc_index.h"
 #include "src/label/query_engine.h"
@@ -72,6 +74,18 @@ struct ServingOptions {
   obs::FlightRecorder* flight_recorder = nullptr;
   /// Recent update-batch traces retained for `/tracez`.
   size_t update_trace_capacity = 64;
+  /// Background overlay compaction (undirected indexes only — the
+  /// directed index has no packed mirror yet; ignored for directed
+  /// engines). A dedicated thread periodically packs repaired overlay
+  /// chunks into the compressed label form and folds a stale overlay
+  /// into a fresh packed base, interleaving with update batches under
+  /// the writer mutex and publishing through the usual O(delta)
+  /// snapshot machinery (see src/dynamic/compaction.h).
+  bool enable_compaction = false;
+  /// Sleep between background compaction steps.
+  uint64_t compaction_interval_ms = 50;
+  /// Budget/fold policy handed to the OverlayCompactor.
+  CompactionOptions compaction;
 };
 
 /// Monotonic totals since construction (point-in-time copies).
@@ -171,9 +185,22 @@ class ServingEngine {
   /// Deepest the request queue has been (diagnostics).
   size_t QueueHighWater() const { return queue_.HighWater(); }
 
+  /// Cumulative compaction stats (zeros when compaction is disabled).
+  /// Writer-serialized with updates; safe to call from any thread.
+  CompactionStats CompactionTotals() EXCLUDES(writer_mu_);
+
+  /// Runs one synchronous compaction step (pack budget + fold check)
+  /// on the caller's thread, exactly as the background thread would.
+  /// Returns true if anything was packed or folded (and published).
+  /// No-op (false) when compaction is disabled or the index is
+  /// directed. Thread-safe.
+  bool CompactOnce() EXCLUDES(writer_mu_);
+
  private:
   void WorkerLoop();
   void StartWorkers();
+  void CompactionLoop();
+  void StopCompaction();
   /// `generation` is the initial published generation (the ctor's
   /// init-list value of published_generation_, passed by value so the
   /// gauge wiring never reads the writer_mu_-guarded field unlocked).
@@ -201,6 +228,16 @@ class ServingEngine {
   uint64_t published_generation_ GUARDED_BY(writer_mu_);
   std::atomic<uint64_t> updates_applied_{0};
   std::atomic<uint64_t> publishes_{0};
+
+  // Background compaction. The compactor mutates the index, so every
+  // use happens under writer_mu_ (interleaved with update batches);
+  // compaction_mu_ guards only the thread's lifecycle (interval sleep
+  // + stop flag) and never nests with writer_mu_.
+  std::unique_ptr<OverlayCompactor> compactor_ GUARDED_BY(writer_mu_);
+  std::thread compaction_thread_;
+  spc::Mutex compaction_mu_;
+  spc::CondVar compaction_cv_;
+  bool compaction_stop_ GUARDED_BY(compaction_mu_) = false;
 
   // Completion tracking for Drain().
   std::atomic<uint64_t> pending_{0};
@@ -233,6 +270,13 @@ class ServingEngine {
   obs::Histogram* micro_batch_size_;
   obs::Histogram* update_latency_us_;
   obs::Histogram* publish_us_;
+  obs::Counter* label_bytes_merged_total_;
+  obs::Histogram* label_bytes_per_query_;
+  obs::Counter* compaction_steps_total_;
+  obs::Counter* compaction_chunks_packed_total_;
+  obs::Counter* compaction_folds_total_;
+  obs::Counter* compaction_entries_pruned_total_;
+  obs::Histogram* compaction_step_us_;
   obs::Gauge* queue_depth_gauge_;
   obs::Gauge* queue_capacity_gauge_;
   obs::FlightRecorder* recorder_;

@@ -1,0 +1,270 @@
+#include "src/dynamic/compaction.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baseline/bfs_spc.h"
+#include "src/common/random.h"
+#include "src/core/builder_facade.h"
+#include "src/dynamic/chunked_overlay.h"
+#include "src/dynamic/dynamic_spc_index.h"
+#include "src/dynamic/edge_update.h"
+#include "src/graph/generators.h"
+#include "src/label/packed_label.h"
+#include "tests/test_util.h"
+
+namespace pspc {
+namespace {
+
+BuildOptions SmallBuildOptions() {
+  BuildOptions options;
+  options.num_landmarks = 4;
+  return options;
+}
+
+DynamicOptions NoRebuildOptions() {
+  DynamicOptions options;
+  options.rebuild_threshold = 1e18;
+  options.rebuild_options = SmallBuildOptions();
+  return options;
+}
+
+/// Applies a deterministic stream of valid updates (inserts with
+/// probability `insert_prob`, deletions of existing edges otherwise).
+void Churn(DynamicSpcIndex& index, int steps, double insert_prob,
+           uint64_t seed) {
+  Rng rng(seed);
+  const VertexId n = index.NumVertices();
+  for (int step = 0; step < steps;) {
+    const auto u = static_cast<VertexId>(rng.NextBounded(n));
+    const auto v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (rng.NextBool(insert_prob)) {
+      if (index.HasEdge(u, v)) continue;
+      ASSERT_TRUE(index.InsertEdge(u, v).ok());
+    } else {
+      if (!index.HasEdge(u, v)) continue;
+      ASSERT_TRUE(index.DeleteEdge(u, v).ok());
+    }
+    ++step;
+  }
+}
+
+void ExpectMatchesOracle(const DynamicSpcIndex& index,
+                         const std::string& context) {
+  const Graph g = index.MaterializeGraph();
+  for (const auto& [s, t] : testing::AllPairs(g.NumVertices())) {
+    ASSERT_EQ(index.Query(s, t), BfsSpcPair(g, s, t))
+        << context << " pair (" << s << "," << t << ")";
+  }
+}
+
+TEST(CompactionTest, PackStepPacksEveryChunkAndPreservesQueries) {
+  DynamicSpcIndex index(GenerateErdosRenyi(40, 90, 11), SmallBuildOptions(),
+                        NoRebuildOptions());
+  Churn(index, 25, 0.5, 301);
+  ASSERT_GT(index.Overlay().OverlaidVertices(), 0u);
+
+  CompactionOptions options;
+  options.chunk_budget_per_step = 3;  // force multiple budgeted steps
+  OverlayCompactor compactor(&index, options);
+  size_t total = 0;
+  while (const size_t packed = compactor.PackStep()) {
+    EXPECT_LE(packed, options.chunk_budget_per_step);
+    total += packed;
+    ASSERT_LT(total, 10000u) << "pack loop failed to converge";
+  }
+  EXPECT_EQ(total, index.Overlay().OverlaidVertices());
+  EXPECT_EQ(compactor.Stats().chunks_packed, total);
+  EXPECT_GT(compactor.Stats().pack_steps, 1u);
+  EXPECT_LT(compactor.Stats().packed_chunk_bytes,
+            compactor.Stats().raw_chunk_bytes);
+
+  // Every overlaid chunk now carries a packed twin that decodes to
+  // exactly its raw entries.
+  index.Overlay().ForEachOverlaid([&](VertexId v, const LabelChunk& chunk) {
+    ASSERT_FALSE(chunk.packed.empty()) << "vertex " << v;
+    std::vector<LabelEntry> decoded;
+    PackedBlockView(chunk.packed.data()).DecodeAll(&decoded);
+    EXPECT_EQ(decoded, chunk.entries) << "vertex " << v;
+  });
+  ExpectMatchesOracle(index, "after pack");
+}
+
+TEST(CompactionTest, FoldEmptiesOverlayBumpsGenerationKeepsAnswers) {
+  DynamicSpcIndex index(GenerateWattsStrogatz(36, 3, 0.2, 13),
+                        SmallBuildOptions(), NoRebuildOptions());
+  Churn(index, 30, 0.5, 302);
+  ASSERT_GT(index.Overlay().OverlaidEntries(), 0u);
+  const uint64_t generation_before = index.Generation();
+
+  OverlayCompactor compactor(&index);
+  compactor.Fold();
+
+  EXPECT_EQ(index.Overlay().OverlaidVertices(), 0u);
+  EXPECT_EQ(index.StalenessRatio(), 0.0);
+  EXPECT_GT(index.Generation(), generation_before);
+  EXPECT_EQ(compactor.Stats().folds, 1u);
+  EXPECT_GT(compactor.Stats().last_fold_entries_folded, 0u);
+  ExpectMatchesOracle(index, "after fold");
+
+  // The fold refreshed the packed mirror to the folded base: it must
+  // round-trip the new base labels exactly.
+  const auto packed = index.SharedPackedBase();
+  ASSERT_NE(packed, nullptr);
+  ASSERT_EQ(packed->NumVertices(), index.NumVertices());
+  for (VertexId v = 0; v < index.NumVertices(); ++v) {
+    std::vector<LabelEntry> decoded;
+    packed->Block(v).DecodeAll(&decoded);
+    const auto raw = index.BaseIndex().Labels(v);
+    ASSERT_EQ(decoded.size(), raw.size()) << "vertex " << v;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      ASSERT_EQ(decoded[i], raw[i]) << "vertex " << v << " entry " << i;
+    }
+  }
+}
+
+TEST(CompactionTest, FoldPrunesStaleEntriesWithoutChangingAnswers) {
+  // Insert-heavy churn: insertions shorten true distances, so repair
+  // provably may leave entries whose recorded distance exceeds the new
+  // shortest — exactly what the fold's stale sweep removes.
+  DynamicSpcIndex index(GenerateErdosRenyi(40, 60, 17), SmallBuildOptions(),
+                        NoRebuildOptions());
+  Churn(index, 40, 0.9, 303);
+
+  size_t entries_before = 0;
+  for (VertexId v = 0; v < index.NumVertices(); ++v) {
+    entries_before += index.Labels(v).size();
+  }
+
+  OverlayCompactor compactor(&index);
+  compactor.Fold();
+
+  EXPECT_EQ(index.BaseIndex().TotalEntries(),
+            entries_before - compactor.Stats().entries_pruned);
+  EXPECT_GT(compactor.Stats().entries_pruned, 0u);
+  ExpectMatchesOracle(index, "after pruning fold");
+}
+
+TEST(CompactionTest, FoldIfStaleHonorsThreshold) {
+  DynamicSpcIndex index(GenerateErdosRenyi(30, 60, 19), SmallBuildOptions(),
+                        NoRebuildOptions());
+  Churn(index, 15, 0.5, 304);
+  ASSERT_GT(index.StalenessRatio(), 0.0);
+
+  CompactionOptions never;
+  never.fold_staleness_ratio = 1e18;
+  OverlayCompactor lazy(&index, never);
+  EXPECT_FALSE(lazy.FoldIfStale());
+  EXPECT_EQ(lazy.Stats().folds, 0u);
+
+  CompactionOptions always;
+  always.fold_staleness_ratio = 0.0;
+  OverlayCompactor eager(&index, always);
+  EXPECT_TRUE(eager.FoldIfStale());
+  EXPECT_FALSE(eager.FoldIfStale());  // overlay now empty, ratio 0
+  EXPECT_EQ(eager.Stats().folds, 1u);
+}
+
+// ------------------------------------------- overlay aliasing details
+
+class OverlayPackedChunkTest : public ::testing::Test {
+ protected:
+  OverlayPackedChunkTest()
+      : index_(BuildIndex(GenerateCycle(12), SmallBuildOptions()).index),
+        overlay_(index_.LabelMap()) {}
+
+  /// A frozen packed-only chunk for `v` (entries dropped, packed twin
+  /// only) — the most compact frozen form a compaction pass could
+  /// produce.
+  LabelChunkPtr PackedOnlyChunk(VertexId v) {
+    auto chunk = std::make_shared<LabelChunk>();
+    AppendPackedBlock(overlay_.Labels(v), &chunk->packed);
+    return chunk;
+  }
+
+  const LabelChunk* ChunkOf(VertexId v) {
+    const LabelChunk* found = nullptr;
+    overlay_.ForEachOverlaid([&](VertexId u, const LabelChunk& chunk) {
+      if (u == v) found = &chunk;
+    });
+    return found;
+  }
+
+  SpcIndex index_;
+  ChunkedOverlay overlay_;
+};
+
+TEST_F(OverlayPackedChunkTest, MutableDecodesPackedOnlyChunkExactlyOnce) {
+  const VertexId v = 3;
+  const std::vector<LabelEntry> original(index_.Labels(v).begin(),
+                                         index_.Labels(v).end());
+  overlay_.Mutable(v);                      // overlay the vertex
+  overlay_.ReplaceChunk(v, PackedOnlyChunk(v));
+  const OverlayView view = overlay_.Capture();  // freeze the packed form
+
+  // First write after the capture: the clone must materialize raw
+  // entries from the packed twin (not serve an empty list, not keep
+  // the about-to-go-stale packed bytes alongside).
+  std::vector<LabelEntry>& entries = overlay_.Mutable(v);
+  EXPECT_EQ(entries, original);
+  const LabelChunk* writable = ChunkOf(v);
+  ASSERT_NE(writable, nullptr);
+  EXPECT_TRUE(writable->packed.empty());
+
+  // The frozen chunk the capture aliases is untouched: still
+  // packed-only, still decoding to the original entries.
+  const LabelChunk* frozen = view.Chunk(v);
+  ASSERT_NE(frozen, nullptr);
+  EXPECT_TRUE(frozen->entries.empty());
+  std::vector<LabelEntry> decoded;
+  PackedBlockView(frozen->packed.data()).DecodeAll(&decoded);
+  EXPECT_EQ(decoded, original);
+}
+
+TEST_F(OverlayPackedChunkTest, InPlaceWriteDropsPackedTwin) {
+  const VertexId v = 5;
+  overlay_.Mutable(v);
+  auto dual = std::make_shared<LabelChunk>();
+  dual->entries.assign(overlay_.Labels(v).begin(), overlay_.Labels(v).end());
+  AppendPackedBlock(ChunkSpan(*dual), &dual->packed);
+  overlay_.ReplaceChunk(v, std::move(dual));
+  ASSERT_FALSE(ChunkOf(v)->packed.empty());
+
+  // Same capture interval: Mutable writes in place and must invalidate
+  // the twin, or the next snapshot would serve stale packed bytes.
+  overlay_.Mutable(v).push_back({9999, 1, 1});
+  EXPECT_TRUE(ChunkOf(v)->packed.empty());
+}
+
+// Mirror of serving_test's InsertHeavyPublishCopiesDeltaNotOverlay for
+// the compaction write path: ReplaceChunk must unshare, never mutate
+// what a capture aliases.
+TEST_F(OverlayPackedChunkTest, ReplaceChunkCopiesDeltaNotOverlay) {
+  const VertexId packed_v = 2;
+  const VertexId untouched_v = 7;
+  overlay_.Mutable(packed_v);
+  overlay_.Mutable(untouched_v);
+  const OverlayView view = overlay_.Capture();
+  const LabelChunk* frozen_packed = view.Chunk(packed_v);
+  const LabelChunk* frozen_untouched = view.Chunk(untouched_v);
+
+  overlay_.ReplaceChunk(packed_v, PackedOnlyChunk(packed_v));
+
+  // The replaced vertex got a fresh chunk; the untouched vertex still
+  // aliases the captured one (O(delta), not O(overlay)).
+  EXPECT_NE(ChunkOf(packed_v), frozen_packed);
+  EXPECT_EQ(ChunkOf(untouched_v), frozen_untouched);
+  EXPECT_TRUE(frozen_packed->packed.empty());  // frozen bytes untouched
+  EXPECT_EQ(overlay_.CopiedSinceCapture(), 1u);
+
+  // A second replace in the same interval re-copies nothing new.
+  overlay_.ReplaceChunk(packed_v, PackedOnlyChunk(packed_v));
+  EXPECT_EQ(overlay_.CopiedSinceCapture(), 1u);
+}
+
+}  // namespace
+}  // namespace pspc

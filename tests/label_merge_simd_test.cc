@@ -1,0 +1,160 @@
+#include "src/label/label_merge_simd.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/core/builder_facade.h"
+#include "src/graph/generators.h"
+#include "src/label/label_merge.h"
+#include "src/label/packed_label.h"
+
+namespace pspc {
+namespace {
+
+constexpr MergeKernel kAllKernels[] = {MergeKernel::kScalar,
+                                       MergeKernel::kSwar, MergeKernel::kSse,
+                                       MergeKernel::kAvx2};
+
+/// Restores auto-detection when a test that forces kernels exits.
+class KernelGuard {
+ public:
+  ~KernelGuard() { ResetMergeKernel(); }
+};
+
+std::vector<LabelEntry> RandomLabel(Rng& rng, size_t max_len) {
+  const size_t n = rng.NextBounded(max_len + 1);
+  std::vector<LabelEntry> entries;
+  Rank rank = static_cast<Rank>(rng.NextBounded(8));
+  for (size_t i = 0; i < n; ++i) {
+    LabelEntry e;
+    e.hub_rank = rank;
+    // Small gaps most of the time so the two sides share many hubs
+    // (the interesting merge case), big gaps sometimes so the skip
+    // paths (SIMD windows, whole-group gallops) actually fire.
+    rank += 1 + static_cast<uint32_t>(
+                    rng.NextBounded(rng.NextBool(0.15) ? 5000 : 4));
+    e.dist = rng.NextBool(0.05)
+                 ? kInfDistance
+                 : static_cast<Distance>(rng.NextBounded(64));
+    e.count = rng.NextBool(0.05) ? kSaturatedCount : 1 + rng.NextBounded(1000);
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+LabelSource PackedSource(const std::vector<LabelEntry>& entries,
+                         std::vector<uint8_t>* arena) {
+  arena->clear();
+  AppendPackedBlock(std::span<const LabelEntry>(entries.data(), entries.size()),
+                    arena);
+  return LabelSource::Packed(PackedBlockView(arena->data()));
+}
+
+// The acceptance property of the whole kernel: for every supported
+// lane and every raw/packed source combination, the vectorized merge
+// is bit-identical to the scalar MergeLabelCounts reference.
+TEST(LabelMergeSimdTest, AllKernelsAllSourceCombosMatchReference) {
+  KernelGuard guard;
+  Rng rng(99173);
+  std::vector<uint8_t> arena_a, arena_b;
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::vector<LabelEntry> a = RandomLabel(rng, 48);
+    const std::vector<LabelEntry> b = RandomLabel(rng, 48);
+    const std::span<const LabelEntry> sa(a.data(), a.size());
+    const std::span<const LabelEntry> sb(b.data(), b.size());
+    const SpcResult expected = MergeLabelCounts(sa, sb);
+
+    for (const MergeKernel kernel : kAllKernels) {
+      if (!MergeKernelSupported(kernel)) continue;
+      SetMergeKernel(kernel);
+      ASSERT_EQ(ActiveMergeKernel(), kernel);
+      const std::string ctx = std::string("trial ") + std::to_string(trial) +
+                              " kernel " + MergeKernelName(kernel);
+
+      ASSERT_EQ(MergeLabelCountsFast(sa, sb), expected) << ctx << " raw/raw";
+
+      const LabelSource raw_a = LabelSource::Raw(sa);
+      const LabelSource raw_b = LabelSource::Raw(sb);
+      const LabelSource packed_a = PackedSource(a, &arena_a);
+      const LabelSource packed_b = PackedSource(b, &arena_b);
+      ASSERT_EQ(MergeLabelSources(raw_a, raw_b), expected) << ctx << " rr";
+      ASSERT_EQ(MergeLabelSources(raw_a, packed_b), expected) << ctx << " rp";
+      ASSERT_EQ(MergeLabelSources(packed_a, raw_b), expected) << ctx << " pr";
+      ASSERT_EQ(MergeLabelSources(packed_a, packed_b), expected)
+          << ctx << " pp";
+    }
+  }
+}
+
+TEST(LabelMergeSimdTest, DegenerateShapes) {
+  KernelGuard guard;
+  const std::vector<LabelEntry> empty;
+  const std::vector<LabelEntry> one = {{5, 2, 3}};
+  std::vector<LabelEntry> disjoint_low, disjoint_high;
+  for (uint32_t i = 0; i < 20; ++i) {
+    disjoint_low.push_back({i, 1, 1});
+    disjoint_high.push_back({1000 + i, 1, 1});
+  }
+  const std::vector<const std::vector<LabelEntry>*> shapes = {
+      &empty, &one, &disjoint_low, &disjoint_high};
+  for (const MergeKernel kernel : kAllKernels) {
+    if (!MergeKernelSupported(kernel)) continue;
+    SetMergeKernel(kernel);
+    for (const auto* a : shapes) {
+      for (const auto* b : shapes) {
+        const std::span<const LabelEntry> sa(a->data(), a->size());
+        const std::span<const LabelEntry> sb(b->data(), b->size());
+        EXPECT_EQ(MergeLabelCountsFast(sa, sb), MergeLabelCounts(sa, sb))
+            << MergeKernelName(kernel);
+      }
+    }
+  }
+}
+
+// Same property over a real index's labels: every pair of label lists
+// a production query would actually merge.
+TEST(LabelMergeSimdTest, RealIndexLabelsMatchReferenceOnEveryKernel) {
+  KernelGuard guard;
+  const Graph g = GenerateClusteredBa(150, 3, 0.3, 31);
+  BuildOptions options;
+  options.num_landmarks = 8;
+  const SpcIndex index = BuildIndex(g, options).index;
+  const PackedLabelMap packed = PackedLabelMap::Encode(index.LabelMap());
+
+  Rng rng(88);
+  for (const MergeKernel kernel : kAllKernels) {
+    if (!MergeKernelSupported(kernel)) continue;
+    SetMergeKernel(kernel);
+    for (int trial = 0; trial < 300; ++trial) {
+      const auto s = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+      const auto t = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+      const SpcResult expected = MergeLabelCounts(index.Labels(s), index.Labels(t));
+      ASSERT_EQ(MergeLabelCountsFast(index.Labels(s), index.Labels(t)),
+                expected)
+          << MergeKernelName(kernel) << " (" << s << "," << t << ")";
+      ASSERT_EQ(MergeLabelSources(LabelSource::Packed(packed.Block(s)),
+                                  LabelSource::Packed(packed.Block(t))),
+                expected)
+          << MergeKernelName(kernel) << " packed (" << s << "," << t << ")";
+    }
+  }
+}
+
+TEST(LabelMergeSimdTest, ForcingUnsupportedKernelFallsBackToAuto) {
+  KernelGuard guard;
+  // kSse/kAvx2 may be unsupported off-x86; forcing one then must leave
+  // selection on a *supported* kernel rather than crashing.
+  SetMergeKernel(MergeKernel::kAvx2);
+  EXPECT_TRUE(MergeKernelSupported(ActiveMergeKernel()));
+  SetMergeKernel(MergeKernel::kScalar);
+  EXPECT_EQ(ActiveMergeKernel(), MergeKernel::kScalar);
+  ResetMergeKernel();
+  EXPECT_TRUE(MergeKernelSupported(ActiveMergeKernel()));
+}
+
+}  // namespace
+}  // namespace pspc
